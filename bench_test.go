@@ -1,0 +1,195 @@
+package quantumdb
+
+// One testing.B benchmark per table and figure of the paper's evaluation,
+// plus ablation benchmarks for the design decisions called out in
+// DESIGN.md. These run at a reduced scale so `go test -bench=.` finishes
+// in minutes; `cmd/qdbbench` regenerates the full paper-scale series.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/relstore"
+	"repro/internal/workload"
+)
+
+// benchFig56 is a reduced Figure 5/6 configuration (paper: 34 rows).
+var benchFig56 = bench.Fig56Config{Rows: 10, K: 61, Seed: 1}
+
+// benchFig7 is a reduced Figure 7 / Table 2 configuration (paper: 10-100
+// flights of 50 rows).
+var benchFig7 = bench.Fig7Config{
+	MinFlights: 2, MaxFlights: 6, FlightStep: 2,
+	RowsPerFlight: 10, Ks: []int{4, 8, 12}, Seed: 1,
+}
+
+// benchFig89 is a reduced Figure 8/9 configuration (paper: 6000 ops over
+// 40 flights of 50 rows).
+var benchFig89 = bench.Fig89Config{
+	Flights: 4, RowsPerFlight: 10, Total: 120,
+	ReadPcts: []int{0, 30, 60, 90}, Ks: []int{4, 8}, Seed: 1,
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable1(bench.Table1Config{Rows: 10, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig56(benchFig56); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig56(benchFig56)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.RenderFig6(io.Discard)
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig7(benchFig7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig7(benchFig7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.RenderTable2(io.Discard)
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig89(benchFig89); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig89(benchFig89)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.RenderFig9(io.Discard)
+	}
+}
+
+// ---- Ablations (design decisions from DESIGN.md) ----
+
+// ablationStream runs one Random-order entangled stream under the given
+// options and reports coordination as a benchmark metric.
+func ablationStream(b *testing.B, opt bench.StreamOptions) {
+	b.Helper()
+	cfg := workload.Config{Flights: 2, RowsPerFlight: 10}
+	world := workload.NewWorld(cfg)
+	pairs := workload.EntangledPairs(cfg, cfg.Seats()/2)
+	var coord float64
+	for i := 0; i < b.N; i++ {
+		stream := workload.Arrival(pairs, workload.Random, bench.Rng(int64(i+1)))
+		r, err := bench.RunQDBStreamOpt(world, pairs, stream, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coord = r.CoordinationPct
+	}
+	b.ReportMetric(coord, "coordination%")
+}
+
+// BenchmarkAblationSolutionCache compares admission with and without the
+// solution cache (§4: the cache amortizes satisfiability checks).
+func BenchmarkAblationSolutionCache(b *testing.B) {
+	b.Run("cache=on", func(b *testing.B) {
+		ablationStream(b, bench.StreamOptions{Core: core.Options{K: 8}})
+	})
+	b.Run("cache=off", func(b *testing.B) {
+		ablationStream(b, bench.StreamOptions{Core: core.Options{K: 8, DisableCache: true}})
+	})
+}
+
+// BenchmarkAblationPartitioning compares per-flight partitions against a
+// single global composed body (§4-5 credit partitioning for Figure 7's
+// linear scaling).
+func BenchmarkAblationPartitioning(b *testing.B) {
+	b.Run("partitioning=on", func(b *testing.B) {
+		ablationStream(b, bench.StreamOptions{Core: core.Options{K: 8}})
+	})
+	b.Run("partitioning=off", func(b *testing.B) {
+		ablationStream(b, bench.StreamOptions{Core: core.Options{K: 8, DisablePartitioning: true}})
+	})
+}
+
+// BenchmarkAblationSerializability compares semantic move-to-front
+// grounding against strict prefix grounding (§3.2.3) under a read-heavy
+// mixed workload, where out-of-order collapse matters.
+func BenchmarkAblationSerializability(b *testing.B) {
+	run := func(mode core.Mode) func(*testing.B) {
+		return func(b *testing.B) {
+			cfg := bench.Fig89Config{
+				Flights: 2, RowsPerFlight: 10, Total: 60,
+				ReadPcts: []int{50}, Ks: []int{8}, Seed: 1, Mode: mode,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunFig89(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("mode=semantic", run(core.Semantic))
+	b.Run("mode=strict", run(core.Strict))
+}
+
+// BenchmarkAblationChooser compares first-fit collapse against the
+// flexibility-maximizing chooser (§3.2.2) and the eager-coordination
+// extension, reporting achieved coordination.
+func BenchmarkAblationChooser(b *testing.B) {
+	k := core.Options{K: 4}
+	b.Run("chooser=firstfit", func(b *testing.B) {
+		ablationStream(b, bench.StreamOptions{Core: k})
+	})
+	b.Run("chooser=flexibility", func(b *testing.B) {
+		opt := k
+		opt.Chooser = workload.FlexibilityChooser
+		opt.ChooserSample = 4
+		ablationStream(b, bench.StreamOptions{Core: opt})
+	})
+	b.Run("chooser=flexibility+eager", func(b *testing.B) {
+		opt := k
+		opt.Chooser = workload.FlexibilityChooser
+		opt.ChooserSample = 4
+		ablationStream(b, bench.StreamOptions{Core: opt, Eager: true})
+	})
+}
+
+// BenchmarkAblationSearchDepth compares the dynamic greedy join planner
+// against the naive static order (the paper's optimizer_search_depth
+// discussion).
+func BenchmarkAblationSearchDepth(b *testing.B) {
+	run := func(p relstore.PlannerMode) func(*testing.B) {
+		return func(b *testing.B) {
+			ablationStream(b, bench.StreamOptions{Core: core.Options{K: 8, Planner: p}})
+		}
+	}
+	b.Run("planner=dynamic", run(relstore.PlanDynamic))
+	b.Run("planner=static", run(relstore.PlanStatic))
+}

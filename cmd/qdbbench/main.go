@@ -1,0 +1,121 @@
+// Command qdbbench regenerates the evaluation of "Quantum Databases"
+// (CIDR 2013): Table 1, Figures 5-6 (arrival orders), Figure 7 + Table 2
+// (scalability vs k), and Figures 8-9 (mixed read workloads).
+//
+//	qdbbench -exp all            # everything at paper scale
+//	qdbbench -exp fig7 -quick    # reduced scale for a fast look
+//
+// Absolute times depend on the host; the shapes (who wins, slopes,
+// crossovers) are the reproduction target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|table2|fig8|fig9|all")
+	quick := flag.Bool("quick", false, "run at reduced scale (seconds instead of minutes)")
+	seed := flag.Int64("seed", 1, "workload shuffle seed")
+	flag.Parse()
+
+	want := func(name string) bool {
+		return *exp == "all" || strings.Contains(*exp, name)
+	}
+	start := time.Now()
+
+	if want("table1") {
+		cfg := bench.DefaultTable1()
+		cfg.Seed = *seed
+		if *quick {
+			cfg.Rows = 10
+		}
+		res, err := bench.RunTable1(cfg)
+		fail(err)
+		res.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	if want("fig5") || want("fig6") {
+		cfg := bench.DefaultFig56()
+		cfg.Seed = *seed
+		if *quick {
+			cfg.Rows = 10
+		}
+		res, err := bench.RunFig56(cfg)
+		fail(err)
+		if want("fig5") {
+			res.RenderFig5(os.Stdout)
+			fmt.Println()
+		}
+		if want("fig6") {
+			res.RenderFig6(os.Stdout)
+			fmt.Println()
+		}
+	}
+
+	if want("fig7") || want("table2") {
+		cfg := bench.DefaultFig7()
+		cfg.Seed = *seed
+		if *quick {
+			cfg = bench.Fig7Config{MinFlights: 2, MaxFlights: 10, FlightStep: 2,
+				RowsPerFlight: 10, Ks: []int{4, 8, 12}, Seed: *seed}
+		}
+		res, err := bench.RunFig7(cfg)
+		fail(err)
+		if want("fig7") {
+			res.RenderFig7(os.Stdout)
+			fmt.Println()
+		}
+		if want("table2") {
+			res.RenderTable2(os.Stdout)
+			fmt.Println()
+		}
+	}
+
+	if want("fig8") || want("fig9") {
+		cfg := bench.DefaultFig89()
+		cfg.Seed = *seed
+		if *quick {
+			cfg = bench.Fig89Config{Flights: 4, RowsPerFlight: 10, Total: 120,
+				ReadPcts: []int{0, 30, 60, 90}, Ks: []int{4, 8}, Seed: *seed}
+		}
+		res, err := bench.RunFig89(cfg)
+		fail(err)
+		if want("fig8") {
+			res.RenderFig8(os.Stdout)
+			fmt.Println()
+		}
+		if want("fig9") {
+			res.RenderFig9(os.Stdout)
+			fmt.Println()
+		}
+	}
+
+	if want("phase") {
+		cfg := bench.DefaultPhase()
+		cfg.Seed = *seed
+		if *quick {
+			cfg.Rows = 10
+		}
+		res, err := bench.RunPhase(cfg)
+		fail(err)
+		res.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qdbbench:", err)
+		os.Exit(1)
+	}
+}

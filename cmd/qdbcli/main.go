@@ -1,0 +1,205 @@
+// Command qdbcli is an interactive shell over a quantum database. It
+// speaks the paper's Datalog-like notation and makes the quantum
+// behaviour observable: commit without grounding, collapse on read, the
+// pending-transaction count, and forced grounding.
+//
+//	$ qdbcli
+//	qdb> create Available(fno, sno)
+//	qdb> create Bookings(name, fno, sno) key 1 2
+//	qdb> exec +Available(123, '5A'), +Available(123, '5B')
+//	qdb> txn -Available(f, s), +Bookings('Mickey', f, s) :-1 Available(f, s)
+//	committed txn 1 (pending: 1)
+//	qdb> read Bookings('Mickey', f, s)
+//	f=123 s=5A        <- observation collapsed the superposition
+//
+// `demo` loads the travel schema with one small flight.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	quantumdb "repro"
+)
+
+func main() {
+	db, err := quantumdb.Open(quantumdb.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	co := db.NewCoordinator()
+
+	fmt.Println("quantum database shell — 'help' for commands")
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("qdb> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "exit" || line == "quit" {
+			return
+		}
+		if line != "" {
+			run(db, co, line)
+		}
+		fmt.Print("qdb> ")
+	}
+}
+
+func run(db *quantumdb.DB, co *quantumdb.Coordinator, line string) {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "help":
+		fmt.Print(`commands:
+  create <Rel>(col, ...) [key i j ...]   create a relation
+  exec  +R(...), -S(...)                 blind ground writes (checked)
+  txn   <update> :-1 <body>              submit a resource transaction
+  etxn  <tag> <partner> <txn>            submit an entangled transaction
+  read  R(args), S(args)                 conjunctive query (collapses!)
+  ground <id> | ground all               force value assignment
+  pending                                count pending transactions
+  stats                                  engine counters
+  demo                                   load a small travel world
+  exit
+`)
+	case "create":
+		name, cols, key, err := parseCreate(rest)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if err := db.CreateTable(quantumdb.Table{Name: name, Columns: cols, Key: key}); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("created %s\n", name)
+	case "exec":
+		if err := db.Exec(rest); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println("ok")
+	case "txn":
+		id, err := db.Submit(rest)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("committed txn %d (pending: %d)\n", id, db.Pending())
+	case "etxn":
+		fields := strings.SplitN(rest, " ", 3)
+		if len(fields) != 3 {
+			fmt.Println("usage: etxn <tag> <partner> <txn>")
+			return
+		}
+		id, err := co.Submit(fields[2], fields[0], fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("committed entangled txn %d (pending: %d, coordinated pairs: %d)\n",
+			id, db.Pending(), co.CoordinatedPairs())
+	case "read":
+		rows, err := db.Query(rest)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if len(rows) == 0 {
+			fmt.Println("(no rows)")
+			return
+		}
+		for _, row := range rows {
+			keys := make([]string, 0, len(row))
+			for k := range row {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var parts []string
+			for _, k := range keys {
+				parts = append(parts, fmt.Sprintf("%s=%v", k, row[k]))
+			}
+			fmt.Println(strings.Join(parts, " "))
+		}
+	case "ground":
+		if rest == "all" {
+			if err := db.GroundAll(); err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			fmt.Println("all grounded")
+			return
+		}
+		id, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			fmt.Println("usage: ground <id> | ground all")
+			return
+		}
+		if err := db.Ground(id); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("grounded %d\n", id)
+	case "pending":
+		fmt.Println(db.Pending())
+	case "stats":
+		fmt.Printf("%+v\n", db.Stats())
+	case "demo":
+		loadDemo(db)
+	default:
+		fmt.Printf("unknown command %q — try 'help'\n", cmd)
+	}
+}
+
+func parseCreate(s string) (name string, cols []string, key []int, err error) {
+	open := strings.Index(s, "(")
+	closeIdx := strings.Index(s, ")")
+	if open <= 0 || closeIdx < open {
+		return "", nil, nil, fmt.Errorf("usage: create Rel(col, ...) [key i j ...]")
+	}
+	name = strings.TrimSpace(s[:open])
+	for _, c := range strings.Split(s[open+1:closeIdx], ",") {
+		cols = append(cols, strings.TrimSpace(c))
+	}
+	tail := strings.TrimSpace(s[closeIdx+1:])
+	if tail != "" {
+		if !strings.HasPrefix(tail, "key ") {
+			return "", nil, nil, fmt.Errorf("unexpected %q after column list", tail)
+		}
+		for _, f := range strings.Fields(tail[4:]) {
+			i, err := strconv.Atoi(f)
+			if err != nil {
+				return "", nil, nil, fmt.Errorf("bad key column %q", f)
+			}
+			key = append(key, i)
+		}
+	}
+	return name, cols, key, nil
+}
+
+func loadDemo(db *quantumdb.DB) {
+	tables := []quantumdb.Table{
+		{Name: "Available", Columns: []string{"fno", "sno"}},
+		{Name: "Bookings", Columns: []string{"name", "fno", "sno"}, Key: []int{1, 2}},
+		{Name: "Adjacent", Columns: []string{"fno", "s1", "s2"}, Indexes: [][]int{{0, 1}, {0, 2}}},
+	}
+	for _, t := range tables {
+		if err := db.CreateTable(t); err != nil {
+			fmt.Println("demo:", err)
+			return
+		}
+	}
+	db.MustExec("+Available(123, '1A'), +Available(123, '1B'), +Available(123, '1C')")
+	db.MustExec("+Available(123, '2A'), +Available(123, '2B'), +Available(123, '2C')")
+	for _, p := range [][2]string{{"1A", "1B"}, {"1B", "1C"}, {"2A", "2B"}, {"2B", "2C"}} {
+		db.MustExec(fmt.Sprintf("+Adjacent(123, '%s', '%s'), +Adjacent(123, '%s', '%s')",
+			p[0], p[1], p[1], p[0]))
+	}
+	fmt.Println("demo loaded: flight 123 with 6 seats (2 rows), adjacency within rows")
+	fmt.Println("try: txn -Available(f, s), +Bookings('Mickey', f, s) :-1 Available(f, s)")
+}

@@ -1,0 +1,50 @@
+// Command qdbd runs a quantum database as a network service (the
+// middle-tier of Figure 4), speaking a JSON-lines protocol over TCP.
+//
+//	qdbd -addr :7683 -wal /var/lib/qdb/qdb.wal
+//
+// Each request is one JSON object per line, e.g.:
+//
+//	{"op":"create","table":{"name":"Available","columns":["fno","sno"]}}
+//	{"op":"exec","facts":"+Available(1, '1A')"}
+//	{"op":"txn","txn":"-Available(1, s), +Bookings('M', 1, s) :-1 Available(1, s)"}
+//	{"op":"read","query":"Bookings('M', 1, s)"}
+//
+// See internal/server for the full request/response schema and a Go
+// client.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	quantumdb "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7683", "listen address")
+	wal := flag.String("wal", "", "write-ahead log path (durability off when empty)")
+	k := flag.Int("k", 0, "per-partition pending bound (0 = paper default 61)")
+	strict := flag.Bool("strict", false, "strict (classical) serializability instead of semantic")
+	flag.Parse()
+
+	opt := quantumdb.Options{WALPath: *wal, K: *k}
+	if *strict {
+		opt.Mode = quantumdb.Strict
+	}
+	db, err := quantumdb.Open(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("qdbd listening on %s (wal=%q, k=%d, mode=%v)\n", l.Addr(), *wal, *k, opt.Mode)
+	log.Fatal(server.New(db).Serve(l))
+}

@@ -1,0 +1,98 @@
+// Calendar: the paper's second motivating domain (§1) — meeting slots as
+// scarce resources. Teams commit to "a slot this week" months early
+// without pinning the slot; a short-notice, high-priority meeting then
+// takes a specific slot, and everyone else's commitments transparently
+// reflow instead of triggering a painful rescheduling cascade.
+//
+//	go run ./examples/calendar
+package main
+
+import (
+	"fmt"
+	"log"
+
+	quantumdb "repro"
+)
+
+func main() {
+	db, err := quantumdb.Open(quantumdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Free(room, slot) lists open reservations; Meetings(title, room,
+	// slot) holds scheduled ones, keyed by (room, slot).
+	db.MustCreateTable(quantumdb.Table{Name: "Free", Columns: []string{"room", "slot"}})
+	db.MustCreateTable(quantumdb.Table{
+		Name: "Meetings", Columns: []string{"title", "room", "slot"}, Key: []int{1, 2},
+	})
+	// Large(room) distinguishes big rooms (a hard requirement for the
+	// offsite); Morning(slot) marks slots people prefer.
+	db.MustCreateTable(quantumdb.Table{Name: "Large", Columns: []string{"room"}})
+	db.MustCreateTable(quantumdb.Table{Name: "Morning", Columns: []string{"slot"}})
+
+	for _, room := range []string{"atrium", "den", "nook"} {
+		for _, slot := range []string{"mon-am", "mon-pm", "fri-am", "fri-pm"} {
+			db.MustExec(fmt.Sprintf("+Free('%s', '%s')", room, slot))
+		}
+	}
+	db.MustExec("+Large('atrium'), +Large('den')")
+	db.MustExec("+Morning('mon-am'), +Morning('fri-am')")
+
+	// Two months out: the offsite needs a large room, any slot —
+	// preferably a morning. Committed, not pinned.
+	offsite, err := db.Submit(
+		"-Free(r, t), +Meetings('offsite', r, t) :-1 Free(r, t), Large(r), ?Morning(t)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offsite committed (txn %d) — room and time still open\n", offsite)
+
+	// Two more flexible bookings pile in.
+	if _, err := db.Submit(
+		"-Free(r, t), +Meetings('1on1', r, t) :-1 Free(r, t)"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Submit(
+		"-Free(r, t), +Meetings('bookclub', r, t) :-1 Free(r, t), ?Morning(t)"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pending meetings: %d — the calendar is a superposition\n", db.Pending())
+
+	// Wednesday before: the CEO needs the atrium on Friday morning,
+	// exactly. A hard, specific request. In a classical calendar this is
+	// where the assistant starts calling everyone; here the pending
+	// meetings simply reflow around it.
+	ceo := "-Free('atrium', 'fri-am'), +Meetings('ceo-review', 'atrium', 'fri-am') " +
+		":-1 Free('atrium', 'fri-am')"
+	if _, err := db.Submit(ceo); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ceo-review hard-booked atrium/fri-am; no one was disturbed")
+
+	// Thursday evening: everyone finally reads their calendar, which
+	// collapses the remaining uncertainty.
+	rows, err := db.Query("Meetings(title, room, slot)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfinal calendar:")
+	for _, r := range rows {
+		fmt.Printf("  %-11v %-7v %v\n", r["title"], r["room"], r["slot"])
+	}
+
+	// The punchline: the offsite kept a large room, and the CEO got the
+	// exact slot — simultaneously. Verify the offsite's hard constraint.
+	check, err := db.Query("Meetings('offsite', r, t), Large(r)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noffsite in a large room: %v\n", len(check) == 1)
+
+	// And capacity protection still applies: removing every remaining
+	// free large-room slot while something depends on it is refused.
+	if db.Pending() == 0 {
+		fmt.Println("calendar fully extensional; quantum state consumed")
+	}
+}

@@ -1,0 +1,104 @@
+// Cloudpool: shared-use virtual resources (the paper's EC2-instance
+// motivation) with durability. Tenants reserve "an instance in some
+// zone, preferably zone-a" ahead of launch time; reservations survive a
+// process crash via the write-ahead log and are still unground after
+// recovery — late binding persists across restarts.
+//
+//	go run ./examples/cloudpool
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	quantumdb "repro"
+)
+
+func schema(db *quantumdb.DB) error {
+	tables := []quantumdb.Table{
+		{Name: "Idle", Columns: []string{"zone", "vm"}},
+		{Name: "Leases", Columns: []string{"tenant", "zone", "vm"}, Key: []int{1, 2}},
+		{Name: "Zone", Columns: []string{"zone", "tier"}},
+	}
+	for _, t := range tables {
+		if err := db.CreateTable(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "cloudpool")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	walPath := filepath.Join(dir, "pool.wal")
+
+	// ---- first process lifetime ----
+	db, err := quantumdb.Open(quantumdb.Options{WALPath: walPath, SyncWAL: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := schema(db); err != nil {
+		log.Fatal(err)
+	}
+	for _, zone := range []string{"zone-a", "zone-b"} {
+		for i := 1; i <= 3; i++ {
+			db.MustExec(fmt.Sprintf("+Idle('%s', 'vm-%s-%d')", zone, zone[len(zone)-1:], i))
+		}
+	}
+	db.MustExec("+Zone('zone-a', 'premium'), +Zone('zone-b', 'standard')")
+
+	// Three tenants reserve capacity; acme insists on the premium tier
+	// (hard), the others are flexible with a soft zone-a preference.
+	acme := "-Idle(z, v), +Leases('acme', z, v) :-1 Idle(z, v), Zone(z, 'premium')"
+	if _, err := db.Submit(acme); err != nil {
+		log.Fatal(err)
+	}
+	flexible := "-Idle(z, v), +Leases('%s', z, v) :-1 Idle(z, v), ?Zone(z, 'premium')"
+	for _, tenant := range []string{"bravo", "cyber"} {
+		if _, err := db.Submit(fmt.Sprintf(flexible, tenant)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("3 leases committed, %d pending — no VM pinned yet\n", db.Pending())
+
+	// Simulated crash: the process dies without grounding anything.
+	db.Close()
+	fmt.Println("-- crash --")
+
+	// ---- second process lifetime: recovery ----
+	db2, err := quantumdb.Recover(quantumdb.Options{WALPath: walPath, SyncWAL: true}, schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db2.Close()
+	fmt.Printf("recovered: %d reservations still pending, still unground\n", db2.Pending())
+
+	// Capacity drains in zone-a after recovery (maintenance pulls two
+	// idle machines). The engine allows it only because the pending
+	// leases still have groundings elsewhere.
+	if err := db2.Exec("-Idle('zone-a', 'vm-a-1'), -Idle('zone-a', 'vm-a-2')"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("maintenance took vm-a-1, vm-a-2 — commitments reflowed")
+
+	// Pulling the last premium machine would strand acme: refused.
+	if err := db2.Exec("-Idle('zone-a', 'vm-a-3')"); err != nil {
+		fmt.Println("draining the last premium VM rejected:", err)
+	}
+
+	// Launch time: each tenant starts their instance (reads collapse).
+	for _, tenant := range []string{"acme", "bravo", "cyber"} {
+		rows, err := db2.Query(fmt.Sprintf("Leases('%s', z, v)", tenant))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s -> %v in %v\n", tenant, rows[0]["v"], rows[0]["z"])
+	}
+	fmt.Printf("pending after launches: %d\n", db2.Pending())
+}

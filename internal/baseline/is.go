@@ -1,0 +1,97 @@
+// Package baseline implements the paper's comparison strategy: the
+// "intelligent social" (IS) user (§5.2), who books immediately — without
+// a quantum database — but applies the best eager heuristic available:
+// check whether the friend already holds a reservation and take the seat
+// next to it; otherwise take a seat that keeps an adjacent seat free for
+// the friend; otherwise take anything.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/relstore"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// ErrNoSeat is returned when the flight is fully booked.
+var ErrNoSeat = errors.New("baseline: no seat available")
+
+// Client issues immediate (non-deferred) bookings against the store.
+type Client struct {
+	db *relstore.DB
+}
+
+// New returns an IS client over db (the same schema as workload.NewWorld).
+func New(db *relstore.DB) *Client { return &Client{db: db} }
+
+// Book reserves a seat for user on flight, coordinating with friend as
+// well as eager execution allows. It returns the booked seat.
+func (c *Client) Book(user, friend string, flight int) (string, error) {
+	f := logic.Int(int64(flight))
+
+	// 1. Friend already booked and an adjacent seat is free: take it.
+	q := relstore.Query{Atoms: []logic.Atom{
+		logic.NewAtom(workload.RelBookings, logic.Str(friend), f, logic.Var("m")),
+		logic.NewAtom(workload.RelAdjacent, f, logic.Var("s"), logic.Var("m")),
+		logic.NewAtom(workload.RelAvailable, f, logic.Var("s")),
+	}}
+	if s, ok, err := q.FindOne(c.db, nil); err != nil {
+		return "", err
+	} else if ok {
+		return c.take(user, flight, s.Walk(logic.Var("s")))
+	}
+
+	// 2. Otherwise keep the pair viable: book a seat with a free
+	// neighbour.
+	q = relstore.Query{Atoms: []logic.Atom{
+		logic.NewAtom(workload.RelAvailable, f, logic.Var("s")),
+		logic.NewAtom(workload.RelAdjacent, f, logic.Var("s"), logic.Var("s2")),
+		logic.NewAtom(workload.RelAvailable, f, logic.Var("s2")),
+	}}
+	if s, ok, err := q.FindOne(c.db, nil); err != nil {
+		return "", err
+	} else if ok {
+		return c.take(user, flight, s.Walk(logic.Var("s")))
+	}
+
+	// 3. Any seat at all.
+	q = relstore.Query{Atoms: []logic.Atom{
+		logic.NewAtom(workload.RelAvailable, f, logic.Var("s")),
+	}}
+	if s, ok, err := q.FindOne(c.db, nil); err != nil {
+		return "", err
+	} else if ok {
+		return c.take(user, flight, s.Walk(logic.Var("s")))
+	}
+	return "", fmt.Errorf("%w: flight %d for %s", ErrNoSeat, flight, user)
+}
+
+// ReadSeat looks up the user's booked seat (a plain read; IS has no
+// pending state to collapse).
+func (c *Client) ReadSeat(user string, flight int) (string, bool, error) {
+	q := relstore.Query{Atoms: []logic.Atom{
+		logic.NewAtom(workload.RelBookings, logic.Str(user), logic.Int(int64(flight)), logic.Var("s")),
+	}}
+	s, ok, err := q.FindOne(c.db, nil)
+	if err != nil || !ok {
+		return "", false, err
+	}
+	return s.Walk(logic.Var("s")).Value().Str(), true, nil
+}
+
+func (c *Client) take(user string, flight int, seat logic.Term) (string, error) {
+	name := seat.Value().Str()
+	booking := value.Tuple{value.NewString(user), value.NewInt(int64(flight)), value.NewString(name)}
+	avail := value.Tuple{value.NewInt(int64(flight)), value.NewString(name)}
+	err := c.db.Apply(
+		[]relstore.GroundFact{{Rel: workload.RelBookings, Tuple: booking}},
+		[]relstore.GroundFact{{Rel: workload.RelAvailable, Tuple: avail}},
+	)
+	if err != nil {
+		return "", err
+	}
+	return name, nil
+}

@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestBookNextToExistingFriend(t *testing.T) {
+	w := workload.NewWorld(workload.Config{Flights: 1, RowsPerFlight: 2})
+	c := New(w.DB)
+	s1, err := c.Book("Goofy", "Mickey", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Book("Mickey", "Goofy", 1); err != nil {
+		t.Fatal(err)
+	}
+	if !workload.Coordinated(w.DB, "Mickey", "Goofy") {
+		t.Fatalf("IS failed to coordinate with friend pre-booked (Goofy in %s)", s1)
+	}
+}
+
+func TestBookKeepsNeighbourFree(t *testing.T) {
+	w := workload.NewWorld(workload.Config{Flights: 1, RowsPerFlight: 1})
+	c := New(w.DB)
+	// First of a pair books; seat must have a free neighbour (not the
+	// middleless corner situation).
+	s, err := c.Book("A", "Zed", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == "" {
+		t.Fatal("no seat")
+	}
+	// The partner must be able to coordinate.
+	if _, err := c.Book("Zed", "A", 1); err != nil {
+		t.Fatal(err)
+	}
+	if !workload.Coordinated(w.DB, "A", "Zed") {
+		t.Error("pair on an empty row failed to coordinate")
+	}
+}
+
+func TestBookFallsBackToAnySeat(t *testing.T) {
+	w := workload.NewWorld(workload.Config{Flights: 1, RowsPerFlight: 1})
+	c := New(w.DB)
+	for i, u := range []string{"A", "B", "C"} {
+		if _, err := c.Book(u, "none", 1); err != nil {
+			t.Fatalf("booking %d: %v", i, err)
+		}
+	}
+	if _, err := c.Book("D", "none", 1); !errors.Is(err, ErrNoSeat) {
+		t.Fatalf("err = %v, want ErrNoSeat", err)
+	}
+}
+
+func TestReadSeat(t *testing.T) {
+	w := workload.NewWorld(workload.Config{Flights: 1, RowsPerFlight: 1})
+	c := New(w.DB)
+	if _, ok, err := c.ReadSeat("A", 1); err != nil || ok {
+		t.Fatalf("unbooked read: ok=%v err=%v", ok, err)
+	}
+	booked, err := c.Book("A", "none", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.ReadSeat("A", 1)
+	if err != nil || !ok || got != booked {
+		t.Fatalf("ReadSeat = %q ok=%v err=%v, want %q", got, ok, err, booked)
+	}
+}
+
+// TestISCoordinationIsLowWithoutForesight: when both partners arrive far
+// apart with many interleaved strangers, IS loses coordination — the gap
+// the quantum database closes (Fig 6).
+func TestISCoordinationIsLowWithoutForesight(t *testing.T) {
+	cfg := workload.Config{Flights: 1, RowsPerFlight: 10}
+	w := workload.NewWorld(cfg)
+	c := New(w.DB)
+	pairs := workload.EntangledPairs(cfg, 15) // 30 txns on 30 seats
+	stream := workload.Arrival(pairs, workload.InOrder, rand.New(rand.NewSource(1)))
+	for _, tx := range stream {
+		if _, err := c.Book(tx.Tag, tx.PartnerTag, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pct := workload.CoordinationPercent(w.DB, cfg, pairs)
+	if pct >= 100 {
+		t.Errorf("IS achieved %v%% under InOrder; expected meaningful loss", pct)
+	}
+	// Every user still got a seat.
+	if n := w.DB.Len(workload.RelBookings); n != 30 {
+		t.Errorf("bookings = %d, want 30", n)
+	}
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Small-scale configurations keep unit tests fast; the cmd/qdbbench
+// binary runs paper-scale defaults.
+
+func TestFig56SmallScale(t *testing.T) {
+	res, err := RunFig56(Fig56Config{Rows: 6, K: 61, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.QDB) != 4 || len(res.IS) != 4 {
+		t.Fatalf("series: qdb=%d is=%d", len(res.QDB), len(res.IS))
+	}
+	// Headline claim of Figure 6: the quantum database achieves maximum
+	// coordination on every order.
+	for _, s := range res.QDB {
+		if s.CoordinationPct < 100 {
+			t.Errorf("QDB %s coordination = %.1f%%, want 100%%", s.Name, s.CoordinationPct)
+		}
+	}
+	// IS never beats the quantum database on any order, and coordinates
+	// fully on Alternate (partner arrives immediately). IS seat choice
+	// depends on store iteration order, so per-order IS percentages are
+	// only bounded, not pinned, at this scale.
+	for i, s := range res.IS {
+		if s.CoordinationPct > res.QDB[i].CoordinationPct {
+			t.Errorf("IS %s (%.1f%%) beat QDB (%.1f%%)", s.Name, s.CoordinationPct, res.QDB[i].CoordinationPct)
+		}
+	}
+	if res.IS[0].CoordinationPct < 100 { // Alternate
+		t.Errorf("IS Alternate coordination = %.1f%%, want 100%%", res.IS[0].CoordinationPct)
+	}
+	var buf bytes.Buffer
+	res.RenderFig5(&buf)
+	res.RenderFig6(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 5", "Figure 6", "Alternate", "Reverse Order"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTable1SmallScale(t *testing.T) {
+	res, err := RunTable1(Table1Config{Rows: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOrder := map[string]Table1Row{}
+	for _, row := range res.Rows {
+		byOrder[row.Order] = row
+	}
+	// Alternate: exactly one pending at a time.
+	if got := byOrder["Alternate"].MaxPending; got != 1 {
+		t.Errorf("Alternate max pending = %d, want 1", got)
+	}
+	// In Order and Reverse Order: hit the N/2 bound exactly.
+	for _, name := range []string{"In Order", "Reverse Order"} {
+		row := byOrder[name]
+		if row.MaxPending != row.Bound {
+			t.Errorf("%s: measured %d, bound %d", name, row.MaxPending, row.Bound)
+		}
+	}
+	// Random: never exceeds the bound.
+	if row := byOrder["Random"]; row.MaxPending > row.Bound {
+		t.Errorf("Random exceeded bound: %d > %d", row.MaxPending, row.Bound)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig7SmallScale(t *testing.T) {
+	res, err := RunFig7(Fig7Config{
+		MinFlights: 1, MaxFlights: 3, FlightStep: 1,
+		RowsPerFlight: 4, Ks: []int{2, 6}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IS) != 3 {
+		t.Fatalf("IS points = %d, want 3", len(res.IS))
+	}
+	byK, is := res.Table2()
+	// Larger k must not coordinate worse (more deferral, more pairing).
+	if byK[6] < byK[2] {
+		t.Errorf("coordination k=6 (%.1f%%) < k=2 (%.1f%%)", byK[6], byK[2])
+	}
+	// The quantum database at the larger k must beat eager IS.
+	if byK[6] <= is {
+		t.Errorf("QDB k=6 (%.1f%%) did not beat IS (%.1f%%)", byK[6], is)
+	}
+	var buf bytes.Buffer
+	res.RenderFig7(&buf)
+	res.RenderTable2(&buf)
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Error("render missing Table 2")
+	}
+}
+
+func TestFig89SmallScale(t *testing.T) {
+	res, err := RunFig89(Fig89Config{
+		Flights: 2, RowsPerFlight: 5, Total: 30, // 30 ops over 30 seats
+		ReadPcts: []int{0, 50}, Ks: []int{30}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.ByK[30]
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	// More reads must not increase coordination.
+	if pts[1].CoordinationPct > pts[0].CoordinationPct {
+		t.Errorf("coordination rose with reads: %.1f%% -> %.1f%%",
+			pts[0].CoordinationPct, pts[1].CoordinationPct)
+	}
+	if pts[0].ReadTime != 0 {
+		t.Errorf("read time at 0%% reads = %v", pts[0].ReadTime)
+	}
+	if pts[1].ReadTime == 0 {
+		t.Error("no read time at 50% reads")
+	}
+	var buf bytes.Buffer
+	res.RenderFig8(&buf)
+	res.RenderFig9(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 8") || !strings.Contains(out, "Figure 9") {
+		t.Error("render missing figure headers")
+	}
+}
+
+func TestRunQDBStreamRejectsOverbooking(t *testing.T) {
+	cfg := workload.Config{Flights: 1, RowsPerFlight: 1}
+	world := workload.NewWorld(cfg)
+	pairs := workload.EntangledPairs(cfg, 2) // 4 txns on 3 seats
+	stream := workload.Arrival(pairs, workload.Alternate, rng(1))
+	if _, err := RunQDBStream(world, pairs, stream, core.Options{}); err == nil {
+		t.Fatal("overbooked stream did not error")
+	}
+}
+
+func TestStreamResultAccounting(t *testing.T) {
+	cfg := workload.Config{Flights: 1, RowsPerFlight: 2}
+	world := workload.NewWorld(cfg)
+	pairs := workload.EntangledPairs(cfg, 3)
+	stream := workload.Arrival(pairs, workload.Alternate, rng(1))
+	r, err := RunQDBStream(world, pairs, stream, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerTxn) != len(stream) {
+		t.Fatalf("per-txn samples = %d, want %d", len(r.PerTxn), len(stream))
+	}
+	cum := r.Cumulative()
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatal("cumulative series not monotone")
+		}
+	}
+	if r.Total() < cum[len(cum)-1] {
+		t.Fatal("total less than cumulative max")
+	}
+}

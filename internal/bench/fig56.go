@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Fig56Config sizes the order-of-arrival experiment. Paper values
+// (§5.3 "Order of arrival"): one flight with 34 rows (102 seats), 102
+// transactions (51 pairs), k at its prototype maximum of 61.
+type Fig56Config struct {
+	Rows int
+	K    int
+	Seed int64
+}
+
+// DefaultFig56 is the paper's configuration.
+func DefaultFig56() Fig56Config { return Fig56Config{Rows: 34, K: 61, Seed: 1} }
+
+// OrderSeries is one line of Figure 5 plus its Figure 6 bar.
+type OrderSeries struct {
+	Name            string
+	Cumulative      []time.Duration
+	Total           time.Duration
+	CoordinationPct float64
+	MaxPending      int
+}
+
+// Fig56Result aggregates the four arrival orders: the quantum database
+// and the intelligent-social baseline per order (Figure 6's bar pairs),
+// with the IS Random series doubling as Figure 5's baseline line (the
+// paper found IS execution time order-independent and plots only Random).
+type Fig56Result struct {
+	Config Fig56Config
+	QDB    []OrderSeries // indexed like workload.Orders
+	IS     []OrderSeries
+}
+
+// RunFig56 regenerates Figures 5 and 6.
+func RunFig56(cfg Fig56Config) (*Fig56Result, error) {
+	world := workload.NewWorld(workload.Config{Flights: 1, RowsPerFlight: cfg.Rows})
+	nPairs := world.Config.Seats() / 2
+	res := &Fig56Result{Config: cfg}
+	for _, kind := range workload.Orders {
+		pairs := workload.EntangledPairs(world.Config, nPairs)
+		stream := workload.Arrival(pairs, kind, rng(cfg.Seed))
+		r, err := RunQDBStream(world, pairs, stream, core.Options{K: cfg.K})
+		if err != nil {
+			return nil, fmt.Errorf("order %v: %w", kind, err)
+		}
+		res.QDB = append(res.QDB, OrderSeries{
+			Name:            kind.String(),
+			Cumulative:      r.Cumulative(),
+			Total:           r.Total(),
+			CoordinationPct: r.CoordinationPct,
+			MaxPending:      r.Stats.MaxPending,
+		})
+		ir, err := RunISStream(world, pairs, stream)
+		if err != nil {
+			return nil, fmt.Errorf("IS %v: %w", kind, err)
+		}
+		res.IS = append(res.IS, OrderSeries{
+			Name:            kind.String() + " IS",
+			Cumulative:      ir.Cumulative(),
+			Total:           ir.Total(),
+			CoordinationPct: ir.CoordinationPct,
+		})
+	}
+	return res, nil
+}
+
+// ISRandom returns the baseline series for the Random order (Figure 5's
+// fifth line).
+func (r *Fig56Result) ISRandom() OrderSeries {
+	for i, kind := range workload.Orders {
+		if kind == workload.Random {
+			return r.IS[i]
+		}
+	}
+	return OrderSeries{}
+}
+
+// RenderFig5 prints the cumulative-time series (sampled every tenth
+// transaction) in the shape of Figure 5.
+func (r *Fig56Result) RenderFig5(w io.Writer) {
+	is := r.ISRandom()
+	fmt.Fprintf(w, "Figure 5: cumulative transaction execution time (ms), %d txns, k=%d\n",
+		len(r.QDB[0].Cumulative), r.Config.K)
+	fmt.Fprintf(w, "%-6s", "txn")
+	for _, s := range r.QDB {
+		fmt.Fprintf(w, "%15s", s.Name)
+	}
+	fmt.Fprintf(w, "%15s\n", is.Name)
+	n := len(r.QDB[0].Cumulative)
+	step := n / 10
+	if step == 0 {
+		step = 1
+	}
+	for i := step - 1; i < n; i += step {
+		fmt.Fprintf(w, "%-6d", i+1)
+		for _, s := range r.QDB {
+			fmt.Fprintf(w, "%15.2f", ms(s.Cumulative[i]))
+		}
+		fmt.Fprintf(w, "%15.2f\n", ms(is.Cumulative[i]))
+	}
+}
+
+// RenderFig6 prints the coordination percentages in the shape of
+// Figure 6.
+func (r *Fig56Result) RenderFig6(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6: percentage of coordination per arrival order")
+	fmt.Fprintf(w, "%-15s%12s%12s\n", "order", "QuantumDB", "IS")
+	for i, s := range r.QDB {
+		fmt.Fprintf(w, "%-15s%11.1f%%%11.1f%%\n", s.Name, s.CoordinationPct, r.IS[i].CoordinationPct)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

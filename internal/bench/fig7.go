@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Fig7Config sizes the scalability experiment (§5.3 "Scalability"):
+// flights grow from MinFlights to MaxFlights in steps, each with
+// RowsPerFlight rows (paper: 50 rows = 150 seats); one transaction per
+// seat in Random order; k swept over Ks; IS as baseline. Table 2 is the
+// per-k average coordination over the same runs.
+type Fig7Config struct {
+	MinFlights, MaxFlights, FlightStep int
+	RowsPerFlight                      int
+	Ks                                 []int
+	Seed                               int64
+}
+
+// DefaultFig7 is the paper's configuration.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{MinFlights: 10, MaxFlights: 100, FlightStep: 10,
+		RowsPerFlight: 50, Ks: []int{20, 30, 40}, Seed: 1}
+}
+
+// Fig7Point is one (series, x) measurement.
+type Fig7Point struct {
+	Flights         int
+	Txns            int
+	Total           time.Duration
+	CoordinationPct float64
+}
+
+// Fig7Result holds one series per k plus the IS baseline.
+type Fig7Result struct {
+	Config Fig7Config
+	ByK    map[int][]Fig7Point
+	IS     []Fig7Point
+}
+
+// RunFig7 regenerates Figure 7 (total time vs number of transactions)
+// and the data behind Table 2.
+func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
+	res := &Fig7Result{Config: cfg, ByK: make(map[int][]Fig7Point)}
+	for flights := cfg.MinFlights; flights <= cfg.MaxFlights; flights += cfg.FlightStep {
+		wcfg := workload.Config{Flights: flights, RowsPerFlight: cfg.RowsPerFlight}
+		world := workload.NewWorld(wcfg)
+		pairsPerFlight := wcfg.Seats() / 2
+		pairs := workload.EntangledPairs(wcfg, pairsPerFlight)
+		stream := workload.Arrival(pairs, workload.Random, rng(cfg.Seed))
+		for _, k := range cfg.Ks {
+			r, err := RunQDBStream(world, pairs, stream, core.Options{K: k})
+			if err != nil {
+				return nil, fmt.Errorf("flights=%d k=%d: %w", flights, k, err)
+			}
+			res.ByK[k] = append(res.ByK[k], Fig7Point{
+				Flights: flights, Txns: len(stream),
+				Total: r.Total(), CoordinationPct: r.CoordinationPct,
+			})
+		}
+		ir, err := RunISStream(world, pairs, stream)
+		if err != nil {
+			return nil, fmt.Errorf("flights=%d IS: %w", flights, err)
+		}
+		res.IS = append(res.IS, Fig7Point{
+			Flights: flights, Txns: len(stream),
+			Total: ir.Total(), CoordinationPct: ir.CoordinationPct,
+		})
+	}
+	return res, nil
+}
+
+// RenderFig7 prints total time against transaction count per series.
+func (r *Fig7Result) RenderFig7(w io.Writer) {
+	fmt.Fprintf(w, "Figure 7: total execution time (s) vs number of transactions (rows/flight=%d)\n",
+		r.Config.RowsPerFlight)
+	fmt.Fprintf(w, "%-8s", "txns")
+	for _, k := range r.Config.Ks {
+		fmt.Fprintf(w, "%12s", fmt.Sprintf("k=%d", k))
+	}
+	fmt.Fprintf(w, "%12s\n", "IS")
+	for i, p := range r.IS {
+		fmt.Fprintf(w, "%-8d", p.Txns)
+		for _, k := range r.Config.Ks {
+			fmt.Fprintf(w, "%12.3f", r.ByK[k][i].Total.Seconds())
+		}
+		fmt.Fprintf(w, "%12.3f\n", p.Total.Seconds())
+	}
+}
+
+// Table2 returns the average coordination percentage per k and for IS.
+func (r *Fig7Result) Table2() (byK map[int]float64, is float64) {
+	byK = make(map[int]float64)
+	for _, k := range r.Config.Ks {
+		var sum float64
+		for _, p := range r.ByK[k] {
+			sum += p.CoordinationPct
+		}
+		byK[k] = sum / float64(len(r.ByK[k]))
+	}
+	var sum float64
+	for _, p := range r.IS {
+		sum += p.CoordinationPct
+	}
+	return byK, sum / float64(len(r.IS))
+}
+
+// RenderTable2 prints the average-coordination table in the shape of
+// Table 2.
+func (r *Fig7Result) RenderTable2(w io.Writer) {
+	byK, is := r.Table2()
+	fmt.Fprintln(w, "Table 2: average percentage of successful coordinations")
+	for _, k := range r.Config.Ks {
+		fmt.Fprintf(w, "%-24s%6.1f%%\n", fmt.Sprintf("Quantum DB k=%d", k), byK[k])
+	}
+	fmt.Fprintf(w, "%-24s%6.1f%%\n", "Intelligent Social", is)
+}

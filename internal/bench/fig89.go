@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Fig89Config sizes the mixed-workload experiment (§5.3 "Mixed
+// Workload"): Total resource transactions over Flights flights of
+// RowsPerFlight rows (the paper fills the fleet: one per seat), with
+// readPct% × Total extra read transactions interleaved; k sweeps Ks.
+// Paper values: 6000 resource transactions, 40 flights × 50 rows (150
+// seats), reads 0..90% in steps of 10, k ∈ {20, 30, 40}.
+type Fig89Config struct {
+	Flights       int
+	RowsPerFlight int
+	Total         int
+	ReadPcts      []int
+	Ks            []int
+	Seed          int64
+	// Mode selects the serializability discipline (default Semantic);
+	// the serializability ablation sweeps it.
+	Mode core.Mode
+}
+
+// DefaultFig89 is the paper's configuration.
+func DefaultFig89() Fig89Config {
+	return Fig89Config{
+		Flights: 40, RowsPerFlight: 50, Total: 6000,
+		ReadPcts: []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90},
+		Ks:       []int{20, 30, 40}, Seed: 1,
+	}
+}
+
+// Fig89Point is one (k, readPct) measurement.
+type Fig89Point struct {
+	ReadPct         int
+	UpdateTime      time.Duration // time in resource transactions
+	ReadTime        time.Duration // time in read queries
+	CoordinationPct float64
+}
+
+// Fig89Result holds one series per k.
+type Fig89Result struct {
+	Config Fig89Config
+	ByK    map[int][]Fig89Point
+}
+
+// RunFig89 regenerates Figures 8 and 9.
+func RunFig89(cfg Fig89Config) (*Fig89Result, error) {
+	res := &Fig89Result{Config: cfg, ByK: make(map[int][]Fig89Point)}
+	wcfg := workload.Config{Flights: cfg.Flights, RowsPerFlight: cfg.RowsPerFlight}
+	base := workload.NewWorld(wcfg)
+	for _, pct := range cfg.ReadPcts {
+		ops := workload.MixedStream(wcfg, cfg.Total, pct, rng(cfg.Seed))
+		var pairs []workload.Pair
+		pairs = pairsOf(wcfg, ops)
+		for _, k := range cfg.Ks {
+			p, err := runMixed(base, wcfg, ops, pairs, core.Options{K: k, Mode: cfg.Mode})
+			if err != nil {
+				return nil, fmt.Errorf("readPct=%d k=%d: %w", pct, k, err)
+			}
+			p.ReadPct = pct
+			res.ByK[k] = append(res.ByK[k], p)
+		}
+	}
+	return res, nil
+}
+
+// pairsOf reconstructs the pair list present in a mixed stream for the
+// coordination metric.
+func pairsOf(cfg workload.Config, ops []workload.Op) []workload.Pair {
+	byTag := make(map[string]workload.Op)
+	var pairs []workload.Pair
+	for _, op := range ops {
+		if op.Txn == nil {
+			continue
+		}
+		if partner, ok := byTag[op.Txn.PartnerTag]; ok && partner.Txn.PartnerTag == op.Txn.Tag {
+			pairs = append(pairs, workload.Pair{
+				Flight: flightOfTxn(op.Txn),
+				A:      partner.Txn, B: op.Txn,
+				AName: partner.Txn.Tag, BName: op.Txn.Tag,
+			})
+			delete(byTag, op.Txn.PartnerTag)
+			continue
+		}
+		byTag[op.Txn.Tag] = op
+	}
+	return pairs
+}
+
+func runMixed(base *workload.World, wcfg workload.Config, ops []workload.Op, pairs []workload.Pair, opt core.Options) (Fig89Point, error) {
+	world := base.Clone()
+	q, err := core.New(world.DB, opt)
+	if err != nil {
+		return Fig89Point{}, err
+	}
+	defer q.Close()
+	c := core.NewCoordinator(q)
+	var p Fig89Point
+	for _, op := range ops {
+		start := time.Now()
+		if op.Txn != nil {
+			if _, err := c.Submit(op.Txn); err != nil {
+				return Fig89Point{}, err
+			}
+			p.UpdateTime += time.Since(start)
+			continue
+		}
+		if _, err := q.Read(op.ReadQuery()); err != nil {
+			return Fig89Point{}, err
+		}
+		p.ReadTime += time.Since(start)
+	}
+	start := time.Now()
+	if err := q.GroundAll(); err != nil {
+		return Fig89Point{}, err
+	}
+	p.UpdateTime += time.Since(start)
+	p.CoordinationPct = workload.CoordinationPercent(world.DB, wcfg, pairs)
+	return p, nil
+}
+
+// RenderFig8 prints update and read time against read percentage.
+func (r *Fig89Result) RenderFig8(w io.Writer) {
+	fmt.Fprintf(w, "Figure 8: time (s) under mixed workload, %d resource txns + reads\n", r.Config.Total)
+	fmt.Fprintf(w, "%-8s", "reads%")
+	for _, k := range r.Config.Ks {
+		fmt.Fprintf(w, "%14s%14s", fmt.Sprintf("k=%d(Upd)", k), fmt.Sprintf("k=%d(Rd)", k))
+	}
+	fmt.Fprintln(w)
+	for i := range r.Config.ReadPcts {
+		fmt.Fprintf(w, "%-8d", r.Config.ReadPcts[i])
+		for _, k := range r.Config.Ks {
+			p := r.ByK[k][i]
+			fmt.Fprintf(w, "%14.3f%14.3f", p.UpdateTime.Seconds(), p.ReadTime.Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFig9 prints coordination percentage against read percentage.
+func (r *Fig89Result) RenderFig9(w io.Writer) {
+	fmt.Fprintln(w, "Figure 9: percentage of coordination vs percentage of reads")
+	fmt.Fprintf(w, "%-8s", "reads%")
+	for _, k := range r.Config.Ks {
+		fmt.Fprintf(w, "%10s", fmt.Sprintf("k=%d", k))
+	}
+	fmt.Fprintln(w)
+	for i := range r.Config.ReadPcts {
+		fmt.Fprintf(w, "%-8d", r.Config.ReadPcts[i])
+		for _, k := range r.Config.Ks {
+			fmt.Fprintf(w, "%9.1f%%", r.ByK[k][i].CoordinationPct)
+		}
+		fmt.Fprintln(w)
+	}
+}

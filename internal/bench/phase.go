@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// PhaseConfig sizes the constrainedness sweep suggested by §6: resource
+// allocation behaves like satisfiability, easy when comfortably under-
+// or over-constrained and hard near the critical variables-to-
+// constraints ratio. We sweep the load factor (requests per seat) on one
+// flight and measure solver effort, admission latency, and rejections.
+type PhaseConfig struct {
+	Rows int
+	// Loads are request-to-seat ratios in percent (e.g. 50 = half full,
+	// 100 = exactly full, 120 = 20% oversubscribed).
+	Loads []int
+	Seed  int64
+}
+
+// DefaultPhase sweeps a 50-row flight from 20% to 120% load. (Deeper
+// oversubscription works but each refused admission pays the full UNSAT
+// step budget, so the sweep time grows with the overload.)
+func DefaultPhase() PhaseConfig {
+	return PhaseConfig{
+		Rows:  50,
+		Loads: []int{20, 40, 60, 80, 90, 95, 100, 105, 110, 120},
+		Seed:  1,
+	}
+}
+
+// PhasePoint is one load-factor measurement.
+type PhasePoint struct {
+	LoadPct      int
+	Requests     int
+	Accepted     int
+	Rejected     int
+	SolverSteps  int64
+	StepsPerTxn  float64
+	TotalLatency time.Duration
+}
+
+// PhaseResult holds the sweep.
+type PhaseResult struct {
+	Config PhaseConfig
+	Points []PhasePoint
+}
+
+// RunPhase executes the sweep: entangled pair requests against a single
+// flight, load scaling the request count past capacity. Rejections are
+// expected above 100% — the quantum database refuses transactions that
+// would empty the set of possible worlds.
+func RunPhase(cfg PhaseConfig) (*PhaseResult, error) {
+	res := &PhaseResult{Config: cfg}
+	for _, load := range cfg.Loads {
+		wcfg := workload.Config{Flights: 1, RowsPerFlight: cfg.Rows}
+		world := workload.NewWorld(wcfg)
+		requests := wcfg.Seats() * load / 100
+		pairs := workload.EntangledPairs(wcfg, (requests+1)/2)
+		stream := workload.Arrival(pairs, workload.Random, rng(cfg.Seed))
+		if len(stream) > requests {
+			stream = stream[:requests]
+		}
+		// Unbounded k (no forced grounding) and a step budget: proving
+		// UNSAT near the critical point is exponential, which is the
+		// §6 point — past the budget the engine rejects conservatively,
+		// "favoring faster response times over better assignments".
+		q, err := core.New(world.DB, core.Options{K: -1, MaxSolverSteps: 50000})
+		if err != nil {
+			return nil, err
+		}
+		c := core.NewCoordinator(q)
+		p := PhasePoint{LoadPct: load, Requests: len(stream)}
+		start := time.Now()
+		for _, t := range stream {
+			if _, err := c.Submit(t); err != nil {
+				p.Rejected++ // over-constrained: expected, not an error
+				continue
+			}
+			p.Accepted++
+		}
+		if err := q.GroundAll(); err != nil {
+			q.Close()
+			return nil, err
+		}
+		p.TotalLatency = time.Since(start)
+		p.SolverSteps = q.Stats().SolverSteps
+		if p.Requests > 0 {
+			p.StepsPerTxn = float64(p.SolverSteps) / float64(p.Requests)
+		}
+		q.Close()
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// Render prints the sweep as a table.
+func (r *PhaseResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Phase transition (§6): solver effort vs load factor, %d-seat flight\n",
+		r.Config.Rows*3)
+	fmt.Fprintf(w, "%-8s%10s%10s%10s%14s%14s\n",
+		"load%", "requests", "accepted", "rejected", "steps/txn", "total(ms)")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-8d%10d%10d%10d%14.1f%14.2f\n",
+			p.LoadPct, p.Requests, p.Accepted, p.Rejected, p.StepsPerTxn,
+			float64(p.TotalLatency.Microseconds())/1000)
+	}
+}

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPhaseSmallScale(t *testing.T) {
+	res, err := RunPhase(PhaseConfig{Rows: 4, Loads: []int{50, 100, 125}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	under, full, over := res.Points[0], res.Points[1], res.Points[2]
+	if under.Rejected != 0 || full.Rejected != 0 {
+		t.Errorf("rejections at or below capacity: %+v %+v", under, full)
+	}
+	if over.Rejected == 0 {
+		t.Errorf("no rejections over capacity: %+v", over)
+	}
+	if over.Accepted != full.Requests {
+		t.Errorf("oversubscribed run accepted %d, want capacity %d", over.Accepted, full.Requests)
+	}
+	// Proving UNSAT must cost more effort per transaction than easy
+	// under-constrained admissions.
+	if over.StepsPerTxn <= under.StepsPerTxn {
+		t.Errorf("no effort spike: under=%.1f over=%.1f", under.StepsPerTxn, over.StepsPerTxn)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Phase transition") {
+		t.Error("render missing header")
+	}
+}

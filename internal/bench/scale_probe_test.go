@@ -1,0 +1,18 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+func TestPaperScaleFig7Mid(t *testing.T) {
+	if os.Getenv("SCALE") == "" {
+		t.Skip()
+	}
+	res, err := RunFig7(Fig7Config{MinFlights: 10, MaxFlights: 40, FlightStep: 10, RowsPerFlight: 50, Ks: []int{20, 40}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.RenderFig7(os.Stdout)
+	res.RenderTable2(os.Stdout)
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Table1Config sizes the pending-transactions experiment: Table 1 states
+// analytic bounds on the maximum number of pending transactions per
+// arrival order; this experiment measures the actual high-water mark
+// (with an unbounded k so nothing is force-grounded).
+type Table1Config struct {
+	Rows int
+	Seed int64
+}
+
+// DefaultTable1 matches the Figure 5/6 setting (34 rows, 102 txns).
+func DefaultTable1() Table1Config { return Table1Config{Rows: 34, Seed: 1} }
+
+// Table1Row is one arrival order's bound and measurement.
+type Table1Row struct {
+	Order      string
+	Bound      int // Table 1's analytic max
+	MaxPending int // measured high-water mark
+}
+
+// Table1Result holds all four rows.
+type Table1Result struct {
+	Config Table1Config
+	Rows   []Table1Row
+}
+
+// RunTable1 measures pending-transaction high-water marks per arrival
+// order.
+func RunTable1(cfg Table1Config) (*Table1Result, error) {
+	world := workload.NewWorld(workload.Config{Flights: 1, RowsPerFlight: cfg.Rows})
+	nPairs := world.Config.Seats() / 2
+	res := &Table1Result{Config: cfg}
+	for _, kind := range workload.Orders {
+		pairs := workload.EntangledPairs(world.Config, nPairs)
+		stream := workload.Arrival(pairs, kind, rng(cfg.Seed))
+		r, err := RunQDBStream(world, pairs, stream, core.Options{K: -1}) // unbounded
+		if err != nil {
+			return nil, fmt.Errorf("order %v: %w", kind, err)
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			Order:      kind.String(),
+			Bound:      workload.MaxPendingBound(kind, len(stream)),
+			MaxPending: r.MaxPendingObserved,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the bound-vs-measured table in the shape of Table 1.
+func (r *Table1Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 1: maximum number of pending transactions (N=%d)\n", r.Config.Rows*3/2*2)
+	fmt.Fprintf(w, "%-15s%12s%12s\n", "order", "bound", "measured")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-15s%12d%12d\n", row.Order, row.Bound, row.MaxPending)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/relstore"
+	"repro/internal/txn"
+)
+
+// Checkpoint bounds recovery time: it writes the current extensional
+// store plus the pending-transactions table to path (atomically, via a
+// temp file rename) and truncates the WAL. A subsequent RecoverCheckpoint
+// loads the checkpoint and replays only the post-checkpoint log suffix.
+//
+// Checkpoint layout: relstore snapshot, then uvarint nextID, then a
+// uvarint count of pending transactions followed by their
+// length-prefixed serializations.
+func (q *QDB) Checkpoint(path string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.log == nil {
+		return fmt.Errorf("core: Checkpoint requires a WAL-backed database")
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp)
+	w := bufio.NewWriter(f)
+	if err := q.db.EncodeSnapshot(w); err != nil {
+		f.Close()
+		return fmt.Errorf("core: checkpoint snapshot: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(q.nextID))
+	if _, err := w.Write(buf[:n]); err != nil {
+		f.Close()
+		return err
+	}
+	ids := q.pendingIDsLocked()
+	n = binary.PutUvarint(buf[:], uint64(len(ids)))
+	if _, err := w.Write(buf[:n]); err != nil {
+		f.Close()
+		return err
+	}
+	for _, id := range ids {
+		p := q.byTxn[id]
+		var target *txn.T
+		for _, t := range p.txns {
+			if t.ID == id {
+				target = t
+				break
+			}
+		}
+		data, err := target.Marshal()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		n = binary.PutUvarint(buf[:], uint64(len(data)))
+		if _, err := w.Write(buf[:n]); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("core: checkpoint rename: %w", err)
+	}
+	// The checkpoint now covers everything in the log.
+	return q.log.Truncate()
+}
+
+func (q *QDB) pendingIDsLocked() []int64 {
+	ids := make([]int64, 0, len(q.byTxn))
+	for id := range q.byTxn {
+		ids = append(ids, id)
+	}
+	sortInt64s(ids)
+	return ids
+}
+
+func sortInt64s(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// RecoverCheckpoint rebuilds a quantum database from a checkpoint file
+// plus the WAL suffix written after it. The schema and base rows come
+// from the checkpoint, so no initial database is needed.
+func RecoverCheckpoint(checkpointPath string, opt Options) (*QDB, error) {
+	if opt.WALPath == "" {
+		return nil, fmt.Errorf("core: RecoverCheckpoint requires Options.WALPath")
+	}
+	f, err := os.Open(checkpointPath)
+	if err != nil {
+		return nil, fmt.Errorf("core: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	store, err := relstore.DecodeSnapshot(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint snapshot: %w", err)
+	}
+	nextID, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint nextID: %w", err)
+	}
+	nPending, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint pending count: %w", err)
+	}
+	var pending []*txn.T
+	for i := uint64(0); i < nPending; i++ {
+		ln, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		data := make([]byte, ln)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, err
+		}
+		t, err := txn.Unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		pending = append(pending, t)
+	}
+
+	// Recover replays the post-checkpoint WAL suffix over the snapshot
+	// store and re-admits the suffix's still-pending transactions; the
+	// checkpoint's own pending set is re-admitted first.
+	q, err := recoverOnto(store, pending, opt)
+	if err != nil {
+		return nil, err
+	}
+	if int64(nextID) > q.nextID {
+		q.nextID = int64(nextID)
+	}
+	return q, nil
+}

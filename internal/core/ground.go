@@ -1,0 +1,581 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/formula"
+	"repro/internal/logic"
+	"repro/internal/relstore"
+	"repro/internal/txn"
+)
+
+// ErrInvariantBroken reports that a grounding the invariant promised could
+// not be found; it indicates the store was mutated behind the QDB's back.
+var ErrInvariantBroken = errors.New("core: quantum invariant broken: pending transaction has no grounding")
+
+// ErrWriteRejected is returned by Write when a blind write would leave
+// some pending transaction without any consistent grounding (§3.2.2).
+var ErrWriteRejected = errors.New("core: write rejected: it would empty the set of possible worlds")
+
+// Ground forces value assignment for the pending transaction id,
+// executing its update portion against the store. Under semantic
+// serializability only that transaction is grounded when possible; under
+// strict serializability (or as a fallback) every earlier transaction in
+// its partition is grounded first (§3.2.3).
+func (q *QDB) Ground(id int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	p, idx, ok := q.locate(id)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTxn, id)
+	}
+	return q.groundLocked(p, idx)
+}
+
+// GroundAll collapses every pending transaction in arrival order; the
+// database is fully extensional afterwards.
+func (q *QDB) GroundAll() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.byTxn) > 0 {
+		var oldest int64 = -1
+		for id := range q.byTxn {
+			if oldest < 0 || id < oldest {
+				oldest = id
+			}
+		}
+		p, idx, ok := q.locate(oldest)
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownTxn, oldest)
+		}
+		if err := q.groundLocked(p, idx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// locate finds the partition and position of a pending transaction.
+func (q *QDB) locate(id int64) (*partition, int, bool) {
+	p, ok := q.byTxn[id]
+	if !ok {
+		return nil, 0, false
+	}
+	for i, t := range p.txns {
+		if t.ID == id {
+			return p, i, true
+		}
+	}
+	return nil, 0, false
+}
+
+// groundLocked collapses p.txns[idx]. Semantic mode moves the target to
+// the front of the pending order when the reordered chain stays
+// satisfiable; otherwise (and always under Strict) the prefix up to and
+// including the target is grounded in arrival order.
+func (q *QDB) groundLocked(p *partition, idx int) error {
+	if q.opt.Mode == Semantic && idx > 0 {
+		ok, err := q.trySolveAndApply(p, moveToFront(idx, len(p.txns)), semanticSolver(p, idx), 1)
+		if err != nil {
+			return err
+		}
+		if ok {
+			q.stats.SemanticReorders++
+			return nil
+		}
+		q.stats.SemanticFallbacks++
+	}
+	// Strict path: ground arrival-order prefix 0..idx.
+	order := identityOrder(len(p.txns))
+	solver := make([]*txn.T, len(p.txns))
+	for i, t := range p.txns {
+		if i <= idx {
+			solver[i] = t // optionals maximized at grounding time
+		} else {
+			solver[i] = strip(t)
+		}
+	}
+	ok, err := q.trySolveAndApply(p, order, solver, idx+1)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrInvariantBroken
+	}
+	return nil
+}
+
+// semanticSolver builds the solver view for a move-to-front grounding of
+// p.txns[idx]: the target keeps its optional atoms (maximized), the rest
+// are stripped.
+func semanticSolver(p *partition, idx int) []*txn.T {
+	out := make([]*txn.T, 0, len(p.txns))
+	out = append(out, p.txns[idx])
+	for i, t := range p.txns {
+		if i != idx {
+			out = append(out, strip(t))
+		}
+	}
+	return out
+}
+
+// moveToFront returns the permutation [idx, 0, 1, …] over n positions.
+func moveToFront(idx, n int) []int {
+	order := make([]int, 0, n)
+	order = append(order, idx)
+	for i := 0; i < n; i++ {
+		if i != idx {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// trySolveAndApply solves the partition's chain in the given order (a
+// permutation of partition positions) using the solver views, and on
+// success executes the first groundCount groundings against the store,
+// removing those transactions and caching the rest. Returns ok=false when
+// the chain is unsatisfiable in this order.
+func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groundCount int) (bool, error) {
+	maximize := false
+	for _, t := range solver[:groundCount] {
+		if len(t.OptionalAtoms()) > 0 {
+			maximize = true
+			break
+		}
+	}
+	sample := q.opt.sample()
+	var (
+		sols []*formula.ChainSolution
+		err  error
+	)
+	if sample > 1 {
+		// Candidates must differ in the grounding of the collapse target
+		// (the chain head) for the chooser to have a real choice.
+		sols, err = formula.SolveChainVaryingFirst(q.db, solver, q.chainOpts(maximize), sample)
+	} else {
+		sols, err = formula.SolveChainN(q.db, solver, q.chainOpts(maximize), 1)
+	}
+	if err != nil {
+		return false, err
+	}
+	if len(sols) == 0 {
+		return false, nil
+	}
+	pick := 0
+	if len(sols) > 1 {
+		cands := make([]formula.Grounding, len(sols))
+		for i, s := range sols {
+			cands[i] = s.Groundings[0]
+		}
+		pick = q.opt.chooser()(cands, q.db)
+		if pick < 0 || pick >= len(sols) {
+			pick = 0
+		}
+	}
+	sol := sols[pick]
+
+	// Execute the chosen prefix against the store.
+	for i := 0; i < groundCount; i++ {
+		g := sol.Groundings[i]
+		if err := q.db.Apply(g.Inserts, g.Deletes); err != nil {
+			return false, fmt.Errorf("core: executing grounding of txn %d: %w", g.Txn.ID, err)
+		}
+		if err := q.logFacts(g.Inserts, g.Deletes); err != nil {
+			return false, err
+		}
+		if err := q.logGrounded(g.Txn.ID); err != nil {
+			return false, err
+		}
+		q.stats.Grounded++
+	}
+
+	// Rebuild the partition: keep positions not in order[:groundCount].
+	grounded := make(map[int]bool, groundCount)
+	for _, pos := range order[:groundCount] {
+		grounded[pos] = true
+	}
+	var rest []*txn.T
+	for i, t := range p.txns {
+		if grounded[i] {
+			delete(q.byTxn, t.ID)
+			q.idx.remove(t, p.id)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	p.txns = rest
+	if q.opt.DisableCache {
+		p.cached = nil
+	} else {
+		// Remaining groundings were solved over the store state that now
+		// includes the executed prefix, but they are ordered by the solve
+		// order; realign to ascending-ID partition order. For the orders
+		// used here (identity or move-to-front) the tail is already in
+		// partition order.
+		p.cached = append([]formula.Grounding(nil), sol.Groundings[groundCount:]...)
+	}
+	if len(p.txns) == 0 {
+		delete(q.parts, p.id)
+	}
+	return true, nil
+}
+
+// GroundCoordinated collapses the pending transaction id only if a
+// grounding satisfying ALL its optional atoms exists (they are tried as
+// hard constraints); otherwise it is a no-op. Used on entangled-partner
+// arrival when the partner was already executed — deferral can no longer
+// improve coordination, it can only lose the adjacent resource.
+func (q *QDB) GroundCoordinated(id int64) (bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	p, idx, ok := q.locate(id)
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrUnknownTxn, id)
+	}
+	target := harden(p.txns[idx])
+	if q.opt.Mode == Semantic {
+		solver := make([]*txn.T, 0, len(p.txns))
+		solver = append(solver, target)
+		for i, t := range p.txns {
+			if i != idx {
+				solver = append(solver, strip(t))
+			}
+		}
+		done, err := q.trySolveAndApply(p, moveToFront(idx, len(p.txns)), solver, 1)
+		if err != nil {
+			return false, err
+		}
+		if done {
+			q.stats.SemanticReorders++
+		}
+		return done, nil
+	}
+	// Strict: the whole arrival-order prefix must ground.
+	solver := make([]*txn.T, len(p.txns))
+	for i, t := range p.txns {
+		switch {
+		case i == idx:
+			solver[i] = target
+		case i < idx:
+			solver[i] = t
+		default:
+			solver[i] = strip(t)
+		}
+	}
+	return q.trySolveAndApply(p, identityOrder(len(p.txns)), solver, idx+1)
+}
+
+// Read evaluates a conjunctive query against the quantum database,
+// collapsing first: any pending transaction whose update portion unifies
+// with a query atom is grounded (the conservative criterion of §3.2.2),
+// then the query runs on the now-extensional relevant state. Reads are
+// repeatable: the returned values are fixed in the store.
+func (q *QDB) Read(query []logic.Atom) ([]logic.Subst, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.stats.Reads++
+	for {
+		p, idx, ok := q.firstAffected(query)
+		if !ok {
+			break
+		}
+		q.stats.ForcedByRead++
+		if err := q.groundLocked(p, idx); err != nil {
+			return nil, err
+		}
+	}
+	rq := relstore.Query{Atoms: query, Planner: q.opt.Planner}
+	return rq.FindAll(q.db, nil, 0)
+}
+
+// ReadOne is Read returning just the first solution (ok=false when none).
+func (q *QDB) ReadOne(query []logic.Atom) (logic.Subst, bool, error) {
+	sols, err := q.Read(query)
+	if err != nil || len(sols) == 0 {
+		return nil, false, err
+	}
+	return sols[0], true, nil
+}
+
+// PreviewRead reports the IDs of pending transactions the given read
+// query would force to ground, WITHOUT collapsing anything. §3.2.2
+// suggests exactly this feedback loop: "the programmer is provided more
+// explicit feedback before issuing a read on the potential
+// 'consequences' of that read on the possible worlds". Note the preview
+// is conservative and momentary — by the time the read is issued, more
+// transactions may have arrived.
+func (q *QDB) PreviewRead(query []logic.Atom) []int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var ids []int64
+	for pid := range q.idx.candidates(query) {
+		p := q.parts[pid]
+		if p == nil {
+			continue
+		}
+		for _, t := range p.txns {
+			hit := false
+			for _, u := range t.Update {
+				for _, a := range query {
+					if logic.Unifiable(a, u.Atom) {
+						hit = true
+						break
+					}
+				}
+				if hit {
+					break
+				}
+			}
+			if hit {
+				ids = append(ids, t.ID)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// firstAffected finds the lowest-ID pending transaction one of whose
+// update atoms unifies with a query atom. The partition index narrows
+// the scan.
+func (q *QDB) firstAffected(query []logic.Atom) (*partition, int, bool) {
+	var (
+		bestP   *partition
+		bestIdx int
+		bestID  int64 = -1
+	)
+	for pid := range q.idx.candidates(query) {
+		p := q.parts[pid]
+		if p == nil {
+			continue
+		}
+		for i, t := range p.txns {
+			if bestID >= 0 && t.ID >= bestID {
+				continue
+			}
+			for _, u := range t.Update {
+				hit := false
+				for _, a := range query {
+					if logic.Unifiable(a, u.Atom) {
+						hit = true
+						break
+					}
+				}
+				if hit {
+					bestP, bestIdx, bestID = p, i, t.ID
+					break
+				}
+			}
+		}
+	}
+	return bestP, bestIdx, bestID >= 0
+}
+
+// Write applies a non-resource blind write (a batch of ground inserts and
+// deletes). Writes that unify with pending bodies must keep every
+// affected partition satisfiable over the modified store, or they are
+// rejected (§3.2.2 "Writes").
+func (q *QDB) Write(inserts, deletes []relstore.GroundFact) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+
+	factAtoms := make([]logic.Atom, 0, len(inserts)+len(deletes))
+	for _, f := range inserts {
+		factAtoms = append(factAtoms, factAtom(f))
+	}
+	for _, f := range deletes {
+		factAtoms = append(factAtoms, factAtom(f))
+	}
+
+	ov := relstore.NewOverlay(q.db)
+	if err := ov.ApplyFacts(inserts, deletes); err != nil {
+		return fmt.Errorf("core: invalid write: %w", err)
+	}
+
+	type refresh struct {
+		p  *partition
+		gs []formula.Grounding
+	}
+	var refreshes []refresh
+	for pid := range q.idx.candidates(factAtoms) {
+		p := q.parts[pid]
+		if p == nil || !q.partitionTouches(p, factAtoms) {
+			continue
+		}
+		sol, ok, err := formula.SolveChain(ov, stripAll(p.txns), q.chainOpts(false))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			q.stats.WritesRejected++
+			return ErrWriteRejected
+		}
+		refreshes = append(refreshes, refresh{p: p, gs: sol.Groundings})
+	}
+
+	if err := q.db.Apply(inserts, deletes); err != nil {
+		return fmt.Errorf("core: applying write: %w", err)
+	}
+	if err := q.logFacts(inserts, deletes); err != nil {
+		return err
+	}
+	if !q.opt.DisableCache {
+		for _, r := range refreshes {
+			r.p.cached = r.gs
+		}
+	}
+	q.stats.WritesAccepted++
+	return nil
+}
+
+// partitionTouches reports whether any fact atom unifies with any atom of
+// the partition's transactions.
+func (q *QDB) partitionTouches(p *partition, facts []logic.Atom) bool {
+	for _, t := range p.txns {
+		for _, a := range atomsOf(t) {
+			for _, f := range facts {
+				if logic.Unifiable(a, f) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func factAtom(f relstore.GroundFact) logic.Atom {
+	args := make([]logic.Term, len(f.Tuple))
+	for i, v := range f.Tuple {
+		args[i] = logic.Const(v)
+	}
+	return logic.NewAtom(f.Rel, args...)
+}
+
+// GroundPair collapses two pending entangled transactions together
+// (§5.1): the later partner's optional atoms — its forward coordination
+// constraints, which can unify with the earlier partner's pending inserts —
+// are first tried as hard constraints, so the solver backtracks over the
+// earlier partner's grounding until coordination succeeds; only if no
+// coordinated grounding exists does the pair collapse uncoordinated.
+func (q *QDB) GroundPair(id1, id2 int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	pa, ia, ok := q.locate(id1)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTxn, id1)
+	}
+	pb, ib, ok := q.locate(id2)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTxn, id2)
+	}
+	if pa != pb {
+		// Independent transactions cannot coordinate; collapse each.
+		if err := q.groundLocked(pa, ia); err != nil {
+			return err
+		}
+		pb, ib, ok = q.locate(id2)
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownTxn, id2)
+		}
+		return q.groundLocked(pb, ib)
+	}
+	p := pa
+	if p.txns[ia].ID > p.txns[ib].ID {
+		ia, ib = ib, ia
+	}
+	first, second := p.txns[ia], p.txns[ib]
+
+	var (
+		done bool
+		err  error
+	)
+	if q.opt.Mode == Semantic {
+		order := pairFirstOrder(ia, ib, len(p.txns))
+		// Coordinated attempt: harden the later partner's optionals.
+		solver := pairSolver(p, ia, ib, strip(first), harden(second))
+		done, err = q.trySolveAndApply(p, order, solver, 2)
+		if err != nil {
+			return err
+		}
+		if !done {
+			// Uncoordinated: maximize both partners' optionals instead.
+			solver = pairSolver(p, ia, ib, first, second)
+			done, err = q.trySolveAndApply(p, order, solver, 2)
+			if err != nil {
+				return err
+			}
+		}
+		if done {
+			q.stats.SemanticReorders++
+			return nil
+		}
+		q.stats.SemanticFallbacks++
+	}
+	// Strict fallback: ground the arrival-order prefix through the later
+	// partner, with the coordinated attempt first.
+	order := identityOrder(len(p.txns))
+	build := func(secondView *txn.T) []*txn.T {
+		solver := make([]*txn.T, len(p.txns))
+		for i, t := range p.txns {
+			switch {
+			case i == ib:
+				solver[i] = secondView
+			case i <= ib:
+				solver[i] = t
+			default:
+				solver[i] = strip(t)
+			}
+		}
+		return solver
+	}
+	done, err = q.trySolveAndApply(p, order, build(harden(second)), ib+1)
+	if err != nil {
+		return err
+	}
+	if !done {
+		done, err = q.trySolveAndApply(p, order, build(second), ib+1)
+		if err != nil {
+			return err
+		}
+	}
+	if !done {
+		return ErrInvariantBroken
+	}
+	return nil
+}
+
+// pairFirstOrder permutes partition positions so ia then ib come first.
+func pairFirstOrder(ia, ib, n int) []int {
+	order := make([]int, 0, n)
+	order = append(order, ia, ib)
+	for i := 0; i < n; i++ {
+		if i != ia && i != ib {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// pairSolver builds the solver view matching pairFirstOrder: the two
+// partner views first, all other transactions stripped.
+func pairSolver(p *partition, ia, ib int, firstView, secondView *txn.T) []*txn.T {
+	out := make([]*txn.T, 0, len(p.txns))
+	out = append(out, firstView, secondView)
+	for i, t := range p.txns {
+		if i != ia && i != ib {
+			out = append(out, strip(t))
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/txn"
+)
+
+// GroundGroup collapses a set of pending transactions together,
+// generalizing GroundPair to N-party coordination (the enmeshed-queries
+// direction the paper cites). Members are ordered by arrival; each later
+// member's optional atoms can unify with earlier members' pending
+// inserts, so hardening every member after the first makes the solver
+// backtrack over earlier choices until the whole group coordinates. If
+// no fully-coordinated grounding exists the group collapses with
+// optionals merely maximized.
+//
+// Members in other partitions (which cannot interact) are grounded
+// individually.
+func (q *QDB) GroundGroup(ids []int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	// Bucket members by partition.
+	byPart := make(map[*partition][]int64)
+	for _, id := range ids {
+		p, _, ok := q.locate(id)
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownTxn, id)
+		}
+		byPart[p] = append(byPart[p], id)
+	}
+	for p, members := range byPart {
+		if err := q.groundGroupLocked(p, members); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (q *QDB) groundGroupLocked(p *partition, ids []int64) error {
+	// Resolve current positions, ascending by ID (arrival order).
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	pos := make([]int, len(ids))
+	for i, id := range ids {
+		found := false
+		for j, t := range p.txns {
+			if t.ID == id {
+				pos[i] = j
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: %d", ErrUnknownTxn, id)
+		}
+	}
+	if len(ids) == 1 {
+		return q.groundLocked(p, pos[0])
+	}
+	member := make(map[int]bool, len(pos))
+	for _, j := range pos {
+		member[j] = true
+	}
+
+	if q.opt.Mode == Semantic {
+		order := groupFirstOrder(pos, len(p.txns))
+		// Coordinated attempt: harden every member after the first.
+		build := func(coordinated bool) []*txn.T {
+			solver := make([]*txn.T, 0, len(p.txns))
+			for i, j := range pos {
+				t := p.txns[j]
+				switch {
+				case !coordinated:
+					solver = append(solver, t) // maximize optionals
+				case i == 0:
+					solver = append(solver, strip(t))
+				default:
+					solver = append(solver, harden(t))
+				}
+			}
+			for j, t := range p.txns {
+				if !member[j] {
+					solver = append(solver, strip(t))
+				}
+			}
+			return solver
+		}
+		done, err := q.trySolveAndApply(p, order, build(true), len(pos))
+		if err != nil {
+			return err
+		}
+		if !done {
+			done, err = q.trySolveAndApply(p, order, build(false), len(pos))
+			if err != nil {
+				return err
+			}
+		}
+		if done {
+			q.stats.SemanticReorders++
+			return nil
+		}
+		q.stats.SemanticFallbacks++
+	}
+	// Strict fallback: ground the whole prefix through the last member.
+	last := pos[len(pos)-1]
+	build := func(coordinated bool) []*txn.T {
+		solver := make([]*txn.T, len(p.txns))
+		for j, t := range p.txns {
+			switch {
+			case member[j] && coordinated && j != pos[0]:
+				solver[j] = harden(t)
+			case j <= last:
+				solver[j] = t
+			default:
+				solver[j] = strip(t)
+			}
+		}
+		return solver
+	}
+	done, err := q.trySolveAndApply(p, identityOrder(len(p.txns)), build(true), last+1)
+	if err != nil {
+		return err
+	}
+	if !done {
+		done, err = q.trySolveAndApply(p, identityOrder(len(p.txns)), build(false), last+1)
+		if err != nil {
+			return err
+		}
+	}
+	if !done {
+		return ErrInvariantBroken
+	}
+	return nil
+}
+
+// groupFirstOrder permutes partition positions so the members come
+// first, in their given order.
+func groupFirstOrder(pos []int, n int) []int {
+	member := make(map[int]bool, len(pos))
+	order := make([]int, 0, n)
+	order = append(order, pos...)
+	for _, j := range pos {
+		member[j] = true
+	}
+	for i := 0; i < n; i++ {
+		if !member[i] {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// GroupCoordinator executes N-party coordination groups: transactions
+// submitted under a named group collapse together once the declared
+// group size is reached. Pairs are the PartnerTag special case handled
+// by Coordinator; groups generalize to parties ("our team of four wants
+// a row of adjacent slots").
+type GroupCoordinator struct {
+	qdb    *QDB
+	size   map[string]int
+	member map[string][]int64
+	closed int
+}
+
+// NewGroupCoordinator wraps q.
+func NewGroupCoordinator(q *QDB) *GroupCoordinator {
+	return &GroupCoordinator{
+		qdb:    q,
+		size:   make(map[string]int),
+		member: make(map[string][]int64),
+	}
+}
+
+// ClosedGroups reports how many groups have collapsed together.
+func (g *GroupCoordinator) ClosedGroups() int { return g.closed }
+
+// Submit admits tx as a member of the named group of the given size.
+// When the group completes, all its still-pending members ground
+// together, coordinating if possible. Size must be consistent across a
+// group's submissions.
+func (g *GroupCoordinator) Submit(tx *txn.T, group string, size int) (int64, error) {
+	if size < 1 {
+		return 0, fmt.Errorf("core: group %q size %d", group, size)
+	}
+	if have, ok := g.size[group]; ok && have != size {
+		return 0, fmt.Errorf("core: group %q declared with size %d and %d", group, have, size)
+	}
+	id, err := g.qdb.Submit(tx)
+	if err != nil {
+		return 0, err
+	}
+	g.size[group] = size
+	g.member[group] = append(g.member[group], id)
+	if len(g.member[group]) < size {
+		return id, nil
+	}
+	// Group complete: collapse the members that are still pending.
+	var live []int64
+	g.qdb.mu.Lock()
+	for _, m := range g.member[group] {
+		if _, ok := g.qdb.byTxn[m]; ok {
+			live = append(live, m)
+		}
+	}
+	g.qdb.mu.Unlock()
+	delete(g.member, group)
+	delete(g.size, group)
+	if len(live) == 0 {
+		return id, nil
+	}
+	if err := g.qdb.GroundGroup(live); err != nil {
+		return id, fmt.Errorf("core: grounding group %q: %w", group, err)
+	}
+	g.closed++
+	return id, nil
+}

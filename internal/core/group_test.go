@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/relstore"
+	"repro/internal/txn"
+)
+
+// bookRow books any seat, optionally adjacent to the previous group
+// member (chained adjacency gives the group a contiguous block).
+func bookChained(user, prev string, f int) *txn.T {
+	if prev == "" {
+		return book(user, f)
+	}
+	t := txn.MustParse(fmt.Sprintf(
+		"-Available(%d, s), +Bookings('%s', %d, s) :-1 Available(%d, s), ?Bookings('%s', %d, m), ?Adjacent(%d, s, m)",
+		f, user, f, f, prev, f, f))
+	t.Tag = user
+	return t
+}
+
+func TestGroundGroupCoordinatesTriple(t *testing.T) {
+	db := worldDB([]int{1}, 9) // rows 1..3
+	// Occupy 1B and 2B so rows 1 and 2 cannot hold a full chained triple;
+	// only row 3 remains fully free.
+	for _, s := range []string{"1B", "2B"} {
+		if err := db.Apply(
+			[]relstore.GroundFact{{Rel: "Bookings", Tuple: tup("X"+s, 1, s)}},
+			[]relstore.GroundFact{{Rel: "Available", Tuple: tup(1, s)}},
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := mustQDB(t, db, Options{})
+	ids := make([]int64, 3)
+	names := []string{"Huey", "Dewey", "Louie"}
+	for i, n := range names {
+		prev := ""
+		if i > 0 {
+			prev = names[i-1]
+		}
+		id, err := q.Submit(bookChained(n, prev, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	if err := q.GroundGroup(ids); err != nil {
+		t.Fatal(err)
+	}
+	// The chained adjacency forces the full row: Huey-Dewey adjacent and
+	// Dewey-Louie adjacent, i.e. row 3.
+	assertAdjacent(t, db, "Huey", "Dewey")
+	assertAdjacent(t, db, "Dewey", "Louie")
+}
+
+func TestGroundGroupFallsBackWhenImpossible(t *testing.T) {
+	db := worldDB([]int{1}, 6)
+	// Occupy both middle seats: no two free seats are adjacent.
+	for _, s := range []string{"1B", "2B"} {
+		if err := db.Apply(
+			[]relstore.GroundFact{{Rel: "Bookings", Tuple: tup("X"+s, 1, s)}},
+			[]relstore.GroundFact{{Rel: "Available", Tuple: tup(1, s)}},
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := mustQDB(t, db, Options{})
+	var ids []int64
+	for i, n := range []string{"A", "B", "C"} {
+		prev := ""
+		if i > 0 {
+			prev = string(rune('A' + i - 1))
+		}
+		id, err := q.Submit(bookChained(n, prev, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := q.GroundGroup(ids); err != nil {
+		t.Fatal(err)
+	}
+	if q.PendingCount() != 0 {
+		t.Fatal("group not fully grounded")
+	}
+	if n := db.Len("Bookings"); n != 5 {
+		t.Fatalf("bookings = %d, want 5", n)
+	}
+}
+
+func TestGroundGroupUnknownMember(t *testing.T) {
+	q := mustQDB(t, worldDB([]int{1}, 3), Options{})
+	if err := q.GroundGroup([]int64{42}); err == nil {
+		t.Fatal("unknown member accepted")
+	}
+}
+
+func TestGroundGroupAcrossPartitions(t *testing.T) {
+	db := worldDB([]int{1, 2}, 3)
+	q := mustQDB(t, db, Options{})
+	id1, err := q.Submit(book("A", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := q.Submit(book("B", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.GroundGroup([]int64{id1, id2}); err != nil {
+		t.Fatal(err)
+	}
+	if q.PendingCount() != 0 {
+		t.Fatal("cross-partition group not grounded")
+	}
+}
+
+func TestGroupCoordinatorEndToEnd(t *testing.T) {
+	db := worldDB([]int{1}, 9)
+	q := mustQDB(t, db, Options{})
+	g := NewGroupCoordinator(q)
+	names := []string{"Huey", "Dewey", "Louie"}
+	for i, n := range names {
+		prev := ""
+		if i > 0 {
+			prev = names[i-1]
+		}
+		if _, err := g.Submit(bookChained(n, prev, 1), "nephews", 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.ClosedGroups() != 1 {
+		t.Fatalf("closed groups = %d", g.ClosedGroups())
+	}
+	if q.PendingCount() != 0 {
+		t.Fatal("group members still pending")
+	}
+	assertAdjacent(t, db, "Huey", "Dewey")
+	assertAdjacent(t, db, "Dewey", "Louie")
+}
+
+func TestGroupCoordinatorValidation(t *testing.T) {
+	q := mustQDB(t, worldDB([]int{1}, 6), Options{})
+	g := NewGroupCoordinator(q)
+	if _, err := g.Submit(book("A", 1), "g", 0); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := g.Submit(book("A", 1), "g", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Submit(book("B", 1), "g", 3); err == nil {
+		t.Error("inconsistent group size accepted")
+	}
+}
+
+func TestPreviewRead(t *testing.T) {
+	db := worldDB([]int{1, 2}, 6)
+	q := mustQDB(t, db, Options{})
+	id1, err := q.Submit(book("Mickey", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(book("Donald", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// A read of Mickey's booking would collapse only his transaction.
+	query := []logic.Atom{logic.NewAtom("Bookings", logic.Str("Mickey"), logic.Var("f"), logic.Var("s"))}
+	got := q.PreviewRead(query)
+	if len(got) != 1 || got[0] != id1 {
+		t.Fatalf("PreviewRead = %v, want [%d]", got, id1)
+	}
+	// A full-table read would collapse both (the §3.2.2 warning about
+	// general reads).
+	broad := []logic.Atom{logic.NewAtom("Bookings", logic.Var("n"), logic.Var("f"), logic.Var("s"))}
+	if got := q.PreviewRead(broad); len(got) != 2 {
+		t.Fatalf("broad PreviewRead = %v, want both", got)
+	}
+	// Preview must not collapse anything.
+	if q.PendingCount() != 2 {
+		t.Fatal("preview collapsed state")
+	}
+	// Unrelated relation: nothing.
+	if got := q.PreviewRead([]logic.Atom{logic.NewAtom("Flights", logic.Var("f"), logic.Var("d"))}); len(got) != 0 {
+		t.Fatalf("unrelated PreviewRead = %v", got)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"repro/internal/logic"
+	"repro/internal/txn"
+)
+
+// partIndex accelerates the partition-independence test of §4. Scanning
+// every partition per admission makes the whole run quadratic in the
+// number of flights; this index keeps it linear (the property Figure 7
+// demonstrates).
+//
+// For every atom of every pending transaction it records, per argument
+// position, whether the position holds a variable or which constant it
+// holds. Two atoms can only unify if at every position where both hold
+// constants the constants agree — so the candidate partitions for a new
+// atom are, intersected over its constant positions: partitions with a
+// same-relation atom holding a variable there, or the same constant.
+// This is a sound over-approximation; the exact MGU check runs only on
+// the candidates.
+type partIndex struct {
+	// rel maps a relation name to partition-id refcounts (atoms of that
+	// relation).
+	rel map[string]map[int64]int
+	// slot maps (relation, position, constant-or-var) to partition-id
+	// refcounts. The empty string marks "variable at this position";
+	// constants use their binary encoding, which is never empty.
+	slot map[slotKey]map[int64]int
+}
+
+type slotKey struct {
+	rel string
+	pos int
+	val string // "" for variable
+}
+
+func newPartIndex() *partIndex {
+	return &partIndex{
+		rel:  make(map[string]map[int64]int),
+		slot: make(map[slotKey]map[int64]int),
+	}
+}
+
+func slotOf(a logic.Atom, pos int) slotKey {
+	t := a.Args[pos]
+	if t.IsVar() {
+		return slotKey{rel: a.Rel, pos: pos}
+	}
+	return slotKey{rel: a.Rel, pos: pos, val: string(t.Value().AppendBinary(nil))}
+}
+
+func bump(m map[int64]int, pid int64, delta int) bool {
+	m[pid] += delta
+	if m[pid] <= 0 {
+		delete(m, pid)
+		return len(m) == 0
+	}
+	return false
+}
+
+// add registers every atom of t under partition pid.
+func (ix *partIndex) add(t *txn.T, pid int64) { ix.update(t, pid, 1) }
+
+// remove deregisters t from pid.
+func (ix *partIndex) remove(t *txn.T, pid int64) { ix.update(t, pid, -1) }
+
+func (ix *partIndex) update(t *txn.T, pid int64, delta int) {
+	for _, a := range atomsOf(t) {
+		rm := ix.rel[a.Rel]
+		if rm == nil {
+			rm = make(map[int64]int)
+			ix.rel[a.Rel] = rm
+		}
+		if bump(rm, pid, delta) {
+			delete(ix.rel, a.Rel)
+		}
+		for pos := range a.Args {
+			k := slotOf(a, pos)
+			sm := ix.slot[k]
+			if sm == nil {
+				sm = make(map[int64]int)
+				ix.slot[k] = sm
+			}
+			if bump(sm, pid, delta) {
+				delete(ix.slot, k)
+			}
+		}
+	}
+}
+
+// move re-homes t from one partition to another (merge bookkeeping).
+func (ix *partIndex) move(t *txn.T, from, to int64) {
+	ix.remove(t, from)
+	ix.add(t, to)
+}
+
+// candidates returns a superset of the partition IDs containing an atom
+// unifiable with any of the given atoms.
+func (ix *partIndex) candidates(atoms []logic.Atom) map[int64]bool {
+	out := make(map[int64]bool)
+	for _, a := range atoms {
+		// Start from all partitions touching the relation, then narrow by
+		// each constant position.
+		var cur map[int64]bool
+		base := ix.rel[a.Rel]
+		if len(base) == 0 {
+			continue
+		}
+		cur = make(map[int64]bool, len(base))
+		for pid := range base {
+			cur[pid] = true
+		}
+		for pos := range a.Args {
+			if a.Args[pos].IsVar() {
+				continue // unconstrained position
+			}
+			varSet := ix.slot[slotKey{rel: a.Rel, pos: pos}]
+			constSet := ix.slot[slotOf(a, pos)]
+			for pid := range cur {
+				if _, ok := varSet[pid]; ok {
+					continue
+				}
+				if _, ok := constSet[pid]; ok {
+					continue
+				}
+				delete(cur, pid)
+			}
+			if len(cur) == 0 {
+				break
+			}
+		}
+		for pid := range cur {
+			out[pid] = true
+		}
+	}
+	return out
+}

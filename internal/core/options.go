@@ -1,0 +1,111 @@
+// Package core implements the quantum database of §3-4: a middle-tier
+// service over the relational store that admits resource transactions
+// without grounding them, maintains the invariant that a consistent
+// grounding exists for every pending transaction (Definition 3.1), and
+// collapses uncertainty on reads, on explicit grounding requests, on
+// entangled-partner arrival, and when the per-partition k-bound is hit.
+package core
+
+import (
+	"repro/internal/formula"
+	"repro/internal/relstore"
+)
+
+// Mode selects the serializability discipline used when a pending
+// transaction must be grounded out of arrival order (§3.2.3).
+type Mode int
+
+const (
+	// Semantic tries to move the transaction to the front of its
+	// partition's pending order, grounding only it, provided the reordered
+	// chain is still satisfiable; it falls back to Strict when not. This
+	// is the paper's recommended practical strategy.
+	Semantic Mode = iota
+	// Strict grounds every earlier pending transaction of the partition
+	// first, preserving arrival order (classical serializability).
+	Strict
+)
+
+func (m Mode) String() string {
+	if m == Strict {
+		return "strict"
+	}
+	return "semantic"
+}
+
+// Chooser picks among candidate groundings for the transaction being
+// collapsed; the candidates all leave the rest of the chain satisfiable.
+// Returning an index outside [0, len(cands)) is treated as 0. §3.2.2:
+// "it is desirable to fix values in such a way as to maximize the
+// remaining number of possible worlds; more sophisticated
+// application-specific heuristics may also be appropriate."
+type Chooser func(cands []formula.Grounding, src relstore.Source) int
+
+// FirstFit takes the first candidate; with ChooserSample=1 this is the
+// zero-overhead default.
+func FirstFit([]formula.Grounding, relstore.Source) int { return 0 }
+
+// DefaultK mirrors the paper's prototype limit: MySQL's 61-table join cap
+// bounds the composed body, so at most 61 transactions stay pending per
+// partition.
+const DefaultK = 61
+
+// Options configures a quantum database. The zero value is usable:
+// k=DefaultK, semantic serializability, caching and partitioning on.
+type Options struct {
+	// K bounds pending transactions per partition; admitting a
+	// transaction that would exceed it force-grounds the oldest pending
+	// transactions first (§4). 0 means DefaultK; negative means unbounded.
+	K int
+	// Mode is the serializability discipline for out-of-order grounding.
+	Mode Mode
+	// DisableCache turns off the solution cache, forcing a full
+	// composed-body solve on every admission (ablation: the paper argues
+	// the cache amortizes satisfiability checks).
+	DisableCache bool
+	// DisablePartitioning maintains one global composed body instead of
+	// independent per-partition bodies (ablation: §4-5 credit partitioning
+	// for scalability).
+	DisablePartitioning bool
+	// Planner is forwarded to the conjunctive-query evaluator.
+	Planner relstore.PlannerMode
+	// Chooser picks among sampled groundings at collapse time; nil means
+	// FirstFit.
+	Chooser Chooser
+	// ChooserSample is how many candidate groundings to offer the Chooser;
+	// 0 or 1 means first-fit.
+	ChooserSample int
+	// MaxSolverSteps bounds backtracking per satisfiability check; 0
+	// means unbounded.
+	MaxSolverSteps int
+	// WALPath, when non-empty, durably logs pending transactions and base
+	// writes to this file; Recover rebuilds the quantum state from it.
+	WALPath string
+	// SyncWAL forces an fsync per WAL append.
+	SyncWAL bool
+}
+
+func (o *Options) k() int {
+	switch {
+	case o.K == 0:
+		return DefaultK
+	case o.K < 0:
+		return int(^uint(0) >> 1)
+	default:
+		return o.K
+	}
+}
+
+func (o *Options) chooser() Chooser {
+	if o.Chooser == nil {
+		return FirstFit
+	}
+	return o.Chooser
+}
+
+func (o *Options) sample() int {
+	if o.ChooserSample < 1 {
+		return 1
+	}
+	return o.ChooserSample
+}

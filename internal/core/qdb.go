@@ -1,0 +1,391 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/formula"
+	"repro/internal/logic"
+	"repro/internal/relstore"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// ErrRejected is returned by Submit when admitting the transaction would
+// leave the quantum database with no possible worlds (Definition 3.1).
+var ErrRejected = errors.New("core: resource transaction rejected: no consistent grounding exists")
+
+// ErrUnknownTxn is returned for operations on transaction IDs that are not
+// pending.
+var ErrUnknownTxn = errors.New("core: unknown or already-grounded transaction")
+
+// QDB is a quantum database: an extensional store plus an ordered set of
+// committed-but-unground resource transactions, partitioned into
+// independent composed bodies, each with a cached consistent grounding.
+type QDB struct {
+	mu  sync.Mutex
+	db  *relstore.DB
+	opt Options
+
+	nextID   int64
+	nextPart int64
+	parts    map[int64]*partition
+	byTxn    map[int64]*partition
+	idx      *partIndex
+
+	log   *wal.Log
+	stats Stats
+}
+
+// partition is one independent set of mutually-unifiable pending
+// transactions, the unit over which a composed body (Theorem 3.5) is
+// maintained.
+type partition struct {
+	id int64
+	// txns are the pending transactions (renamed apart), ascending ID.
+	txns []*txn.T
+	// cached holds one consistent grounding per pending transaction,
+	// aligned with txns, valid over the current extensional store. nil
+	// only when the cache is disabled.
+	cached []formula.Grounding
+}
+
+// New creates a quantum database over db. The store is owned by the QDB
+// afterwards: all mutations must go through resource transactions, Write,
+// or grounding.
+func New(db *relstore.DB, opt Options) (*QDB, error) {
+	q := &QDB{
+		db:     db,
+		opt:    opt,
+		nextID: 1,
+		parts:  make(map[int64]*partition),
+		byTxn:  make(map[int64]*partition),
+		idx:    newPartIndex(),
+	}
+	if opt.WALPath != "" {
+		l, err := wal.Open(opt.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		l.SyncOnAppend = opt.SyncWAL
+		q.log = l
+	}
+	return q, nil
+}
+
+// Close releases the WAL, if any.
+func (q *QDB) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.log == nil {
+		return nil
+	}
+	err := q.log.Close()
+	q.log = nil
+	return err
+}
+
+// Store returns the underlying extensional store for read-only inspection
+// by tests and the benchmark harness. Going around the QDB for writes
+// breaks the pending-transaction invariant.
+func (q *QDB) Store() *relstore.DB { return q.db }
+
+// Stats returns a copy of the counters.
+func (q *QDB) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// PendingCount returns the number of committed-but-unground transactions.
+func (q *QDB) PendingCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.byTxn)
+}
+
+// PendingIDs returns the IDs of pending transactions, ascending.
+func (q *QDB) PendingIDs() []int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ids := make([]int64, 0, len(q.byTxn))
+	for id := range q.byTxn {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Partitions returns the current partition sizes, for stats and tests.
+func (q *QDB) Partitions() []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []int
+	for _, p := range q.parts {
+		out = append(out, len(p.txns))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Submit admits a resource transaction. On success the transaction is
+// committed — the system guarantees a grounding will exist whenever
+// observation forces it — and its assigned ID is returned. On failure
+// ErrRejected is wrapped with diagnostic context.
+//
+// Submit implements §3.2.1 + §4: tentative partition merge, solution-cache
+// extension, full composed-body solve on cache miss, durable logging to
+// the pending-transactions table, and k-bound enforcement.
+func (q *QDB) Submit(t *txn.T) (int64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.stats.Submitted++
+
+	id := q.nextID
+	admitted := &txn.T{ID: id, Tag: t.Tag, PartnerTag: t.PartnerTag, Body: t.Body, Update: t.Update}
+	admitted = admitted.RenamedApart()
+
+	overlapping := q.overlappingPartitions(admitted)
+	merged := mergedTxns(overlapping, admitted)
+
+	var cached []formula.Grounding
+	if !q.opt.DisableCache && allCached(overlapping) {
+		// Fast path: extend the combined cached solution with a grounding
+		// for just the new transaction.
+		combined := combinedGroundings(overlapping)
+		ov := relstore.NewOverlay(q.db)
+		if applyGroundings(ov, combined) == nil {
+			sol, ok, err := formula.SolveChain(ov, []*txn.T{strip(admitted)}, q.chainOpts(false))
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				q.stats.CacheHits++
+				cached = append(combined, sol.Groundings[0])
+			}
+		}
+	}
+	if cached == nil {
+		// Slow path: full composed-body satisfiability check.
+		q.stats.CacheMisses++
+		sol, ok, err := formula.SolveChain(q.db, stripAll(merged), q.chainOpts(false))
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			q.stats.Rejected++
+			return 0, fmt.Errorf("%w: txn %q", ErrRejected, t.String())
+		}
+		cached = sol.Groundings
+	}
+
+	// Accept: merge partitions and install the new cached solution.
+	p := q.mergePartitions(overlapping)
+	p.txns = merged
+	if q.opt.DisableCache {
+		p.cached = nil
+	} else {
+		p.cached = cached
+	}
+	q.byTxn[id] = p
+	q.idx.add(admitted, p.id)
+	q.nextID++
+	q.stats.Accepted++
+	q.noteHighWater(p)
+	if err := q.logPending(admitted); err != nil {
+		return 0, err
+	}
+
+	// Enforce the k-bound: force-ground oldest transactions while the
+	// partition is too large (§4).
+	for len(p.txns) > q.opt.k() {
+		q.stats.ForcedByK++
+		if err := q.groundLocked(p, 0); err != nil {
+			return id, fmt.Errorf("core: k-bound forced grounding: %w", err)
+		}
+	}
+	return id, nil
+}
+
+// chainOpts builds solver options; maximize toggles optional-atom subset
+// search.
+func (q *QDB) chainOpts(maximize bool) formula.ChainOptions {
+	return formula.ChainOptions{
+		Planner:           q.opt.Planner,
+		MaximizeOptionals: maximize,
+		MaxSteps:          q.opt.MaxSolverSteps,
+		StepCounter:       &q.stats.SolverSteps,
+	}
+}
+
+// overlappingPartitions returns the partitions sharing a unifiable atom
+// with t, ascending by partition id. With partitioning disabled it
+// returns every partition. The index narrows the search to a sound
+// candidate superset; the exact unification test runs on candidates only.
+func (q *QDB) overlappingPartitions(t *txn.T) []*partition {
+	var out []*partition
+	if q.opt.DisablePartitioning {
+		for _, p := range q.parts {
+			out = append(out, p)
+		}
+	} else {
+		for pid := range q.idx.candidates(atomsOf(t)) {
+			p := q.parts[pid]
+			if p != nil && overlaps(t, p) {
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// overlaps reports whether any atom of t unifies with any atom of any
+// transaction in p (the conservative independence test of §4).
+func overlaps(t *txn.T, p *partition) bool {
+	ta := atomsOf(t)
+	for _, pt := range p.txns {
+		for _, pa := range atomsOf(pt) {
+			for _, a := range ta {
+				if logic.Unifiable(a, pa) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// atomsOf collects every atom of a transaction: hard and optional body
+// atoms plus update atoms.
+func atomsOf(t *txn.T) []logic.Atom {
+	out := make([]logic.Atom, 0, len(t.Body)+len(t.Update))
+	for _, b := range t.Body {
+		out = append(out, b.Atom)
+	}
+	for _, u := range t.Update {
+		out = append(out, u.Atom)
+	}
+	return out
+}
+
+// mergedTxns concatenates the partitions' transactions plus the new one,
+// ascending by ID (arrival order).
+func mergedTxns(ps []*partition, extra *txn.T) []*txn.T {
+	var all []*txn.T
+	for _, p := range ps {
+		all = append(all, p.txns...)
+	}
+	if extra != nil {
+		all = append(all, extra)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all
+}
+
+func allCached(ps []*partition) bool {
+	for _, p := range ps {
+		if p.cached == nil && len(p.txns) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// combinedGroundings merges cached groundings of independent partitions in
+// transaction-ID order; independence makes any interleaving consistent.
+func combinedGroundings(ps []*partition) []formula.Grounding {
+	var all []formula.Grounding
+	for _, p := range ps {
+		all = append(all, p.cached...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Txn.ID < all[j].Txn.ID })
+	return all
+}
+
+// applyGroundings plays groundings onto the overlay in order.
+func applyGroundings(ov *relstore.Overlay, gs []formula.Grounding) error {
+	for _, g := range gs {
+		if err := ov.ApplyFacts(g.Inserts, g.Deletes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergePartitions collapses ps into a single partition (reusing the first
+// or creating a fresh one) and returns it. Caller fixes txns/cached.
+func (q *QDB) mergePartitions(ps []*partition) *partition {
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	if len(ps) > 1 {
+		q.stats.PartitionMerges++
+		keep := ps[0]
+		for _, p := range ps[1:] {
+			delete(q.parts, p.id)
+			for _, t := range p.txns {
+				q.byTxn[t.ID] = keep
+				q.idx.move(t, p.id, keep.id)
+			}
+		}
+		return keep
+	}
+	p := &partition{id: q.nextPart}
+	q.nextPart++
+	q.parts[p.id] = p
+	return p
+}
+
+// noteHighWater refreshes the high-water counters for the one partition
+// an admission touched (keeping admissions O(1) in the partition count).
+func (q *QDB) noteHighWater(p *partition) {
+	if n := len(q.byTxn); n > q.stats.MaxPending {
+		q.stats.MaxPending = n
+	}
+	if n := len(p.txns); n > q.stats.MaxPartitionPending {
+		q.stats.MaxPartitionPending = n
+	}
+	atoms := 0
+	for _, t := range p.txns {
+		atoms += len(t.HardAtoms())
+	}
+	if atoms > q.stats.MaxComposedAtoms {
+		q.stats.MaxComposedAtoms = atoms
+	}
+}
+
+// strip returns a copy of t without optional atoms: the admission
+// invariant of §2 covers only non-optional atoms.
+func strip(t *txn.T) *txn.T {
+	c := &txn.T{ID: t.ID, Tag: t.Tag, PartnerTag: t.PartnerTag, Update: t.Update}
+	for _, b := range t.Body {
+		if !b.Optional {
+			c.Body = append(c.Body, b)
+		}
+	}
+	return c
+}
+
+func stripAll(ts []*txn.T) []*txn.T {
+	out := make([]*txn.T, len(ts))
+	for i, t := range ts {
+		out[i] = strip(t)
+	}
+	return out
+}
+
+// harden returns a copy of t with optional atoms promoted to hard ones;
+// used for coordinated pair grounding (§5.1 forward constraints).
+func harden(t *txn.T) *txn.T {
+	c := &txn.T{ID: t.ID, Tag: t.Tag, PartnerTag: t.PartnerTag, Update: t.Update}
+	for _, b := range t.Body {
+		c.Body = append(c.Body, txn.BodyAtom{Atom: b.Atom})
+	}
+	return c
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/formula"
+	"repro/internal/relstore"
+	"repro/internal/txn"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// WAL record types. The pending-transactions table of §4 is realized as
+// the pending/grounded record pairs; base writes are logged so the
+// extensional store can be rebuilt from the initial database.
+const (
+	recPending  uint8 = 1 // payload: txn.Marshal
+	recGrounded uint8 = 2 // payload: 8-byte big-endian txn ID
+	recInsert   uint8 = 3 // payload: encoded GroundFact
+	recDelete   uint8 = 4 // payload: encoded GroundFact
+)
+
+func (q *QDB) logPending(t *txn.T) error {
+	if q.log == nil {
+		return nil
+	}
+	data, err := t.Marshal()
+	if err != nil {
+		return err
+	}
+	return q.log.Append(wal.Record{Type: recPending, Payload: data})
+}
+
+func (q *QDB) logGrounded(id int64) error {
+	if q.log == nil {
+		return nil
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(id))
+	return q.log.Append(wal.Record{Type: recGrounded, Payload: buf[:]})
+}
+
+func (q *QDB) logFacts(inserts, deletes []relstore.GroundFact) error {
+	if q.log == nil {
+		return nil
+	}
+	for _, f := range deletes {
+		if err := q.log.Append(wal.Record{Type: recDelete, Payload: encodeFact(f)}); err != nil {
+			return err
+		}
+	}
+	for _, f := range inserts {
+		if err := q.log.Append(wal.Record{Type: recInsert, Payload: encodeFact(f)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeFact serializes rel name (uvarint length + bytes), arity, values.
+func encodeFact(f relstore.GroundFact) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(f.Rel)))
+	buf = append(buf, f.Rel...)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Tuple)))
+	for _, v := range f.Tuple {
+		buf = v.AppendBinary(buf)
+	}
+	return buf
+}
+
+func decodeFact(data []byte) (relstore.GroundFact, error) {
+	n, w := binary.Uvarint(data)
+	if w <= 0 || int(n) > len(data)-w {
+		return relstore.GroundFact{}, fmt.Errorf("core: bad fact relation length")
+	}
+	rel := string(data[w : w+int(n)])
+	data = data[w+int(n):]
+	arity, w := binary.Uvarint(data)
+	if w <= 0 {
+		return relstore.GroundFact{}, fmt.Errorf("core: bad fact arity")
+	}
+	data = data[w:]
+	tup := make(value.Tuple, 0, arity)
+	for i := uint64(0); i < arity; i++ {
+		v, n, err := value.DecodeBinary(data)
+		if err != nil {
+			return relstore.GroundFact{}, err
+		}
+		tup = append(tup, v)
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return relstore.GroundFact{}, fmt.Errorf("core: trailing bytes in fact record")
+	}
+	return relstore.GroundFact{Rel: rel, Tuple: tup}, nil
+}
+
+// Recover rebuilds a quantum database from the WAL named in opt.WALPath.
+// initial must be the same extensional database the crashed instance
+// started from (the paper's prototype likewise relies on the underlying
+// DBMS for base durability; here base writes are replayed from the log).
+// Still-pending transactions are re-admitted with their original IDs,
+// which re-establishes the invariant and rebuilds partitions and caches.
+// For long-lived databases, pair with QDB.Checkpoint and
+// RecoverCheckpoint to bound replay length.
+func Recover(initial *relstore.DB, opt Options) (*QDB, error) {
+	return recoverOnto(initial, nil, opt)
+}
+
+// recoverOnto replays the WAL over a store, seeding the pending set with
+// checkpointed transactions (the log may ground them later).
+func recoverOnto(initial *relstore.DB, checkpointPending []*txn.T, opt Options) (*QDB, error) {
+	if opt.WALPath == "" {
+		return nil, fmt.Errorf("core: Recover requires Options.WALPath")
+	}
+	pending := make(map[int64]*txn.T)
+	var maxID int64
+	for _, t := range checkpointPending {
+		pending[t.ID] = t
+		if t.ID > maxID {
+			maxID = t.ID
+		}
+	}
+	err := wal.Replay(opt.WALPath, func(r wal.Record) error {
+		switch r.Type {
+		case recPending:
+			t, err := txn.Unmarshal(r.Payload)
+			if err != nil {
+				return err
+			}
+			pending[t.ID] = t
+			if t.ID > maxID {
+				maxID = t.ID
+			}
+		case recGrounded:
+			if len(r.Payload) != 8 {
+				return fmt.Errorf("core: bad grounded record")
+			}
+			delete(pending, int64(binary.BigEndian.Uint64(r.Payload)))
+		case recInsert:
+			f, err := decodeFact(r.Payload)
+			if err != nil {
+				return err
+			}
+			return initial.Insert(f.Rel, f.Tuple)
+		case recDelete:
+			f, err := decodeFact(r.Payload)
+			if err != nil {
+				return err
+			}
+			return initial.Delete(f.Rel, f.Tuple)
+		default:
+			return fmt.Errorf("core: unknown WAL record type %d", r.Type)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: recovery replay: %w", err)
+	}
+
+	q, err := New(initial, opt)
+	if err != nil {
+		return nil, err
+	}
+	q.nextID = maxID + 1
+
+	ids := make([]int64, 0, len(pending))
+	for id := range pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := q.readmit(pending[id]); err != nil {
+			q.Close()
+			return nil, fmt.Errorf("core: recovery of txn %d: %w", id, err)
+		}
+	}
+	return q, nil
+}
+
+// readmit re-installs a recovered pending transaction with its original
+// ID, without re-logging it. The invariant held at crash time and base
+// state is replayed exactly, so admission must succeed; failure indicates
+// a corrupted log or a wrong initial database.
+func (q *QDB) readmit(t *txn.T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	overlapping := q.overlappingPartitions(t)
+	merged := mergedTxns(overlapping, t)
+	sol, ok, err := formula.SolveChain(q.db, stripAll(merged), q.chainOpts(false))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrInvariantBroken
+	}
+	p := q.mergePartitions(overlapping)
+	p.txns = merged
+	if q.opt.DisableCache {
+		p.cached = nil
+	} else {
+		p.cached = sol.Groundings
+	}
+	q.byTxn[t.ID] = p
+	q.idx.add(t, p.id)
+	q.noteHighWater(p)
+	return nil
+}

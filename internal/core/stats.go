@@ -1,0 +1,48 @@
+package core
+
+// Stats exposes counters for the experiment harness; all are cumulative
+// since construction. Retrieved via QDB.Stats (a copy).
+type Stats struct {
+	// Submitted counts resource transactions offered to Submit.
+	Submitted int
+	// Accepted counts transactions admitted (committed).
+	Accepted int
+	// Rejected counts transactions refused because admission would empty
+	// the set of possible worlds.
+	Rejected int
+	// Grounded counts transactions whose values have been fixed and whose
+	// updates have been applied.
+	Grounded int
+	// ForcedByK counts groundings forced by the per-partition k-bound.
+	ForcedByK int
+	// ForcedByRead counts groundings forced by read collapse.
+	ForcedByRead int
+	// CacheHits counts admissions satisfied by extending a cached
+	// solution; CacheMisses counts full composed-body solves.
+	CacheHits   int
+	CacheMisses int
+	// SemanticReorders counts successful move-to-front groundings;
+	// SemanticFallbacks counts the times move-to-front was unsatisfiable
+	// and the strict prefix path ran instead.
+	SemanticReorders  int
+	SemanticFallbacks int
+	// Reads counts read queries; WritesAccepted/WritesRejected count
+	// non-resource blind writes.
+	Reads          int
+	WritesAccepted int
+	WritesRejected int
+	// MaxPending is the high-water mark of pending transactions across
+	// the whole database; MaxPartitionPending is the per-partition
+	// high-water mark (Table 1's quantity).
+	MaxPending          int
+	MaxPartitionPending int
+	// MaxComposedAtoms is the high-water mark of relational atoms in a
+	// single partition's composed body (the paper's 61-join ceiling).
+	MaxComposedAtoms int
+	// PartitionMerges counts partition-merge events during admission.
+	PartitionMerges int
+	// SolverSteps accumulates grounding attempts across all
+	// satisfiability checks (the phase-transition experiment's effort
+	// metric).
+	SolverSteps int64
+}

@@ -1,0 +1,320 @@
+package formula
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/relstore"
+	"repro/internal/txn"
+)
+
+// Grounding is the concrete value assignment chosen for one transaction in
+// a chain solution, together with the ground update facts it induces.
+type Grounding struct {
+	Txn     *txn.T
+	Subst   logic.Subst
+	Inserts []relstore.GroundFact
+	Deletes []relstore.GroundFact
+	// OptionalSatisfied counts how many optional atoms of the transaction
+	// this grounding satisfies (only computed when the solver is asked to
+	// maximize optionals).
+	OptionalSatisfied int
+}
+
+// ChainSolution is a consistent grounding (Definition 3.1) for an ordered
+// sequence of transactions: per-transaction assignments such that each
+// body grounds on the store as modified by all earlier update portions.
+type ChainSolution struct {
+	Groundings []Grounding
+}
+
+// Facts flattens the solution into the insert and delete fact lists. Note
+// that cross-transaction ordering is lost: when a later transaction
+// consumes a tuple an earlier one inserted, apply the solution with
+// ApplyTo instead.
+func (cs *ChainSolution) Facts() (inserts, deletes []relstore.GroundFact) {
+	for _, g := range cs.Groundings {
+		inserts = append(inserts, g.Inserts...)
+		deletes = append(deletes, g.Deletes...)
+	}
+	return inserts, deletes
+}
+
+// ApplyTo executes the solution against db: transaction by transaction in
+// chain order, each applied atomically (deletes then inserts). On error
+// the already-applied prefix remains — callers validate solutions against
+// the same store state beforehand, so an error here indicates the store
+// changed concurrently.
+func (cs *ChainSolution) ApplyTo(db *relstore.DB) error {
+	for _, g := range cs.Groundings {
+		if err := db.Apply(g.Inserts, g.Deletes); err != nil {
+			return fmt.Errorf("formula: applying grounding of txn %d: %w", g.Txn.ID, err)
+		}
+	}
+	return nil
+}
+
+// ChainOptions tunes SolveChain.
+type ChainOptions struct {
+	// Planner is forwarded to the conjunctive-query evaluator.
+	Planner relstore.PlannerMode
+	// MaximizeOptionals makes the solver prefer, per transaction in chain
+	// order, groundings satisfying as many optional atoms as possible
+	// (§2: "if there is an assignment that satisfies the optional clauses
+	// it must be chosen in preference to one that does not"). When false,
+	// optional atoms are ignored entirely.
+	MaximizeOptionals bool
+	// MaxSteps bounds the number of grounding attempts before giving up;
+	// 0 means no bound. A safety valve against pathological backtracking.
+	MaxSteps int
+	// StepCounter, when non-nil, is incremented by the number of
+	// grounding attempts the solve performed (satisfiability-effort
+	// accounting for the §6 phase-transition experiment).
+	StepCounter *int64
+	// skipFirst, when set, rejects candidate groundings of the first
+	// transaction (used by SolveChainVaryingFirst to enumerate distinct
+	// collapses of the grounding target).
+	skipFirst func(Grounding) bool
+}
+
+// ErrBudget is returned when MaxSteps is exhausted before a decision.
+var ErrBudget = fmt.Errorf("formula: solver step budget exhausted")
+
+// SolveChain searches for a consistent grounding of ts, in order, over
+// base. It returns ok=false if none exists. The base store is not
+// modified.
+func SolveChain(base relstore.Source, ts []*txn.T, opt ChainOptions) (*ChainSolution, bool, error) {
+	sols, err := SolveChainN(base, ts, opt, 1)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(sols) == 0 {
+		return nil, false, nil
+	}
+	return sols[0], true, nil
+}
+
+// SolveChainN returns up to n distinct consistent groundings (n <= 0 means
+// one). Additional solutions feed grounding-choice heuristics: the chooser
+// picks the collapse that preserves the most future flexibility (§3.2.2).
+func SolveChainN(base relstore.Source, ts []*txn.T, opt ChainOptions, n int) ([]*ChainSolution, error) {
+	if n <= 0 {
+		n = 1
+	}
+	solver := &chainSolver{base: base, ts: ts, opt: opt, want: n}
+	return solver.run()
+}
+
+// SolveChainVaryingFirst returns up to n consistent groundings that
+// differ in the FIRST transaction's grounding. Plain SolveChainN
+// backtracks deepest-first, so its solutions share the head assignment;
+// collapse-choice heuristics need alternatives for the transaction being
+// grounded, which this provides.
+func SolveChainVaryingFirst(base relstore.Source, ts []*txn.T, opt ChainOptions, n int) ([]*ChainSolution, error) {
+	if n <= 0 {
+		n = 1
+	}
+	var sols []*ChainSolution
+	seen := make(map[string]bool)
+	for len(sols) < n {
+		o := opt
+		o.skipFirst = func(g Grounding) bool { return seen[factsKey(g)] }
+		got, err := SolveChainN(base, ts, o, 1)
+		if err != nil {
+			return nil, err
+		}
+		if len(got) == 0 {
+			break
+		}
+		sols = append(sols, got[0])
+		seen[factsKey(got[0].Groundings[0])] = true
+	}
+	return sols, nil
+}
+
+// factsKey canonicalizes a grounding's update facts for dedup.
+func factsKey(g Grounding) string {
+	keys := make([]string, 0, len(g.Inserts)+len(g.Deletes))
+	for _, f := range g.Inserts {
+		keys = append(keys, "+"+f.String())
+	}
+	for _, f := range g.Deletes {
+		keys = append(keys, "-"+f.String())
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+type chainSolver struct {
+	base  relstore.Source
+	ts    []*txn.T
+	opt   ChainOptions
+	steps int
+	want  int
+	sols  []*ChainSolution
+}
+
+func (c *chainSolver) run() ([]*ChainSolution, error) {
+	gs := make([]Grounding, 0, len(c.ts))
+	_, err := c.solveFrom(c.base, 0, &gs)
+	if c.opt.StepCounter != nil {
+		*c.opt.StepCounter += int64(c.steps)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return c.sols, nil
+}
+
+// solveFrom grounds transactions c.ts[i:] over src, appending to *gs. The
+// returned bool means "enough solutions collected, stop searching".
+func (c *chainSolver) solveFrom(src relstore.Source, i int, gs *[]Grounding) (bool, error) {
+	if i == len(c.ts) {
+		cp := make([]Grounding, len(*gs))
+		copy(cp, *gs)
+		c.sols = append(c.sols, &ChainSolution{Groundings: cp})
+		return len(c.sols) >= c.want, nil
+	}
+	t := c.ts[i]
+	if c.opt.MaximizeOptionals {
+		return c.solveMaximizing(src, i, gs)
+	}
+	return c.solveWithAtoms(src, i, t.HardAtoms(), 0, gs)
+}
+
+// solveMaximizing tries optional-atom subsets of decreasing size, so the
+// chosen grounding satisfies the maximum number of optional atoms that
+// still admits a full-chain solution. Once any subset size yields a
+// solution, smaller sizes are not explored: all collected candidates for
+// this transaction carry the maximal optional count.
+func (c *chainSolver) solveMaximizing(src relstore.Source, i int, gs *[]Grounding) (bool, error) {
+	t := c.ts[i]
+	opts := t.OptionalAtoms()
+	hard := t.HardAtoms()
+	if len(opts) == 0 {
+		return c.solveWithAtoms(src, i, hard, 0, gs)
+	}
+	if len(opts) > 16 {
+		return false, fmt.Errorf("formula: %d optional atoms exceeds subset-search limit", len(opts))
+	}
+	n := uint(len(opts))
+	for size := len(opts); size >= 0; size-- {
+		before := len(c.sols)
+		for mask := uint64(0); mask < 1<<n; mask++ {
+			if popcount(mask) != size {
+				continue
+			}
+			atoms := append([]logic.Atom(nil), hard...)
+			for b := 0; b < len(opts); b++ {
+				if mask&(1<<uint(b)) != 0 {
+					atoms = append(atoms, opts[b])
+				}
+			}
+			stop, err := c.solveWithAtoms(src, i, atoms, size, gs)
+			if err != nil || stop {
+				return stop, err
+			}
+		}
+		if len(c.sols) > before {
+			return false, nil // solutions exist at this optional count
+		}
+	}
+	return false, nil
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// solveWithAtoms grounds transaction i using the given body atoms, then
+// recurses on the remaining transactions; it backtracks through all
+// groundings of i until enough full-chain solutions are collected.
+func (c *chainSolver) solveWithAtoms(src relstore.Source, i int, atoms []logic.Atom, optCount int, gs *[]Grounding) (bool, error) {
+	t := c.ts[i]
+	q := relstore.Query{Atoms: atoms, Planner: c.opt.Planner}
+	var (
+		done   bool
+		recErr error
+	)
+	err := q.Eval(src, nil, func(s logic.Subst) bool {
+		c.steps++
+		if c.opt.MaxSteps > 0 && c.steps > c.opt.MaxSteps {
+			recErr = ErrBudget
+			return false
+		}
+		g, err := groundUpdates(t, s)
+		if err != nil {
+			recErr = err
+			return false
+		}
+		g.OptionalSatisfied = optCount
+		if i == 0 && c.opt.skipFirst != nil && c.opt.skipFirst(g) {
+			return true
+		}
+		next := relstore.NewOverlay(src)
+		if err := next.ApplyFacts(g.Inserts, g.Deletes); err != nil {
+			// This grounding collides with the store state (e.g. duplicate
+			// key): not a valid world, try the next grounding.
+			return true
+		}
+		*gs = append(*gs, g)
+		stop, err := c.solveFrom(next, i+1, gs)
+		*gs = (*gs)[:len(*gs)-1]
+		if err != nil {
+			recErr = err
+			return false
+		}
+		if stop {
+			done = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	if recErr != nil {
+		return false, recErr
+	}
+	return done, nil
+}
+
+// groundUpdates instantiates t's update portion under s. Every update
+// variable must be bound (guaranteed by range restriction when s solves
+// the hard body).
+func groundUpdates(t *txn.T, s logic.Subst) (Grounding, error) {
+	g := Grounding{Txn: t, Subst: s.Clone()}
+	for _, op := range t.Update {
+		ga := s.Apply(op.Atom)
+		if !ga.IsGround() {
+			return Grounding{}, fmt.Errorf("formula: update atom %v not ground under %v", op.Atom, s)
+		}
+		fact := relstore.GroundFact{Rel: ga.Rel, Tuple: ga.Tuple()}
+		if op.Insert {
+			g.Inserts = append(g.Inserts, fact)
+		} else {
+			g.Deletes = append(g.Deletes, fact)
+		}
+	}
+	return g, nil
+}
+
+// CountOptionalsSatisfied reports how many of t's optional atoms hold on
+// src under s (binding additional variables as needed for each atom
+// independently).
+func CountOptionalsSatisfied(src relstore.Source, t *txn.T, s logic.Subst) int {
+	n := 0
+	for _, a := range t.OptionalAtoms() {
+		q := relstore.Query{Atoms: []logic.Atom{a}}
+		if _, ok, err := q.FindOne(src, s); err == nil && ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,165 @@
+// Package logic implements the first-order machinery of the quantum
+// database: terms, relational atoms, substitutions, most general unifiers
+// (Definition 3.2 of the paper) and unification predicates (Definition 3.3).
+package logic
+
+import (
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Term is either a variable (identified by name) or a constant Value.
+// The zero Term is the constant empty string.
+type Term struct {
+	isVar bool
+	name  string
+	val   value.Value
+}
+
+// Var returns a variable term with the given name.
+func Var(name string) Term { return Term{isVar: true, name: name} }
+
+// Const returns a constant term holding v.
+func Const(v value.Value) Term { return Term{val: v} }
+
+// Int is shorthand for Const(value.NewInt(i)).
+func Int(i int64) Term { return Const(value.NewInt(i)) }
+
+// Str is shorthand for Const(value.NewString(s)).
+func Str(s string) Term { return Const(value.NewString(s)) }
+
+// IsVar reports whether t is a variable.
+func (t Term) IsVar() bool { return t.isVar }
+
+// Name returns the variable name. It panics on constants.
+func (t Term) Name() string {
+	if !t.isVar {
+		panic("logic: Name on constant term " + t.String())
+	}
+	return t.name
+}
+
+// Value returns the constant payload. It panics on variables.
+func (t Term) Value() value.Value {
+	if t.isVar {
+		panic("logic: Value on variable term " + t.String())
+	}
+	return t.val
+}
+
+// String renders variables as their name and constants in quoted form.
+func (t Term) String() string {
+	if t.isVar {
+		return t.name
+	}
+	return t.val.Quoted()
+}
+
+// Atom is a relational atom R(t1, ..., tn).
+type Atom struct {
+	Rel  string
+	Args []Term
+}
+
+// NewAtom builds an atom over relation rel with the given argument terms.
+func NewAtom(rel string, args ...Term) Atom {
+	return Atom{Rel: rel, Args: args}
+}
+
+// IsGround reports whether the atom contains no variables.
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// Tuple converts a ground atom's arguments to a value tuple. It panics if
+// the atom is not ground.
+func (a Atom) Tuple() value.Tuple {
+	tup := make(value.Tuple, len(a.Args))
+	for i, t := range a.Args {
+		tup[i] = t.Value()
+	}
+	return tup
+}
+
+// Vars appends the names of variables occurring in a to dst, in order of
+// first occurrence, without duplicates relative to dst.
+func (a Atom) Vars(dst []string) []string {
+	for _, t := range a.Args {
+		if !t.IsVar() {
+			continue
+		}
+		seen := false
+		for _, n := range dst {
+			if n == t.Name() {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, t.Name())
+		}
+	}
+	return dst
+}
+
+// Clone returns a deep copy of the atom.
+func (a Atom) Clone() Atom {
+	args := make([]Term, len(a.Args))
+	copy(args, a.Args)
+	return Atom{Rel: a.Rel, Args: args}
+}
+
+// Equal reports structural equality of two atoms.
+func (a Atom) Equal(b Atom) bool {
+	if a.Rel != b.Rel || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the atom as R(t1, t2, ...).
+func (a Atom) String() string {
+	var b strings.Builder
+	b.WriteString(a.Rel)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Rename returns a copy of the atom with every variable name passed through
+// f. Used to rename transactions apart before composition.
+func (a Atom) Rename(f func(string) string) Atom {
+	c := a.Clone()
+	for i, t := range c.Args {
+		if t.IsVar() {
+			c.Args[i] = Var(f(t.Name()))
+		}
+	}
+	return c
+}
+
+// FormatAtoms renders a slice of atoms separated by " ∧ ".
+func FormatAtoms(atoms []Atom) string {
+	parts := make([]string, len(atoms))
+	for i, a := range atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}

@@ -1,0 +1,236 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Subst is a substitution: a mapping from variable names to Terms
+// (variables or constants). Applying a substitution replaces each mapped
+// variable by its image, transitively, until fixpoint.
+type Subst map[string]Term
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return make(Subst) }
+
+// Clone returns a copy of s.
+func (s Subst) Clone() Subst {
+	c := make(Subst, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Walk resolves t through s until it reaches a constant or an unbound
+// variable.
+func (s Subst) Walk(t Term) Term {
+	for t.IsVar() {
+		next, ok := s[t.Name()]
+		if !ok {
+			return t
+		}
+		t = next
+	}
+	return t
+}
+
+// Apply returns a copy of atom a with all variables resolved through s.
+func (s Subst) Apply(a Atom) Atom {
+	c := a.Clone()
+	for i, t := range c.Args {
+		c.Args[i] = s.Walk(t)
+	}
+	return c
+}
+
+// Bind adds the binding name -> t, performing an occurs-style sanity check
+// that name is not already bound to something different.
+func (s Subst) Bind(name string, t Term) error {
+	cur := s.Walk(Var(name))
+	t = s.Walk(t)
+	if cur == t {
+		return nil
+	}
+	if !cur.IsVar() {
+		if t.IsVar() {
+			s[t.Name()] = cur
+			return nil
+		}
+		return fmt.Errorf("logic: conflicting binding for %s: %s vs %s", name, cur, t)
+	}
+	s[cur.Name()] = t
+	return nil
+}
+
+// String renders the substitution deterministically, e.g. {s1/5A, f1/123}.
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "/" + s[k].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// MGU computes the most general unifier of atoms a and b per Definition
+// 3.2. It returns (nil, false) if the atoms do not unify: different
+// relations, different arities, or clashing constants.
+func MGU(a, b Atom) (Subst, bool) {
+	if a.Rel != b.Rel || len(a.Args) != len(b.Args) {
+		return nil, false
+	}
+	s := NewSubst()
+	for i := range a.Args {
+		ta := s.Walk(a.Args[i])
+		tb := s.Walk(b.Args[i])
+		switch {
+		case ta == tb:
+			// Already equal under s (same var or same constant).
+		case ta.IsVar():
+			s[ta.Name()] = tb
+		case tb.IsVar():
+			s[tb.Name()] = ta
+		default:
+			// Two distinct constants.
+			return nil, false
+		}
+	}
+	return s, true
+}
+
+// Unifiable reports whether two atoms have a most general unifier. It is
+// the conservative read-check / partition-overlap predicate from §3.2.2.
+func Unifiable(a, b Atom) bool {
+	_, ok := MGU(a, b)
+	return ok
+}
+
+// EqConstraint is a single equality t1 = t2 between terms; a conjunction of
+// these forms a unification predicate (Definition 3.3).
+type EqConstraint struct {
+	Left, Right Term
+}
+
+// String renders the constraint as (l = r).
+func (e EqConstraint) String() string {
+	return "(" + e.Left.String() + " = " + e.Right.String() + ")"
+}
+
+// Eval evaluates the constraint under a binding function. bind must return
+// the constant Value of a variable and true, or false if unbound. The
+// second result reports whether the constraint could be evaluated (all
+// terms resolvable to constants).
+func (e EqConstraint) Eval(bind func(string) (value.Value, bool)) (holds, ok bool) {
+	l, lok := resolve(e.Left, bind)
+	r, rok := resolve(e.Right, bind)
+	if !lok || !rok {
+		return false, false
+	}
+	return l == r, true
+}
+
+func resolve(t Term, bind func(string) (value.Value, bool)) (value.Value, bool) {
+	if !t.IsVar() {
+		return t.Value(), true
+	}
+	return bind(t.Name())
+}
+
+// UnifPred is the unification predicate ϕ(b1, b2) of Definition 3.3: a
+// conjunction of equality constraints equivalent to the MGU of the two
+// atoms. Trivial==true with empty Eqs means "trivially true" (atoms are
+// identical ground atoms); Trivial==false with empty Eqs means "trivially
+// false" (no unifier exists).
+type UnifPred struct {
+	Eqs     []EqConstraint
+	Trivial bool // value when Eqs is empty
+}
+
+// True and False are the trivial unification predicates.
+var (
+	TrueUP  = UnifPred{Trivial: true}
+	FalseUP = UnifPred{Trivial: false}
+)
+
+// UnificationPredicate computes ϕ(a, b). Per Definition 3.3 each equality
+// constraint corresponds to one variable substitution in the MGU; if no MGU
+// exists the predicate is trivially false, and if the MGU is empty it is
+// trivially true.
+func UnificationPredicate(a, b Atom) UnifPred {
+	if a.Rel != b.Rel || len(a.Args) != len(b.Args) {
+		return FalseUP
+	}
+	// Build equalities argument-wise; this is the standard presentation of
+	// the MGU as a solved-form equation system. Clashing constants make the
+	// predicate trivially false.
+	var eqs []EqConstraint
+	s := NewSubst()
+	for i := range a.Args {
+		ta := s.Walk(a.Args[i])
+		tb := s.Walk(b.Args[i])
+		switch {
+		case ta == tb:
+		case ta.IsVar():
+			s[ta.Name()] = tb
+			eqs = append(eqs, EqConstraint{Left: Var(ta.Name()), Right: tb})
+		case tb.IsVar():
+			s[tb.Name()] = ta
+			eqs = append(eqs, EqConstraint{Left: Var(tb.Name()), Right: ta})
+		default:
+			return FalseUP
+		}
+	}
+	if len(eqs) == 0 {
+		return TrueUP
+	}
+	return UnifPred{Eqs: eqs, Trivial: true}
+}
+
+// IsTriviallyFalse reports whether the predicate can never hold.
+func (p UnifPred) IsTriviallyFalse() bool { return len(p.Eqs) == 0 && !p.Trivial }
+
+// IsTriviallyTrue reports whether the predicate always holds.
+func (p UnifPred) IsTriviallyTrue() bool { return len(p.Eqs) == 0 && p.Trivial }
+
+// String renders the predicate as a conjunction of equalities.
+func (p UnifPred) String() string {
+	if len(p.Eqs) == 0 {
+		if p.Trivial {
+			return "true"
+		}
+		return "false"
+	}
+	parts := make([]string, len(p.Eqs))
+	for i, e := range p.Eqs {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Renamer generates fresh variable names with a per-transaction suffix so
+// that distinct transactions are renamed apart before composition.
+type Renamer struct {
+	suffix string
+}
+
+// NewRenamer returns a Renamer appending "#id" to every variable name.
+func NewRenamer(id int64) *Renamer {
+	return &Renamer{suffix: fmt.Sprintf("#%d", id)}
+}
+
+// Rename maps a variable name to its renamed-apart form. Idempotent for
+// names already carrying the suffix.
+func (r *Renamer) Rename(name string) string {
+	if strings.HasSuffix(name, r.suffix) {
+		return name
+	}
+	return name + r.suffix
+}

@@ -1,0 +1,293 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestMGUPaperExample(t *testing.T) {
+	// From the paper: R(1, v1, v2) and R(v3, 2, v4) have MGU
+	// {v1/2, v2/v4, v3/1}.
+	a := NewAtom("R", Int(1), Var("v1"), Var("v2"))
+	b := NewAtom("R", Var("v3"), Int(2), Var("v4"))
+	s, ok := MGU(a, b)
+	if !ok {
+		t.Fatal("expected unifier")
+	}
+	if got := s.Walk(Var("v3")); got != Int(1) {
+		t.Errorf("v3 -> %v, want 1", got)
+	}
+	if got := s.Walk(Var("v1")); got != Int(2) {
+		t.Errorf("v1 -> %v, want 2", got)
+	}
+	// v2 and v4 must be aliased to each other.
+	v2 := s.Walk(Var("v2"))
+	v4 := s.Walk(Var("v4"))
+	if v2 != v4 {
+		t.Errorf("v2 and v4 not aliased: %v vs %v", v2, v4)
+	}
+	if sa, sb := s.Apply(a), s.Apply(b); !sa.Equal(sb) {
+		t.Errorf("θ(a)=%v != θ(b)=%v", sa, sb)
+	}
+}
+
+func TestMGUFailures(t *testing.T) {
+	cases := []struct{ a, b Atom }{
+		{NewAtom("R", Int(1)), NewAtom("S", Int(1))},                     // relation mismatch
+		{NewAtom("R", Int(1)), NewAtom("R", Int(1), Int(2))},             // arity mismatch
+		{NewAtom("R", Int(1)), NewAtom("R", Int(2))},                     // constant clash
+		{NewAtom("R", Var("x"), Var("x")), NewAtom("R", Int(1), Int(2))}, // x=1 and x=2
+	}
+	for _, c := range cases {
+		if _, ok := MGU(c.a, c.b); ok {
+			t.Errorf("MGU(%v, %v) unexpectedly succeeded", c.a, c.b)
+		}
+	}
+}
+
+func TestMGUSharedVariableChains(t *testing.T) {
+	// R(x, x, y) with R(1, z, z): forces x=1, then z=x=1, then y=z=1.
+	a := NewAtom("R", Var("x"), Var("x"), Var("y"))
+	b := NewAtom("R", Int(1), Var("z"), Var("z"))
+	s, ok := MGU(a, b)
+	if !ok {
+		t.Fatal("expected unifier")
+	}
+	for _, v := range []string{"x", "y", "z"} {
+		if got := s.Walk(Var(v)); got != Int(1) {
+			t.Errorf("%s -> %v, want 1", v, got)
+		}
+	}
+}
+
+func TestMGUIdenticalGroundAtoms(t *testing.T) {
+	a := NewAtom("B", Str("M"), Int(1), Str("5A"))
+	s, ok := MGU(a, a.Clone())
+	if !ok {
+		t.Fatal("expected unifier")
+	}
+	if len(s) != 0 {
+		t.Errorf("MGU of identical ground atoms should be empty, got %v", s)
+	}
+}
+
+func TestUnificationPredicatePaperExample(t *testing.T) {
+	a := NewAtom("R", Int(1), Var("v1"), Var("v2"))
+	b := NewAtom("R", Var("v3"), Int(2), Var("v4"))
+	p := UnificationPredicate(a, b)
+	if p.IsTriviallyFalse() || p.IsTriviallyTrue() {
+		t.Fatalf("want nontrivial predicate, got %v", p)
+	}
+	if len(p.Eqs) != 3 {
+		t.Fatalf("want 3 equalities, got %d: %v", len(p.Eqs), p)
+	}
+	// Evaluate under the assignment v1=2, v2=9, v3=1, v4=9: must hold.
+	env := map[string]value.Value{
+		"v1": value.NewInt(2), "v2": value.NewInt(9),
+		"v3": value.NewInt(1), "v4": value.NewInt(9),
+	}
+	bind := func(n string) (value.Value, bool) { v, ok := env[n]; return v, ok }
+	for _, e := range p.Eqs {
+		holds, ok := e.Eval(bind)
+		if !ok || !holds {
+			t.Errorf("constraint %v failed under satisfying env", e)
+		}
+	}
+	// v2=8 breaks v2=v4.
+	env["v2"] = value.NewInt(8)
+	any := false
+	for _, e := range p.Eqs {
+		if holds, ok := e.Eval(bind); ok && !holds {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("no constraint failed under violating env")
+	}
+}
+
+func TestUnificationPredicateTrivialCases(t *testing.T) {
+	g := NewAtom("B", Str("M"), Int(1))
+	if p := UnificationPredicate(g, g.Clone()); !p.IsTriviallyTrue() {
+		t.Errorf("identical ground atoms: want true, got %v", p)
+	}
+	if p := UnificationPredicate(g, NewAtom("B", Str("G"), Int(1))); !p.IsTriviallyFalse() {
+		t.Errorf("clashing ground atoms: want false, got %v", p)
+	}
+	if p := UnificationPredicate(g, NewAtom("A", Str("M"), Int(1))); !p.IsTriviallyFalse() {
+		t.Errorf("different relations: want false, got %v", p)
+	}
+}
+
+func TestEqConstraintUnresolved(t *testing.T) {
+	e := EqConstraint{Left: Var("x"), Right: Int(1)}
+	if _, ok := e.Eval(func(string) (value.Value, bool) { return value.Value{}, false }); ok {
+		t.Error("Eval with unbound variable reported ok")
+	}
+}
+
+func TestSubstBind(t *testing.T) {
+	s := NewSubst()
+	if err := s.Bind("x", Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("x", Int(1)); err != nil {
+		t.Fatalf("rebinding same value: %v", err)
+	}
+	if err := s.Bind("x", Int(2)); err == nil {
+		t.Fatal("conflicting rebind succeeded")
+	}
+	if err := s.Bind("y", Var("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Walk(Var("y")); got != Int(1) {
+		t.Errorf("y -> %v, want 1", got)
+	}
+	// Bind a var whose walk is a constant to a fresh var: aliases the fresh var.
+	if err := s.Bind("x", Var("z")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Walk(Var("z")); got != Int(1) {
+		t.Errorf("z -> %v, want 1", got)
+	}
+}
+
+func TestSubstCloneIndependence(t *testing.T) {
+	s := NewSubst()
+	s["x"] = Int(1)
+	c := s.Clone()
+	c["x"] = Int(2)
+	if s.Walk(Var("x")) != Int(1) {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestRenamer(t *testing.T) {
+	r := NewRenamer(7)
+	if got := r.Rename("s1"); got != "s1#7" {
+		t.Errorf("got %q", got)
+	}
+	if got := r.Rename("s1#7"); got != "s1#7" {
+		t.Errorf("not idempotent: %q", got)
+	}
+	a := NewAtom("A", Var("f"), Var("s"), Int(3)).Rename(r.Rename)
+	want := NewAtom("A", Var("f#7"), Var("s#7"), Int(3))
+	if !a.Equal(want) {
+		t.Errorf("Rename atom = %v, want %v", a, want)
+	}
+}
+
+// randAtom builds a random atom over a small vocabulary so collisions and
+// unifications actually happen under quick.Check.
+func randAtom(r *rand.Rand) Atom {
+	rels := []string{"R", "S"}
+	n := 1 + r.Intn(3)
+	args := make([]Term, n)
+	for i := range args {
+		switch r.Intn(3) {
+		case 0:
+			args[i] = Var([]string{"x", "y", "z"}[r.Intn(3)])
+		case 1:
+			args[i] = Int(int64(r.Intn(3)))
+		default:
+			args[i] = Str([]string{"a", "b"}[r.Intn(2)])
+		}
+	}
+	return NewAtom(rels[r.Intn(2)], args...)
+}
+
+// Property: if MGU(a,b) = θ exists then θ(a) == θ(b) (the defining property
+// of a unifier).
+func TestQuickMGUUnifies(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := randAtom(r), randAtom(r)
+		s, ok := MGU(a, b)
+		if !ok {
+			continue
+		}
+		// Ground leftover variables to a fixed constant to compare.
+		ground := func(at Atom) Atom {
+			g := s.Apply(at)
+			for j, tm := range g.Args {
+				if tm.IsVar() {
+					g.Args[j] = Int(99)
+				}
+			}
+			return g
+		}
+		ga := ground(a)
+		gb := ground(b)
+		if !ga.Equal(gb) {
+			t.Fatalf("MGU(%v,%v)=%v but θ(a)=%v θ(b)=%v", a, b, s, ga, gb)
+		}
+	}
+}
+
+// Property: the unification predicate is trivially false exactly when no
+// MGU exists.
+func TestQuickPredicateAgreesWithMGU(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a, b := randAtom(r), randAtom(r)
+		_, ok := MGU(a, b)
+		p := UnificationPredicate(a, b)
+		if ok == p.IsTriviallyFalse() {
+			t.Fatalf("MGU ok=%v but predicate=%v for %v, %v", ok, p, a, b)
+		}
+	}
+}
+
+// Property (via testing/quick): renaming apart two atoms makes their
+// variable sets disjoint.
+func TestQuickRenameApart(t *testing.T) {
+	f := func(id1, id2 int64) bool {
+		if id1 == id2 {
+			return true
+		}
+		a := NewAtom("R", Var("x"), Var("y")).Rename(NewRenamer(id1).Rename)
+		b := NewAtom("R", Var("x"), Var("y")).Rename(NewRenamer(id2).Rename)
+		av := a.Vars(nil)
+		for _, bv := range b.Vars(nil) {
+			for _, n := range av {
+				if n == bv {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtomHelpers(t *testing.T) {
+	a := NewAtom("B", Str("M"), Var("f"), Var("s"))
+	if a.IsGround() {
+		t.Error("atom with vars reported ground")
+	}
+	g := NewAtom("B", Str("M"), Int(1), Str("5A"))
+	if !g.IsGround() {
+		t.Error("ground atom not ground")
+	}
+	tup := g.Tuple()
+	if len(tup) != 3 || tup[1] != value.NewInt(1) {
+		t.Errorf("Tuple() = %v", tup)
+	}
+	vars := a.Vars(nil)
+	if len(vars) != 2 || vars[0] != "f" || vars[1] != "s" {
+		t.Errorf("Vars = %v", vars)
+	}
+	// Vars dedupes against dst.
+	vars = NewAtom("A", Var("f"), Var("g")).Vars(vars)
+	if len(vars) != 3 {
+		t.Errorf("Vars dedupe failed: %v", vars)
+	}
+	if got := a.String(); got != "B('M', f, s)" {
+		t.Errorf("String = %q", got)
+	}
+}

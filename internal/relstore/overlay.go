@@ -1,0 +1,313 @@
+package relstore
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Overlay is a copy-on-write delta view over a base Source: a set of
+// virtual inserts and tombstoned deletes. The quantum database grounds
+// pending transactions sequentially by applying each transaction's update
+// portion to an Overlay and evaluating the next body against it — this is
+// the "consistent grounding" of Definition 3.1 made operational.
+//
+// Overlays nest: the base of an Overlay may itself be an Overlay.
+type Overlay struct {
+	base Source
+	// added and deleted are keyed by relation, then by primary-key string.
+	added   map[string]map[string]value.Tuple
+	deleted map[string]map[string]value.Tuple
+}
+
+// NewOverlay returns an empty delta view over base.
+func NewOverlay(base Source) *Overlay {
+	return &Overlay{
+		base:    base,
+		added:   make(map[string]map[string]value.Tuple),
+		deleted: make(map[string]map[string]value.Tuple),
+	}
+}
+
+// Insert records a virtual insert. It fails if the key is already present
+// (set semantics across base plus delta).
+func (o *Overlay) Insert(rel string, tup value.Tuple) error {
+	sch, ok := o.SchemaOf(rel)
+	if !ok {
+		return fmt.Errorf("relstore: overlay insert into unknown relation %s", rel)
+	}
+	if len(tup) != sch.Arity() {
+		return fmt.Errorf("relstore: overlay %s: arity mismatch for %v", rel, tup)
+	}
+	k := sch.keyOf(tup)
+	if _, dead := o.deleted[rel][k]; dead {
+		// Reinsertion after delete: drop the tombstone.
+		if cur := o.added[rel][k]; cur != nil {
+			return fmt.Errorf("relstore: overlay %s: duplicate key for %v", rel, tup)
+		}
+		delete(o.deleted[rel], k)
+		o.add(rel, k, tup)
+		return nil
+	}
+	if o.keyPresent(rel, k) {
+		return fmt.Errorf("relstore: overlay %s: duplicate key for %v", rel, tup)
+	}
+	o.add(rel, k, tup)
+	return nil
+}
+
+func (o *Overlay) add(rel, k string, tup value.Tuple) {
+	m := o.added[rel]
+	if m == nil {
+		m = make(map[string]value.Tuple)
+		o.added[rel] = m
+	}
+	m[k] = tup.Clone()
+}
+
+// keyPresent reports whether any live row with the given primary key
+// exists in the overlay view.
+func (o *Overlay) keyPresent(rel, k string) bool {
+	return o.ContainsKey(rel, k)
+}
+
+// ContainsKey implements Source.
+func (o *Overlay) ContainsKey(rel string, key string) bool {
+	if _, ok := o.added[rel][key]; ok {
+		return true
+	}
+	if _, dead := o.deleted[rel][key]; dead {
+		return false
+	}
+	return o.base.ContainsKey(rel, key)
+}
+
+// Delete records a tombstone for the exact tuple. Deleting an absent tuple
+// is an error.
+func (o *Overlay) Delete(rel string, tup value.Tuple) error {
+	sch, ok := o.SchemaOf(rel)
+	if !ok {
+		return fmt.Errorf("relstore: overlay delete from unknown relation %s", rel)
+	}
+	k := sch.keyOf(tup)
+	if cur, ok := o.added[rel][k]; ok {
+		if !cur.Equal(tup) {
+			return fmt.Errorf("relstore: overlay %s: delete %v does not match %v", rel, tup, cur)
+		}
+		delete(o.added[rel], k)
+		return nil
+	}
+	if _, dead := o.deleted[rel][k]; dead {
+		return fmt.Errorf("relstore: overlay %s: double delete of %v", rel, tup)
+	}
+	if !o.base.Contains(rel, tup) {
+		return fmt.Errorf("relstore: overlay %s: delete of absent tuple %v", rel, tup)
+	}
+	m := o.deleted[rel]
+	if m == nil {
+		m = make(map[string]value.Tuple)
+		o.deleted[rel] = m
+	}
+	m[k] = tup.Clone()
+	return nil
+}
+
+// ApplyFacts applies a batch of deletes then inserts to the overlay,
+// failing fast on the first error (no rollback: callers use Clone or fresh
+// overlays for speculation).
+func (o *Overlay) ApplyFacts(inserts, deletes []GroundFact) error {
+	for _, d := range deletes {
+		if err := o.Delete(d.Rel, d.Tuple); err != nil {
+			return err
+		}
+	}
+	for _, in := range inserts {
+		if err := o.Insert(in.Rel, in.Tuple); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy of the delta (sharing the base).
+func (o *Overlay) Clone() *Overlay {
+	c := NewOverlay(o.base)
+	for rel, m := range o.added {
+		cm := make(map[string]value.Tuple, len(m))
+		for k, t := range m {
+			cm[k] = t
+		}
+		c.added[rel] = cm
+	}
+	for rel, m := range o.deleted {
+		cm := make(map[string]value.Tuple, len(m))
+		for k, t := range m {
+			cm[k] = t
+		}
+		c.deleted[rel] = cm
+	}
+	return c
+}
+
+// Facts returns the delta as insert and delete fact lists, for flushing an
+// accepted grounding into the base DB.
+func (o *Overlay) Facts() (inserts, deletes []GroundFact) {
+	for rel, m := range o.added {
+		for _, t := range m {
+			inserts = append(inserts, GroundFact{Rel: rel, Tuple: t.Clone()})
+		}
+	}
+	for rel, m := range o.deleted {
+		for _, t := range m {
+			deletes = append(deletes, GroundFact{Rel: rel, Tuple: t.Clone()})
+		}
+	}
+	return inserts, deletes
+}
+
+// SchemaOf implements Source.
+func (o *Overlay) SchemaOf(rel string) (Schema, bool) { return o.base.SchemaOf(rel) }
+
+// Len implements Source.
+func (o *Overlay) Len(rel string) int {
+	return o.base.Len(rel) + len(o.added[rel]) - len(o.deleted[rel])
+}
+
+// Scan implements Source: base rows minus tombstones, plus added rows.
+func (o *Overlay) Scan(rel string, f func(value.Tuple) bool) {
+	dead := o.deleted[rel]
+	stopped := false
+	sch, ok := o.base.SchemaOf(rel)
+	if !ok {
+		return
+	}
+	o.base.Scan(rel, func(t value.Tuple) bool {
+		if dead != nil {
+			if _, d := dead[sch.keyOf(t)]; d {
+				return true
+			}
+		}
+		if !f(t) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for _, t := range o.added[rel] {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// IndexScan implements Source.
+func (o *Overlay) IndexScan(rel string, col int, v value.Value, f func(value.Tuple) bool) {
+	dead := o.deleted[rel]
+	stopped := false
+	sch, ok := o.base.SchemaOf(rel)
+	if !ok {
+		return
+	}
+	o.base.IndexScan(rel, col, v, func(t value.Tuple) bool {
+		if dead != nil {
+			if _, d := dead[sch.keyOf(t)]; d {
+				return true
+			}
+		}
+		if !f(t) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for _, t := range o.added[rel] {
+		if t[col] == v {
+			if !f(t) {
+				return
+			}
+		}
+	}
+}
+
+// IndexCount implements Source. The count is an upper-bound estimate used
+// only for join planning: tombstones are not subtracted (they are few).
+func (o *Overlay) IndexCount(rel string, col int, v value.Value) int {
+	n := o.base.IndexCount(rel, col, v)
+	for _, t := range o.added[rel] {
+		if t[col] == v {
+			n++
+		}
+	}
+	return n
+}
+
+// CompositeScan implements Source.
+func (o *Overlay) CompositeScan(rel string, ix int, key string, f func(value.Tuple) bool) {
+	sch, ok := o.base.SchemaOf(rel)
+	if !ok || ix >= len(sch.Indexes) {
+		return
+	}
+	cols := sch.Indexes[ix]
+	dead := o.deleted[rel]
+	stopped := false
+	o.base.CompositeScan(rel, ix, key, func(t value.Tuple) bool {
+		if dead != nil {
+			if _, d := dead[sch.keyOf(t)]; d {
+				return true
+			}
+		}
+		if !f(t) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for _, t := range o.added[rel] {
+		if t.Key(cols) == key {
+			if !f(t) {
+				return
+			}
+		}
+	}
+}
+
+// CompositeCount implements Source.
+func (o *Overlay) CompositeCount(rel string, ix int, key string) int {
+	n := o.base.CompositeCount(rel, ix, key)
+	sch, ok := o.base.SchemaOf(rel)
+	if !ok || ix >= len(sch.Indexes) {
+		return n
+	}
+	cols := sch.Indexes[ix]
+	for _, t := range o.added[rel] {
+		if t.Key(cols) == key {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains implements Source.
+func (o *Overlay) Contains(rel string, tup value.Tuple) bool {
+	sch, ok := o.base.SchemaOf(rel)
+	if !ok {
+		return false
+	}
+	k := sch.keyOf(tup)
+	if cur, ok := o.added[rel][k]; ok {
+		return cur.Equal(tup)
+	}
+	if _, dead := o.deleted[rel][k]; dead {
+		return false
+	}
+	return o.base.Contains(rel, tup)
+}

@@ -1,0 +1,398 @@
+package relstore
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/value"
+)
+
+// PlannerMode selects the join-order strategy of the conjunctive-query
+// evaluator. The paper's prototype leans on MySQL's optimizer (with
+// optimizer_search_depth tuned down); our engine offers a dynamic
+// greedy planner and a naive static one, so the "bad query plan" anomalies
+// the paper reports (Fig 7/8) can be reproduced as an ablation.
+type PlannerMode int
+
+const (
+	// PlanDynamic re-picks the cheapest unresolved atom after every
+	// binding step, using index-based cardinality estimates. Default.
+	PlanDynamic PlannerMode = iota
+	// PlanStatic evaluates atoms in the textual order they were given,
+	// emulating a fixed (and often bad) join order.
+	PlanStatic
+)
+
+// Query is a conjunctive query: positive relational atoms over shared
+// variables, plus residual constraints checked once their variables are
+// bound. It is the evaluation unit behind the LIMIT-1 satisfiability
+// oracle.
+type Query struct {
+	Atoms []logic.Atom
+	// Checks are residual predicates. Each check is invoked as soon as
+	// every variable in Vars is bound; a false result prunes the branch.
+	Checks []Check
+	// Planner selects the join-order strategy; zero value is PlanDynamic.
+	Planner PlannerMode
+}
+
+// Check is a residual predicate over bound variables.
+type Check struct {
+	Vars []string
+	// Pred receives a binding lookup and reports whether the constraint
+	// holds.
+	Pred func(bind func(string) (value.Value, bool)) bool
+	// Label is used in debug output only.
+	Label string
+}
+
+// Eval enumerates satisfying substitutions of q over src, starting from
+// the (possibly nil) initial substitution, calling emit for each complete
+// solution. emit returns false to stop enumeration. Eval returns an error
+// only for structural problems (unknown relation, arity mismatch).
+func (q Query) Eval(src Source, init logic.Subst, emit func(logic.Subst) bool) error {
+	for _, a := range q.Atoms {
+		sch, ok := src.SchemaOf(a.Rel)
+		if !ok {
+			return fmt.Errorf("relstore: query over unknown relation %s", a.Rel)
+		}
+		if len(a.Args) != sch.Arity() {
+			return fmt.Errorf("relstore: query atom %v has arity %d, relation has %d",
+				a, len(a.Args), sch.Arity())
+		}
+	}
+	s := init
+	if s == nil {
+		s = logic.NewSubst()
+	} else {
+		s = s.Clone()
+	}
+	e := evaluator{src: src, q: q, emit: emit}
+	e.pendingChecks = append(e.pendingChecks, q.Checks...)
+	remaining := make([]int, len(q.Atoms))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	e.run(s, remaining)
+	return nil
+}
+
+// FindOne returns the first satisfying substitution, or ok=false if the
+// query is unsatisfiable over src. This is the LIMIT 1 oracle.
+func (q Query) FindOne(src Source, init logic.Subst) (logic.Subst, bool, error) {
+	var found logic.Subst
+	err := q.Eval(src, init, func(s logic.Subst) bool {
+		found = s.Clone()
+		return false
+	})
+	return found, found != nil, err
+}
+
+// FindAll returns up to limit satisfying substitutions (limit <= 0 means
+// no limit).
+func (q Query) FindAll(src Source, init logic.Subst, limit int) ([]logic.Subst, error) {
+	var out []logic.Subst
+	err := q.Eval(src, init, func(s logic.Subst) bool {
+		out = append(out, s.Clone())
+		return limit <= 0 || len(out) < limit
+	})
+	return out, err
+}
+
+// Count returns the number of satisfying substitutions.
+func (q Query) Count(src Source) (int, error) {
+	n := 0
+	err := q.Eval(src, nil, func(logic.Subst) bool { n++; return true })
+	return n, err
+}
+
+type evaluator struct {
+	src           Source
+	q             Query
+	emit          func(logic.Subst) bool
+	pendingChecks []Check
+	stopped       bool
+}
+
+// run recursively grounds the remaining atoms (indexes into q.Atoms).
+func (e *evaluator) run(s logic.Subst, remaining []int) {
+	if e.stopped {
+		return
+	}
+	if len(remaining) == 0 {
+		if !e.checksHold(s, true) {
+			return
+		}
+		if !e.emit(s) {
+			e.stopped = true
+		}
+		return
+	}
+	// Prune early using any check whose variables are all bound.
+	if !e.checksHold(s, false) {
+		return
+	}
+	pick := 0
+	if e.q.Planner == PlanDynamic {
+		pick = e.cheapest(s, remaining)
+	}
+	atomIdx := remaining[pick]
+	rest := make([]int, 0, len(remaining)-1)
+	rest = append(rest, remaining[:pick]...)
+	rest = append(rest, remaining[pick+1:]...)
+	a := e.q.Atoms[atomIdx]
+
+	e.enumerate(s, a, func(s2 logic.Subst) {
+		e.run(s2, rest)
+	})
+}
+
+// checksHold evaluates residual checks. If final is false, checks whose
+// variables are not yet all bound are skipped (they will be re-checked);
+// if final is true, unbound variables are an internal error caught as a
+// failed check.
+func (e *evaluator) checksHold(s logic.Subst, final bool) bool {
+	bind := func(n string) (value.Value, bool) {
+		t := s.Walk(logic.Var(n))
+		if t.IsVar() {
+			return value.Value{}, false
+		}
+		return t.Value(), true
+	}
+	for _, c := range e.pendingChecks {
+		allBound := true
+		for _, v := range c.Vars {
+			if _, ok := bind(v); !ok {
+				allBound = false
+				break
+			}
+		}
+		if !allBound {
+			if final {
+				return false
+			}
+			continue
+		}
+		if !c.Pred(bind) {
+			return false
+		}
+	}
+	return true
+}
+
+// cheapest returns the position in remaining of the atom with the lowest
+// cardinality estimate under the current bindings.
+func (e *evaluator) cheapest(s logic.Subst, remaining []int) int {
+	best, bestCost := 0, int(^uint(0)>>1)
+	for pos, idx := range remaining {
+		cost := e.estimate(s, e.q.Atoms[idx])
+		if cost < bestCost {
+			best, bestCost = pos, cost
+		}
+	}
+	return best
+}
+
+// estimate approximates how many rows match atom a under s: the smallest
+// single-column or fully-bound composite index bucket, or the full
+// relation size if no column is bound. Fully ground atoms cost 0 (a
+// containment probe).
+func (e *evaluator) estimate(s logic.Subst, a logic.Atom) int {
+	bound := 0
+	minBucket := -1
+	boundVals := make([]value.Value, len(a.Args))
+	isBound := make([]bool, len(a.Args))
+	for col, t := range a.Args {
+		w := s.Walk(t)
+		if w.IsVar() {
+			continue
+		}
+		bound++
+		isBound[col] = true
+		boundVals[col] = w.Value()
+		n := e.src.IndexCount(a.Rel, col, w.Value())
+		if minBucket < 0 || n < minBucket {
+			minBucket = n
+		}
+	}
+	if bound == len(a.Args) {
+		return 0
+	}
+	if sch, ok := e.src.SchemaOf(a.Rel); ok {
+		for ix, cols := range sch.Indexes {
+			key, ok := compositeKey(cols, isBound, boundVals)
+			if !ok {
+				continue
+			}
+			if n := e.src.CompositeCount(a.Rel, ix, key); minBucket < 0 || n < minBucket {
+				minBucket = n
+			}
+		}
+	}
+	if minBucket >= 0 {
+		return minBucket
+	}
+	return e.src.Len(a.Rel)
+}
+
+// compositeKey builds the projection key for a composite index if every
+// indexed column is bound.
+func compositeKey(cols []int, isBound []bool, vals []value.Value) (string, bool) {
+	var buf []byte
+	for _, c := range cols {
+		if !isBound[c] {
+			return "", false
+		}
+		buf = vals[c].AppendBinary(buf)
+	}
+	return string(buf), true
+}
+
+// enumerate finds all tuples matching atom a under s and calls k with the
+// extended substitution for each.
+func (e *evaluator) enumerate(s logic.Subst, a logic.Atom, k func(logic.Subst)) {
+	// Resolve args once and pick the cheapest access path: a containment
+	// probe when ground, else the smallest single-column or fully-bound
+	// composite index bucket, else a scan.
+	walked := make([]logic.Term, len(a.Args))
+	allGround := true
+	bestCol := -1
+	var bestVal value.Value
+	bestCount := -1
+	isBound := make([]bool, len(a.Args))
+	boundVals := make([]value.Value, len(a.Args))
+	for i, t := range a.Args {
+		walked[i] = s.Walk(t)
+		if walked[i].IsVar() {
+			allGround = false
+		} else {
+			isBound[i] = true
+			boundVals[i] = walked[i].Value()
+			n := e.src.IndexCount(a.Rel, i, walked[i].Value())
+			if bestCount < 0 || n < bestCount {
+				bestCol, bestVal, bestCount = i, walked[i].Value(), n
+			}
+		}
+	}
+	if allGround {
+		tup := make(value.Tuple, len(walked))
+		for i, t := range walked {
+			tup[i] = t.Value()
+		}
+		if e.src.Contains(a.Rel, tup) {
+			k(s)
+		}
+		return
+	}
+	bestComp, bestCompKey := -1, ""
+	if sch, ok := e.src.SchemaOf(a.Rel); ok {
+		for ix, cols := range sch.Indexes {
+			key, ok := compositeKey(cols, isBound, boundVals)
+			if !ok {
+				continue
+			}
+			if n := e.src.CompositeCount(a.Rel, ix, key); bestCount < 0 || n < bestCount {
+				bestComp, bestCompKey, bestCount = ix, key, n
+			}
+		}
+	}
+	match := func(tup value.Tuple) bool {
+		if e.stopped {
+			return false
+		}
+		s2 := s
+		extended := false
+		for i, t := range walked {
+			if t.IsVar() {
+				continue
+			}
+			if tup[i] != t.Value() {
+				return true // mismatch; keep scanning
+			}
+		}
+		// Bind variables; repeated variables must agree.
+		for i, t := range walked {
+			if !t.IsVar() {
+				continue
+			}
+			if !extended {
+				s2 = s.Clone()
+				extended = true
+			}
+			w := s2.Walk(t)
+			if w.IsVar() {
+				s2[w.Name()] = logic.Const(tup[i])
+			} else if w.Value() != tup[i] {
+				return true
+			}
+		}
+		if !extended {
+			s2 = s.Clone()
+		}
+		k(s2)
+		return !e.stopped
+	}
+	if bestComp >= 0 {
+		e.src.CompositeScan(a.Rel, bestComp, bestCompKey, match)
+		return
+	}
+	if bestCol >= 0 {
+		e.src.IndexScan(a.Rel, bestCol, bestVal, match)
+		return
+	}
+	e.src.Scan(a.Rel, match)
+}
+
+// NeqCheck builds a residual check asserting that two terms are not equal
+// once bound. Used to encode the ¬ϕ conjuncts of Theorem 3.5.
+func NeqCheck(a, b logic.Term) Check {
+	var vars []string
+	if a.IsVar() {
+		vars = append(vars, a.Name())
+	}
+	if b.IsVar() {
+		vars = append(vars, b.Name())
+	}
+	return Check{
+		Vars:  vars,
+		Label: fmt.Sprintf("%v != %v", a, b),
+		Pred: func(bind func(string) (value.Value, bool)) bool {
+			av, aok := resolveTerm(a, bind)
+			bv, bok := resolveTerm(b, bind)
+			if !aok || !bok {
+				return true // not yet decidable; final pass re-checks
+			}
+			return av != bv
+		},
+	}
+}
+
+// EqCheck builds a residual check asserting equality of two terms.
+func EqCheck(a, b logic.Term) Check {
+	var vars []string
+	if a.IsVar() {
+		vars = append(vars, a.Name())
+	}
+	if b.IsVar() {
+		vars = append(vars, b.Name())
+	}
+	return Check{
+		Vars:  vars,
+		Label: fmt.Sprintf("%v = %v", a, b),
+		Pred: func(bind func(string) (value.Value, bool)) bool {
+			av, aok := resolveTerm(a, bind)
+			bv, bok := resolveTerm(b, bind)
+			if !aok || !bok {
+				return true
+			}
+			return av == bv
+		},
+	}
+}
+
+func resolveTerm(t logic.Term, bind func(string) (value.Value, bool)) (value.Value, bool) {
+	if !t.IsVar() {
+		return t.Value(), true
+	}
+	return bind(t.Name())
+}

@@ -1,0 +1,84 @@
+// Package relstore is an embedded, in-memory relational engine: keyed
+// tables with hash primary and secondary indexes, a delta overlay for
+// evaluating hypothetical updates, and a conjunctive-query evaluator with a
+// LIMIT-1 mode (FindOne) that serves as the satisfiability oracle of the
+// quantum database — the role MySQL's LIMIT 1 queries play in the paper's
+// prototype.
+package relstore
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Schema describes one relation: its name, column names, and the indexes
+// of the columns forming the primary key. Per the paper's §3.2.1
+// assumption, every relation that appears in a FOLLOWED BY clause must
+// have a key; a nil Key here means "all columns" (set semantics).
+type Schema struct {
+	Name    string
+	Columns []string
+	Key     []int // indexes into Columns; nil means the whole tuple
+	// Indexes declares composite secondary indexes (each a list of column
+	// positions). Single-column hash indexes exist implicitly on every
+	// column; composite indexes serve conjunctive lookups whose
+	// single-column buckets are large (e.g. a seat label shared by every
+	// flight).
+	Indexes [][]int
+}
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.Columns) }
+
+// KeyColumns returns the effective key column indexes: Key if set,
+// otherwise all columns.
+func (s *Schema) KeyColumns() []int {
+	if s.Key != nil {
+		return s.Key
+	}
+	all := make([]int, len(s.Columns))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// Validate checks structural sanity of the schema.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("relstore: schema with empty name")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("relstore: relation %s has no columns", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		if c == "" {
+			return fmt.Errorf("relstore: relation %s has empty column name", s.Name)
+		}
+		if seen[c] {
+			return fmt.Errorf("relstore: relation %s has duplicate column %q", s.Name, c)
+		}
+		seen[c] = true
+	}
+	for _, k := range s.Key {
+		if k < 0 || k >= len(s.Columns) {
+			return fmt.Errorf("relstore: relation %s key column %d out of range", s.Name, k)
+		}
+	}
+	for _, ix := range s.Indexes {
+		if len(ix) == 0 {
+			return fmt.Errorf("relstore: relation %s has an empty composite index", s.Name)
+		}
+		for _, c := range ix {
+			if c < 0 || c >= len(s.Columns) {
+				return fmt.Errorf("relstore: relation %s index column %d out of range", s.Name, c)
+			}
+		}
+	}
+	return nil
+}
+
+// keyOf computes the primary-key string of a tuple under this schema.
+func (s *Schema) keyOf(t value.Tuple) string { return t.Key(s.KeyColumns()) }

@@ -1,0 +1,202 @@
+package relstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// Snapshot format: a small self-describing binary encoding of schemas
+// and rows, used by the quantum database's checkpointing (bounding WAL
+// replay length). Layout:
+//
+//	magic "QDBSNAP1"
+//	uvarint tableCount
+//	per table: name, columns, key, composite indexes, rowCount, rows
+//
+// Strings are uvarint-length-prefixed; values use value.AppendBinary.
+
+const snapMagic = "QDBSNAP1"
+
+// EncodeSnapshot writes the full database state to w.
+func (db *DB) EncodeSnapshot(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapMagic); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	writeUvarint(bw, uint64(len(names)))
+	for _, n := range names {
+		t := db.tables[n]
+		writeString(bw, t.schema.Name)
+		writeUvarint(bw, uint64(len(t.schema.Columns)))
+		for _, c := range t.schema.Columns {
+			writeString(bw, c)
+		}
+		writeIntSlice(bw, t.schema.Key)
+		writeUvarint(bw, uint64(len(t.schema.Indexes)))
+		for _, ix := range t.schema.Indexes {
+			writeIntSlice(bw, ix)
+		}
+		writeUvarint(bw, uint64(len(t.rows)))
+		for _, row := range t.rows {
+			var buf []byte
+			for _, v := range row {
+				buf = v.AppendBinary(buf)
+			}
+			writeUvarint(bw, uint64(len(buf)))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeSnapshot reads a database written by EncodeSnapshot.
+func DecodeSnapshot(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("relstore: snapshot header: %w", err)
+	}
+	if string(magic) != snapMagic {
+		return nil, fmt.Errorf("relstore: bad snapshot magic %q", magic)
+	}
+	db := NewDB()
+	nTables, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nTables; i++ {
+		var s Schema
+		if s.Name, err = readString(br); err != nil {
+			return nil, err
+		}
+		nCols, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		for c := uint64(0); c < nCols; c++ {
+			col, err := readString(br)
+			if err != nil {
+				return nil, err
+			}
+			s.Columns = append(s.Columns, col)
+		}
+		if s.Key, err = readIntSlice(br); err != nil {
+			return nil, err
+		}
+		nIdx, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		for x := uint64(0); x < nIdx; x++ {
+			ix, err := readIntSlice(br)
+			if err != nil {
+				return nil, err
+			}
+			s.Indexes = append(s.Indexes, ix)
+		}
+		if err := db.CreateTable(s); err != nil {
+			return nil, err
+		}
+		nRows, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		for rIdx := uint64(0); rIdx < nRows; rIdx++ {
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, err
+			}
+			var tup value.Tuple
+			for len(buf) > 0 {
+				v, w, err := value.DecodeBinary(buf)
+				if err != nil {
+					return nil, err
+				}
+				tup = append(tup, v)
+				buf = buf[w:]
+			}
+			if len(tup) != len(s.Columns) {
+				return nil, fmt.Errorf("relstore: snapshot row arity %d for %s", len(tup), s.Name)
+			}
+			if err := db.Insert(s.Name, tup); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("relstore: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// writeIntSlice encodes a possibly-nil int slice, distinguishing nil
+// (encoded as 0) from empty (unused by schemas).
+func writeIntSlice(w *bufio.Writer, s []int) {
+	writeUvarint(w, uint64(len(s)))
+	for _, v := range s {
+		writeUvarint(w, uint64(v))
+	}
+}
+
+func readIntSlice(r *bufio.Reader) ([]int, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("relstore: implausible slice length %d", n)
+	}
+	out := make([]int, n)
+	for i := range out {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package relstore
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// table is the physical storage of one relation: a primary hash index from
+// key string to tuple, plus one secondary hash index per column mapping a
+// column value to the set of row keys carrying it.
+type table struct {
+	schema Schema
+	rows   map[string]value.Tuple
+	// index[c] maps the binary key of the value in column c to the primary
+	// keys of rows holding it.
+	index []map[string]map[string]struct{}
+	// comp[i] is the composite index for schema.Indexes[i], mapping the
+	// projection key of the indexed columns to row keys.
+	comp []map[string]map[string]struct{}
+}
+
+func newTable(s Schema) *table {
+	t := &table{
+		schema: s,
+		rows:   make(map[string]value.Tuple),
+		index:  make([]map[string]map[string]struct{}, s.Arity()),
+		comp:   make([]map[string]map[string]struct{}, len(s.Indexes)),
+	}
+	for i := range t.index {
+		t.index[i] = make(map[string]map[string]struct{})
+	}
+	for i := range t.comp {
+		t.comp[i] = make(map[string]map[string]struct{})
+	}
+	return t
+}
+
+func colKey(v value.Value) string { return string(v.AppendBinary(nil)) }
+
+func (t *table) insert(tup value.Tuple) error {
+	if len(tup) != t.schema.Arity() {
+		return fmt.Errorf("relstore: %s: arity %d tuple into %d-column relation",
+			t.schema.Name, len(tup), t.schema.Arity())
+	}
+	k := t.schema.keyOf(tup)
+	if _, exists := t.rows[k]; exists {
+		return fmt.Errorf("relstore: %s: duplicate key for %v", t.schema.Name, tup)
+	}
+	tup = tup.Clone()
+	t.rows[k] = tup
+	for c, v := range tup {
+		ck := colKey(v)
+		set := t.index[c][ck]
+		if set == nil {
+			set = make(map[string]struct{})
+			t.index[c][ck] = set
+		}
+		set[k] = struct{}{}
+	}
+	for i, cols := range t.schema.Indexes {
+		ck := tup.Key(cols)
+		set := t.comp[i][ck]
+		if set == nil {
+			set = make(map[string]struct{})
+			t.comp[i][ck] = set
+		}
+		set[k] = struct{}{}
+	}
+	return nil
+}
+
+// deleteTuple removes the row whose key matches tup's key. The full tuple
+// must also match, mirroring DELETE of a specific row.
+func (t *table) deleteTuple(tup value.Tuple) error {
+	k := t.schema.keyOf(tup)
+	cur, ok := t.rows[k]
+	if !ok {
+		return fmt.Errorf("relstore: %s: delete of absent tuple %v", t.schema.Name, tup)
+	}
+	if !cur.Equal(tup) {
+		return fmt.Errorf("relstore: %s: delete of %v does not match stored %v",
+			t.schema.Name, tup, cur)
+	}
+	delete(t.rows, k)
+	for c, v := range cur {
+		ck := colKey(v)
+		if set := t.index[c][ck]; set != nil {
+			delete(set, k)
+			if len(set) == 0 {
+				delete(t.index[c], ck)
+			}
+		}
+	}
+	for i, cols := range t.schema.Indexes {
+		ck := cur.Key(cols)
+		if set := t.comp[i][ck]; set != nil {
+			delete(set, k)
+			if len(set) == 0 {
+				delete(t.comp[i], ck)
+			}
+		}
+	}
+	return nil
+}
+
+func (t *table) contains(tup value.Tuple) bool {
+	cur, ok := t.rows[t.schema.keyOf(tup)]
+	return ok && cur.Equal(tup)
+}
+
+func (t *table) scan(f func(value.Tuple) bool) {
+	for _, tup := range t.rows {
+		if !f(tup) {
+			return
+		}
+	}
+}
+
+func (t *table) indexScan(col int, v value.Value, f func(value.Tuple) bool) {
+	set := t.index[col][colKey(v)]
+	for k := range set {
+		if !f(t.rows[k]) {
+			return
+		}
+	}
+}
+
+func (t *table) indexCount(col int, v value.Value) int {
+	return len(t.index[col][colKey(v)])
+}
+
+func (t *table) compScan(ix int, key string, f func(value.Tuple) bool) {
+	for k := range t.comp[ix][key] {
+		if !f(t.rows[k]) {
+			return
+		}
+	}
+}
+
+func (t *table) compCount(ix int, key string) int {
+	return len(t.comp[ix][key])
+}
+
+func (t *table) clone() *table {
+	c := newTable(t.schema)
+	for _, tup := range t.rows {
+		// insert cannot fail when copying a consistent table.
+		if err := c.insert(tup); err != nil {
+			panic("relstore: clone: " + err.Error())
+		}
+	}
+	return c
+}

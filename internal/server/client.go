@@ -1,0 +1,134 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// Client speaks the JSON-lines protocol to a quantum database server.
+// Safe for concurrent use; requests are serialized over one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(Request{Op: "ping"})
+	return err
+}
+
+// CreateTable registers a relation.
+func (c *Client) CreateTable(t TableSpec) error {
+	_, err := c.roundTrip(Request{Op: "create", Table: &t})
+	return err
+}
+
+// Exec applies signed ground writes.
+func (c *Client) Exec(facts string) error {
+	_, err := c.roundTrip(Request{Op: "exec", Facts: facts})
+	return err
+}
+
+// Submit admits a resource transaction (Datalog-like notation).
+func (c *Client) Submit(txn string) (int64, error) {
+	resp, err := c.roundTrip(Request{Op: "txn", Txn: txn})
+	return resp.ID, err
+}
+
+// SubmitSQL admits a resource transaction in SQL syntax.
+func (c *Client) SubmitSQL(stmt string) (int64, error) {
+	resp, err := c.roundTrip(Request{Op: "sql", Txn: stmt})
+	return resp.ID, err
+}
+
+// SubmitEntangled admits an entangled resource transaction.
+func (c *Client) SubmitEntangled(txn, tag, partner string) (int64, error) {
+	resp, err := c.roundTrip(Request{Op: "etxn", Txn: txn, Tag: tag, Partner: partner})
+	return resp.ID, err
+}
+
+// Query runs a conjunctive read (collapsing server-side as needed) and
+// returns variable bindings per row.
+func (c *Client) Query(query string) ([]map[string]value.Value, error) {
+	resp, err := c.roundTrip(Request{Op: "read", Query: query})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]map[string]value.Value, len(resp.Rows))
+	for i, r := range resp.Rows {
+		m := make(map[string]value.Value, len(r))
+		for k, s := range r {
+			v, err := value.Parse(s)
+			if err != nil {
+				return nil, fmt.Errorf("server: bad value %q: %v", s, err)
+			}
+			m[k] = v
+		}
+		rows[i] = m
+	}
+	return rows, nil
+}
+
+// Preview lists the pending transaction IDs a read would collapse.
+func (c *Client) Preview(query string) ([]int64, error) {
+	resp, err := c.roundTrip(Request{Op: "preview", Query: query})
+	return resp.IDs, err
+}
+
+// Ground collapses one transaction; GroundAll collapses everything.
+func (c *Client) Ground(id int64) error {
+	_, err := c.roundTrip(Request{Op: "ground", ID: id})
+	return err
+}
+
+// GroundAll collapses every pending transaction.
+func (c *Client) GroundAll() error {
+	_, err := c.roundTrip(Request{Op: "groundall"})
+	return err
+}
+
+// Pending returns the number of pending transactions.
+func (c *Client) Pending() (int, error) {
+	resp, err := c.roundTrip(Request{Op: "pending"})
+	return resp.Pending, err
+}

@@ -1,0 +1,183 @@
+// Package server exposes a quantum database over TCP with a JSON-lines
+// protocol, making the middle-tier architecture of §4 (Figure 4) an
+// actual network service: application clients submit resource and
+// non-resource transactions; reads collapse server-side state exactly as
+// in-process calls do.
+//
+// Protocol: one JSON request object per line, one JSON response per
+// line. See Request and Response for the schema. The protocol is
+// deliberately plain so that non-Go clients can speak it with any JSON
+// library.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	quantumdb "repro"
+)
+
+// Request is one client command.
+type Request struct {
+	// Op is one of: create, exec, txn, etxn, sql, read, preview, ground,
+	// groundall, pending, stats, ping.
+	Op string `json:"op"`
+	// Txn carries the transaction text (Datalog-like for txn/etxn, SQL
+	// for sql).
+	Txn string `json:"txn,omitempty"`
+	// Query carries the conjunctive query for read/preview.
+	Query string `json:"query,omitempty"`
+	// Facts carries the signed ground atoms for exec.
+	Facts string `json:"facts,omitempty"`
+	// Tag and Partner mark entangled submissions (etxn).
+	Tag     string `json:"tag,omitempty"`
+	Partner string `json:"partner,omitempty"`
+	// ID selects the transaction for ground.
+	ID int64 `json:"id,omitempty"`
+	// Table describes the relation for create.
+	Table *TableSpec `json:"table,omitempty"`
+}
+
+// TableSpec mirrors quantumdb.Table for the wire.
+type TableSpec struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Key     []int    `json:"key,omitempty"`
+	Indexes [][]int  `json:"indexes,omitempty"`
+}
+
+// Response is the server's reply.
+type Response struct {
+	OK      bool                `json:"ok"`
+	Err     string              `json:"err,omitempty"`
+	ID      int64               `json:"id,omitempty"`
+	Rows    []map[string]string `json:"rows,omitempty"`
+	IDs     []int64             `json:"ids,omitempty"`
+	Pending int                 `json:"pending,omitempty"`
+	Stats   *quantumdb.Stats    `json:"stats,omitempty"`
+}
+
+// Server serves one quantum database to many connections. Engine calls
+// are already serialized by the QDB's internal lock; the coordinator's
+// registry gets its own.
+type Server struct {
+	db *quantumdb.DB
+	mu sync.Mutex // guards co
+	co *quantumdb.Coordinator
+}
+
+// New wraps db.
+func New(db *quantumdb.DB) *Server {
+	return &Server{db: db, co: db.NewCoordinator()}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // disconnect or garbage: drop the connection
+		}
+		resp := s.dispatch(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	fail := func(err error) Response { return Response{Err: err.Error()} }
+	switch req.Op {
+	case "ping":
+		return Response{OK: true}
+	case "create":
+		if req.Table == nil {
+			return fail(fmt.Errorf("create requires table"))
+		}
+		t := req.Table
+		if err := s.db.CreateTable(quantumdb.Table{
+			Name: t.Name, Columns: t.Columns, Key: t.Key, Indexes: t.Indexes,
+		}); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "exec":
+		if err := s.db.Exec(req.Facts); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "txn":
+		id, err := s.db.Submit(req.Txn)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, ID: id, Pending: s.db.Pending()}
+	case "etxn":
+		s.mu.Lock()
+		id, err := s.co.Submit(req.Txn, req.Tag, req.Partner)
+		s.mu.Unlock()
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, ID: id, Pending: s.db.Pending()}
+	case "sql":
+		id, err := s.db.SubmitSQL(req.Txn)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, ID: id, Pending: s.db.Pending()}
+	case "read":
+		rows, err := s.db.Query(req.Query)
+		if err != nil {
+			return fail(err)
+		}
+		out := make([]map[string]string, len(rows))
+		for i, r := range rows {
+			m := make(map[string]string, len(r))
+			for k, v := range r {
+				m[k] = v.Quoted()
+			}
+			out[i] = m
+		}
+		return Response{OK: true, Rows: out}
+	case "preview":
+		ids, err := s.db.Preview(req.Query)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, IDs: ids}
+	case "ground":
+		if err := s.db.Ground(req.ID); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "groundall":
+		if err := s.db.GroundAll(); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "pending":
+		return Response{OK: true, Pending: s.db.Pending()}
+	case "stats":
+		st := s.db.Stats()
+		return Response{OK: true, Stats: &st}
+	default:
+		return fail(fmt.Errorf("unknown op %q", req.Op))
+	}
+}

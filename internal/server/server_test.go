@@ -1,0 +1,185 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	quantumdb "repro"
+	"repro/internal/value"
+)
+
+func startServer(t *testing.T) (*Client, *quantumdb.DB) {
+	t.Helper()
+	db, err := quantumdb.Open(quantumdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	srv := New(db)
+	go srv.Serve(l)
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, db
+}
+
+func seatSchema(t *testing.T, c *Client) {
+	t.Helper()
+	tables := []TableSpec{
+		{Name: "Available", Columns: []string{"fno", "sno"}},
+		{Name: "Bookings", Columns: []string{"name", "fno", "sno"}, Key: []int{1, 2}},
+		{Name: "Adjacent", Columns: []string{"fno", "s1", "s2"}, Indexes: [][]int{{0, 1}, {0, 2}}},
+	}
+	for _, tb := range tables {
+		if err := c.CreateTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Exec("+Available(1, '1A'), +Available(1, '1B'), +Available(1, '1C')"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec("+Adjacent(1, '1A', '1B'), +Adjacent(1, '1B', '1A'), +Adjacent(1, '1B', '1C'), +Adjacent(1, '1C', '1B')"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	c, db := startServer(t)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	seatSchema(t, c)
+
+	id, err := c.Submit("-Available(1, s), +Bookings('Mickey', 1, s) :-1 Available(1, s)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("no id")
+	}
+	if n, _ := c.Pending(); n != 1 {
+		t.Fatalf("pending = %d", n)
+	}
+	// Preview first, then collapse by reading.
+	ids, err := c.Preview("Bookings('Mickey', 1, s)")
+	if err != nil || len(ids) != 1 || ids[0] != id {
+		t.Fatalf("preview = %v err=%v", ids, err)
+	}
+	rows, err := c.Query("Bookings('Mickey', 1, s)")
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("rows = %v err=%v", rows, err)
+	}
+	seat := rows[0]["s"]
+	if seat.Kind() != value.String || !strings.HasPrefix(seat.Str(), "1") {
+		t.Fatalf("seat = %v", seat)
+	}
+	if db.Pending() != 0 {
+		t.Fatal("server-side collapse did not happen")
+	}
+}
+
+func TestServerEntangledPair(t *testing.T) {
+	c, _ := startServer(t)
+	seatSchema(t, c)
+	m := "-Available(1, s), +Bookings('Mickey', 1, s) :-1 Available(1, s), ?Bookings('Goofy', 1, m), ?Adjacent(1, s, m)"
+	g := "-Available(1, s), +Bookings('Goofy', 1, s) :-1 Available(1, s), ?Bookings('Mickey', 1, m), ?Adjacent(1, s, m)"
+	if _, err := c.SubmitEntangled(m, "Mickey", "Goofy"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitEntangled(g, "Goofy", "Mickey"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Query("Bookings('Mickey', 1, a), Bookings('Goofy', 1, b), Adjacent(1, a, b)")
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("pair not adjacent: %v err=%v", rows, err)
+	}
+}
+
+func TestServerSQL(t *testing.T) {
+	c, _ := startServer(t)
+	seatSchema(t, c)
+	id, err := c.SubmitSQL(`SELECT A.fno AS @f, A.sno AS @s FROM Available A CHOOSE 1
+		FOLLOWED BY (DELETE (@f, @s) FROM Available; INSERT ('Minnie', @f, @s) INTO Bookings)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ground(id); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Query("Bookings('Minnie', 1, s)")
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("rows = %v err=%v", rows, err)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	c, _ := startServer(t)
+	seatSchema(t, c)
+	if _, err := c.Submit("garbage"); err == nil {
+		t.Error("bad txn accepted")
+	}
+	if err := c.Exec("-Available(1, 'nope')"); err == nil {
+		t.Error("bad exec accepted")
+	}
+	if err := c.Ground(999); err == nil {
+		t.Error("ground of unknown id accepted")
+	}
+	if err := c.CreateTable(TableSpec{Name: "Available", Columns: []string{"x"}}); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	if _, err := c.Query("((("); err == nil {
+		t.Error("bad query accepted")
+	}
+	// Connection still usable after errors.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	c0, db := startServer(t)
+	seatSchema(t, c0)
+	// Enough capacity for all clients.
+	if err := c0.Exec("+Available(1, '2A'), +Available(1, '2B'), +Available(1, '2C')"); err != nil {
+		t.Fatal(err)
+	}
+	addr := "" // reconstruct below via extra dials on the same server
+	_ = addr
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			user := string(rune('a' + i))
+			_, err := c0.Submit("-Available(1, s), +Bookings('" + user + "', 1, s) :-1 Available(1, s)")
+			errs <- err
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c0.GroundAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.Pending(); n != 0 {
+		t.Fatalf("pending = %d", n)
+	}
+	rows, err := c0.Query("Bookings(n, 1, s)")
+	if err != nil || len(rows) != 6 {
+		t.Fatalf("bookings = %d err=%v", len(rows), err)
+	}
+}

@@ -1,0 +1,557 @@
+package txn
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/logic"
+	"repro/internal/value"
+)
+
+// ParseSQL reads a resource transaction in the paper's SQL-flavoured
+// syntax (Figure 1) and compiles it to the Datalog-like core form. The
+// prototype in the paper accepted only the intermediate representation
+// ("Our current implementation does not accept and parse resource
+// transactions in their SQL format"); this front end closes that gap for
+// the subset below.
+//
+//	SELECT 'Mickey', A.fno AS @f, A.sno AS @s
+//	FROM   Available A, OPTIONAL Bookings B, OPTIONAL Adjacent J
+//	WHERE  OPTIONAL ('Goofy', A.fno, J.s2) IN Bookings
+//	  AND  J.fno = A.fno AND J.s1 = A.sno
+//	CHOOSE 1
+//	FOLLOWED BY (
+//	  DELETE (@f, @s) FROM Available;
+//	  INSERT ('Mickey', @f, @s) INTO Bookings; )
+//
+// Supported constructs:
+//   - FROM items `Rel alias` / `OPTIONAL Rel alias`: each contributes one
+//     body atom with a fresh variable per column (optional items yield
+//     OPTIONAL atoms);
+//   - WHERE conjuncts joined by AND:
+//     `alias.col = alias2.col2` (equi-join), `alias.col = <literal>`
+//     (selection), and `[OPTIONAL] (expr, ...) IN Rel` (tuple
+//     membership, another [optional] atom);
+//   - SELECT items: literals or `expr AS @v`, binding names usable in
+//     the FOLLOWED BY block;
+//   - FOLLOWED BY: semicolon-separated `DELETE (args) FROM Rel` and
+//     `INSERT (args) INTO Rel`, args being literals or @names.
+//
+// schema resolves a relation name to its column names (needed to size
+// the per-alias atoms and resolve alias.col references); keywords are
+// case-insensitive, identifiers are not.
+func ParseSQL(src string, schema func(rel string) ([]string, bool)) (*T, error) {
+	p := &sqlParser{toks: sqlTokenize(src), schema: schema}
+	t, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("txn: parse SQL: %w", err)
+	}
+	return t, nil
+}
+
+type sqlToken struct {
+	kind sqlTokKind
+	text string // identifier text, literal source, or punctuation
+}
+
+type sqlTokKind int
+
+const (
+	tokIdent sqlTokKind = iota
+	tokLiteral
+	tokAtName // @name
+	tokPunct  // ( ) , ; = .
+	tokEOF
+)
+
+func sqlTokenize(src string) []sqlToken {
+	var toks []sqlToken
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(src) {
+				if src[j] == '\\' {
+					j += 2
+					continue
+				}
+				if src[j] == '\'' {
+					j++
+					break
+				}
+				j++
+			}
+			toks = append(toks, sqlToken{kind: tokLiteral, text: src[i:j]})
+			i = j
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i
+			if c == '-' {
+				j++
+			}
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, sqlToken{kind: tokLiteral, text: src[i:j]})
+			i = j
+		case c == '@':
+			j := i + 1
+			for j < len(src) && isIdentByte(src[j]) {
+				j++
+			}
+			toks = append(toks, sqlToken{kind: tokAtName, text: src[i+1 : j]})
+			i = j
+		case isIdentStartByte(c):
+			j := i
+			for j < len(src) && isIdentByte(src[j]) {
+				j++
+			}
+			toks = append(toks, sqlToken{kind: tokIdent, text: src[i:j]})
+			i = j
+		default:
+			toks = append(toks, sqlToken{kind: tokPunct, text: string(c)})
+			i++
+		}
+	}
+	return append(toks, sqlToken{kind: tokEOF})
+}
+
+func isIdentStartByte(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+type sqlParser struct {
+	toks   []sqlToken
+	pos    int
+	schema func(string) ([]string, bool)
+
+	// aliases maps a FROM alias to its relation, column names, variable
+	// names and optionality.
+	aliases map[string]*sqlAlias
+	order   []string // alias declaration order
+	// selections maps @name to the Term the SELECT bound it to.
+	selections map[string]logic.Term
+	// subst accumulates equalities from the WHERE clause.
+	subst logic.Subst
+}
+
+type sqlAlias struct {
+	rel      string
+	cols     []string
+	vars     []string
+	optional bool
+}
+
+func (p *sqlParser) cur() sqlToken  { return p.toks[p.pos] }
+func (p *sqlParser) next() sqlToken { t := p.toks[p.pos]; p.pos++; return t }
+
+// keyword consumes an identifier equal (case-insensitively) to kw.
+func (p *sqlParser) keyword(kw string) bool {
+	if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("expected %s, found %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectPunct(s string) error {
+	if p.cur().kind == tokPunct && p.cur().text == s {
+		p.pos++
+		return nil
+	}
+	return fmt.Errorf("expected %q, found %q", s, p.cur().text)
+}
+
+func (p *sqlParser) punct(s string) bool {
+	if p.cur().kind == tokPunct && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) parse() (*T, error) {
+	p.aliases = make(map[string]*sqlAlias)
+	p.selections = make(map[string]logic.Term)
+	p.subst = logic.NewSubst()
+
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	selects, err := p.parseSelectList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.parseFromList(); err != nil {
+		return nil, err
+	}
+	var memberAtoms []BodyAtom
+	if p.keyword("WHERE") {
+		memberAtoms, err = p.parseWhere()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("CHOOSE"); err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokLiteral || p.cur().text != "1" {
+		return nil, fmt.Errorf("only CHOOSE 1 is supported, found %q", p.cur().text)
+	}
+	p.pos++
+	if err := p.expectKeyword("FOLLOWED"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	// Resolve the SELECT bindings now that WHERE equalities are known.
+	for _, s := range selects {
+		if s.name != "" {
+			p.selections[s.name] = p.subst.Walk(s.term)
+		}
+	}
+	ops, err := p.parseFollowedBy()
+	if err != nil {
+		return nil, err
+	}
+
+	t := &T{Update: ops}
+	for _, a := range p.order {
+		al := p.aliases[a]
+		args := make([]logic.Term, len(al.vars))
+		for i, v := range al.vars {
+			args[i] = p.subst.Walk(logic.Var(v))
+		}
+		t.Body = append(t.Body, BodyAtom{
+			Atom:     logic.NewAtom(al.rel, args...),
+			Optional: al.optional,
+		})
+	}
+	for _, m := range memberAtoms {
+		a := m.Atom.Clone()
+		for i, tm := range a.Args {
+			a.Args[i] = p.subst.Walk(tm)
+		}
+		t.Body = append(t.Body, BodyAtom{Atom: a, Optional: m.Optional})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+type sqlSelect struct {
+	term logic.Term
+	name string // "" when not AS-bound
+}
+
+func (p *sqlParser) parseSelectList() ([]sqlSelect, error) {
+	var out []sqlSelect
+	for {
+		term, err := p.parseExprDeferred()
+		if err != nil {
+			return nil, err
+		}
+		s := sqlSelect{term: term}
+		if p.keyword("AS") {
+			if p.cur().kind != tokAtName {
+				return nil, fmt.Errorf("expected @name after AS, found %q", p.cur().text)
+			}
+			s.name = p.next().text
+		}
+		out = append(out, s)
+		if !p.punct(",") {
+			return out, nil
+		}
+	}
+}
+
+// parseExprDeferred parses a literal or alias.col reference. Alias
+// references may appear in SELECT before FROM declares them, so they
+// resolve lazily through deferredVar.
+func (p *sqlParser) parseExprDeferred() (logic.Term, error) {
+	switch p.cur().kind {
+	case tokLiteral:
+		v, err := value.Parse(p.next().text)
+		if err != nil {
+			return logic.Term{}, err
+		}
+		return logic.Const(v), nil
+	case tokIdent:
+		alias := p.next().text
+		if err := p.expectPunct("."); err != nil {
+			return logic.Term{}, err
+		}
+		if p.cur().kind != tokIdent {
+			return logic.Term{}, fmt.Errorf("expected column after %s., found %q", alias, p.cur().text)
+		}
+		col := p.next().text
+		// The canonical variable name for alias.col; FROM will declare
+		// it. Resolution is checked at the end via Validate.
+		return logic.Var(aliasVar(alias, col)), nil
+	default:
+		return logic.Term{}, fmt.Errorf("expected literal or alias.col, found %q", p.cur().text)
+	}
+}
+
+func aliasVar(alias, col string) string { return alias + "_" + col }
+
+func (p *sqlParser) parseFromList() error {
+	for {
+		optional := p.keyword("OPTIONAL")
+		if p.cur().kind != tokIdent {
+			return fmt.Errorf("expected relation in FROM, found %q", p.cur().text)
+		}
+		rel := p.next().text
+		alias := rel
+		if p.cur().kind == tokIdent && !isSQLKeyword(p.cur().text) {
+			alias = p.next().text
+		}
+		cols, ok := p.schema(rel)
+		if !ok {
+			return fmt.Errorf("unknown relation %s in FROM", rel)
+		}
+		if _, dup := p.aliases[alias]; dup {
+			return fmt.Errorf("duplicate alias %s in FROM", alias)
+		}
+		vars := make([]string, len(cols))
+		for i, c := range cols {
+			vars[i] = aliasVar(alias, c)
+		}
+		p.aliases[alias] = &sqlAlias{rel: rel, cols: cols, vars: vars, optional: optional}
+		p.order = append(p.order, alias)
+		if !p.punct(",") {
+			return nil
+		}
+	}
+}
+
+func isSQLKeyword(s string) bool {
+	switch strings.ToUpper(s) {
+	case "SELECT", "FROM", "WHERE", "CHOOSE", "FOLLOWED", "BY", "OPTIONAL",
+		"AND", "IN", "AS", "DELETE", "INSERT", "INTO":
+		return true
+	}
+	return false
+}
+
+// parseWhere consumes AND-joined conjuncts, folding equalities into the
+// substitution and returning membership atoms.
+func (p *sqlParser) parseWhere() ([]BodyAtom, error) {
+	var members []BodyAtom
+	for {
+		optional := p.keyword("OPTIONAL")
+		if p.punct("(") {
+			// Tuple membership: (expr, ...) IN Rel.
+			var terms []logic.Term
+			for {
+				t, err := p.parseExprChecked()
+				if err != nil {
+					return nil, err
+				}
+				terms = append(terms, t)
+				if p.punct(",") {
+					continue
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				break
+			}
+			if err := p.expectKeyword("IN"); err != nil {
+				return nil, err
+			}
+			if p.cur().kind != tokIdent {
+				return nil, fmt.Errorf("expected relation after IN, found %q", p.cur().text)
+			}
+			rel := p.next().text
+			cols, ok := p.schema(rel)
+			if !ok {
+				return nil, fmt.Errorf("unknown relation %s after IN", rel)
+			}
+			if len(terms) != len(cols) {
+				return nil, fmt.Errorf("IN %s expects %d values, got %d", rel, len(cols), len(terms))
+			}
+			members = append(members, BodyAtom{Atom: logic.NewAtom(rel, terms...), Optional: optional})
+		} else {
+			if optional {
+				return nil, fmt.Errorf("OPTIONAL applies to (…) IN Rel conjuncts")
+			}
+			// Equality: expr = expr.
+			l, err := p.parseExprChecked()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			r, err := p.parseExprChecked()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.unify(l, r); err != nil {
+				return nil, err
+			}
+		}
+		if !p.keyword("AND") {
+			return members, nil
+		}
+	}
+}
+
+// parseExprChecked is parseExprDeferred plus a declared-alias check.
+func (p *sqlParser) parseExprChecked() (logic.Term, error) {
+	if p.cur().kind == tokIdent {
+		alias := p.cur().text
+		if _, ok := p.aliases[alias]; !ok {
+			return logic.Term{}, fmt.Errorf("unknown alias %q", alias)
+		}
+		save := p.pos
+		p.pos++
+		if err := p.expectPunct("."); err != nil {
+			p.pos = save
+			return logic.Term{}, err
+		}
+		if p.cur().kind != tokIdent {
+			return logic.Term{}, fmt.Errorf("expected column after %s.", alias)
+		}
+		col := p.next().text
+		al := p.aliases[alias]
+		found := false
+		for _, c := range al.cols {
+			if c == col {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return logic.Term{}, fmt.Errorf("relation %s has no column %q", al.rel, col)
+		}
+		return logic.Var(aliasVar(alias, col)), nil
+	}
+	return p.parseExprDeferred()
+}
+
+func (p *sqlParser) unify(l, r logic.Term) error {
+	lw := p.subst.Walk(l)
+	rw := p.subst.Walk(r)
+	switch {
+	case lw == rw:
+		return nil
+	case lw.IsVar():
+		p.subst[lw.Name()] = rw
+	case rw.IsVar():
+		p.subst[rw.Name()] = lw
+	default:
+		return fmt.Errorf("contradictory equality %v = %v", lw, rw)
+	}
+	return nil
+}
+
+func (p *sqlParser) parseFollowedBy() ([]Op, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var ops []Op
+	for {
+		if p.punct(")") {
+			break
+		}
+		var insert bool
+		switch {
+		case p.keyword("DELETE"):
+			insert = false
+		case p.keyword("INSERT"):
+			insert = true
+		default:
+			return nil, fmt.Errorf("expected DELETE or INSERT, found %q", p.cur().text)
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var terms []logic.Term
+		for {
+			t, err := p.parseUpdateArg()
+			if err != nil {
+				return nil, err
+			}
+			terms = append(terms, t)
+			if p.punct(",") {
+				continue
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		if insert {
+			if err := p.expectKeyword("INTO"); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := p.expectKeyword("FROM"); err != nil {
+				return nil, err
+			}
+		}
+		if p.cur().kind != tokIdent {
+			return nil, fmt.Errorf("expected relation, found %q", p.cur().text)
+		}
+		rel := p.next().text
+		cols, ok := p.schema(rel)
+		if !ok {
+			return nil, fmt.Errorf("unknown relation %s in FOLLOWED BY", rel)
+		}
+		if len(terms) != len(cols) {
+			return nil, fmt.Errorf("%s expects %d values, got %d", rel, len(cols), len(terms))
+		}
+		ops = append(ops, Op{Insert: insert, Atom: logic.NewAtom(rel, terms...)})
+		p.punct(";") // separator; optional before ')'
+	}
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("trailing input %q after FOLLOWED BY block", p.cur().text)
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("empty FOLLOWED BY block")
+	}
+	return ops, nil
+}
+
+// parseUpdateArg reads a literal or an @name bound in the SELECT list.
+func (p *sqlParser) parseUpdateArg() (logic.Term, error) {
+	switch p.cur().kind {
+	case tokLiteral:
+		v, err := value.Parse(p.next().text)
+		if err != nil {
+			return logic.Term{}, err
+		}
+		return logic.Const(v), nil
+	case tokAtName:
+		name := p.next().text
+		t, ok := p.selections[name]
+		if !ok {
+			return logic.Term{}, fmt.Errorf("@%s not bound by the SELECT list", name)
+		}
+		return t, nil
+	default:
+		return logic.Term{}, fmt.Errorf("expected literal or @name, found %q", p.cur().text)
+	}
+}

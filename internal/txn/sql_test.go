@@ -1,0 +1,158 @@
+package txn
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// travelSchema resolves the relations of the running example.
+func travelSchema(rel string) ([]string, bool) {
+	switch rel {
+	case "Available":
+		return []string{"fno", "sno"}, true
+	case "Bookings":
+		return []string{"name", "fno", "sno"}, true
+	case "Adjacent":
+		return []string{"fno", "s1", "s2"}, true
+	case "Flights":
+		return []string{"fno", "dest"}, true
+	}
+	return nil, false
+}
+
+const figure1SQL = `
+SELECT 'Mickey', A.fno AS @f, A.sno AS @s
+FROM   Flights F, Available A, OPTIONAL Adjacent J
+WHERE  OPTIONAL ('Goofy', A.fno, J.s2) IN Bookings
+  AND  F.dest = 'LA' AND A.fno = F.fno
+  AND  J.fno = A.fno AND J.s1 = A.sno
+CHOOSE 1
+FOLLOWED BY (
+  DELETE (@f, @s) FROM Available;
+  INSERT ('Mickey', @f, @s) INTO Bookings; )`
+
+func TestParseSQLFigure1(t *testing.T) {
+	tx, err := ParseSQL(figure1SQL, travelSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.Update) != 2 {
+		t.Fatalf("updates = %d, want 2", len(tx.Update))
+	}
+	if tx.Update[0].Insert || tx.Update[0].Atom.Rel != "Available" {
+		t.Errorf("first op = %v, want delete from Available", tx.Update[0])
+	}
+	if !tx.Update[1].Insert || tx.Update[1].Atom.Rel != "Bookings" {
+		t.Errorf("second op = %v, want insert into Bookings", tx.Update[1])
+	}
+	if got := tx.Update[1].Atom.Args[0]; got != logic.Str("Mickey") {
+		t.Errorf("insert name = %v", got)
+	}
+	// Body: Flights (hard), Available (hard), Adjacent (optional),
+	// Bookings membership (optional).
+	if len(tx.HardAtoms()) != 2 {
+		t.Fatalf("hard atoms: %v", tx.HardAtoms())
+	}
+	if len(tx.OptionalAtoms()) != 2 {
+		t.Fatalf("optional atoms: %v", tx.OptionalAtoms())
+	}
+	// The selection F.dest='LA' was folded into the Flights atom.
+	var flights logic.Atom
+	for _, a := range tx.HardAtoms() {
+		if a.Rel == "Flights" {
+			flights = a
+		}
+	}
+	if flights.Args == nil || flights.Args[1] != logic.Str("LA") {
+		t.Errorf("Flights atom = %v, want dest folded to 'LA'", flights)
+	}
+	// The equi-join A.fno = F.fno unified the flight variables: the
+	// Available atom and the Flights atom share their first argument.
+	var avail logic.Atom
+	for _, a := range tx.HardAtoms() {
+		if a.Rel == "Available" {
+			avail = a
+		}
+	}
+	if avail.Args[0] != flights.Args[0] {
+		t.Errorf("join not folded: Available %v vs Flights %v", avail, flights)
+	}
+	// The whole thing round-trips through the Datalog printer/parser.
+	if _, err := Parse(tx.String()); err != nil {
+		t.Fatalf("compiled txn does not re-parse: %v\n%s", err, tx.String())
+	}
+	// The update uses the seat variable bound by SELECT ... AS @s.
+	if tx.Update[0].Atom.Args[1] != avail.Args[1] {
+		t.Errorf("@s not wired: delete %v vs available %v", tx.Update[0].Atom, avail)
+	}
+}
+
+func TestParseSQLSimple(t *testing.T) {
+	tx, err := ParseSQL(`SELECT A.fno AS @f, A.sno AS @s FROM Available A
+		WHERE A.fno = 123 CHOOSE 1
+		FOLLOWED BY (DELETE (@f, @s) FROM Available; INSERT ('Pluto', @f, @s) INTO Bookings)`,
+		travelSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.Body) != 1 || tx.Body[0].Optional {
+		t.Fatalf("body = %v", tx.Body)
+	}
+	if tx.Body[0].Atom.Args[0] != logic.Int(123) {
+		t.Errorf("selection not folded: %v", tx.Body[0].Atom)
+	}
+}
+
+func TestParseSQLKeywordsCaseInsensitive(t *testing.T) {
+	_, err := ParseSQL(`select A.fno as @f, A.sno as @s from Available A choose 1
+		followed by (delete (@f, @s) from Available)`, travelSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSQLNoAliasDefaultsToRelName(t *testing.T) {
+	tx, err := ParseSQL(`SELECT Available.fno AS @f, Available.sno AS @s FROM Available CHOOSE 1
+		FOLLOWED BY (DELETE (@f, @s) FROM Available)`, travelSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Body[0].Atom.Rel != "Available" {
+		t.Fatalf("body = %v", tx.Body)
+	}
+}
+
+func TestParseSQLErrors(t *testing.T) {
+	bad := []struct{ name, src string }{
+		{"missing select", `FROM Available A CHOOSE 1 FOLLOWED BY (DELETE (1,'a') FROM Available)`},
+		{"unknown relation", `SELECT A.fno AS @f FROM Nope A CHOOSE 1 FOLLOWED BY (DELETE (@f) FROM Nope)`},
+		{"unknown alias in where", `SELECT A.fno AS @f, A.sno AS @s FROM Available A WHERE Z.fno = 1 CHOOSE 1 FOLLOWED BY (DELETE (@f, @s) FROM Available)`},
+		{"unknown column", `SELECT A.fno AS @f, A.sno AS @s FROM Available A WHERE A.nope = 1 CHOOSE 1 FOLLOWED BY (DELETE (@f, @s) FROM Available)`},
+		{"choose 2", `SELECT A.fno AS @f, A.sno AS @s FROM Available A CHOOSE 2 FOLLOWED BY (DELETE (@f, @s) FROM Available)`},
+		{"unbound @name", `SELECT A.fno AS @f FROM Available A CHOOSE 1 FOLLOWED BY (DELETE (@f, @zz) FROM Available)`},
+		{"arity in IN", `SELECT A.fno AS @f, A.sno AS @s FROM Available A WHERE ('x') IN Bookings CHOOSE 1 FOLLOWED BY (DELETE (@f, @s) FROM Available)`},
+		{"arity in update", `SELECT A.fno AS @f FROM Available A CHOOSE 1 FOLLOWED BY (DELETE (@f) FROM Available)`},
+		{"empty followed by", `SELECT A.fno AS @f FROM Available A CHOOSE 1 FOLLOWED BY ( )`},
+		{"contradictory equality", `SELECT A.fno AS @f, A.sno AS @s FROM Available A WHERE 1 = 2 CHOOSE 1 FOLLOWED BY (DELETE (@f, @s) FROM Available)`},
+		{"duplicate alias", `SELECT A.fno AS @f, A.sno AS @s FROM Available A, Bookings A CHOOSE 1 FOLLOWED BY (DELETE (@f, @s) FROM Available)`},
+		{"trailing garbage", `SELECT A.fno AS @f, A.sno AS @s FROM Available A CHOOSE 1 FOLLOWED BY (DELETE (@f, @s) FROM Available) extra`},
+		{"optional equality", `SELECT A.fno AS @f, A.sno AS @s FROM Available A WHERE OPTIONAL A.fno = 1 CHOOSE 1 FOLLOWED BY (DELETE (@f, @s) FROM Available)`},
+	}
+	for _, c := range bad {
+		if _, err := ParseSQL(c.src, travelSchema); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestParseSQLOptionalRangeRestriction: a variable bound only by an
+// OPTIONAL FROM item cannot feed the update portion.
+func TestParseSQLOptionalRangeRestriction(t *testing.T) {
+	_, err := ParseSQL(`SELECT J.s2 AS @x FROM OPTIONAL Adjacent J CHOOSE 1
+		FOLLOWED BY (DELETE (1, @x) FROM Available)`, travelSchema)
+	if err == nil || !strings.Contains(err.Error(), "range restriction") {
+		t.Fatalf("err = %v, want range-restriction failure", err)
+	}
+}

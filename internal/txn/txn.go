@@ -1,0 +1,220 @@
+// Package txn defines resource transactions (§2 of the paper): a
+// conjunctive body of hard and OPTIONAL atoms with a CHOOSE 1 semantics,
+// followed by an update portion of blind single-tuple inserts and deletes.
+// The package provides validation (range restriction), renaming-apart,
+// a parser and printer for the paper's Datalog-like notation, and a stable
+// serialization used by the WAL-backed pending-transactions table.
+package txn
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// BodyAtom is one conjunct of a transaction body. Optional marks the soft
+// preferences (underlined atoms in the paper): they do not constrain
+// admission, and are satisfied at grounding time if possible.
+type BodyAtom struct {
+	Atom     logic.Atom
+	Optional bool
+}
+
+// String renders the atom, prefixing optional atoms with '?'.
+func (b BodyAtom) String() string {
+	if b.Optional {
+		return "?" + b.Atom.String()
+	}
+	return b.Atom.String()
+}
+
+// Op is one update operation: a blind insert (+) or delete (-) of a single
+// tuple, possibly containing variables bound by the body.
+type Op struct {
+	Insert bool
+	Atom   logic.Atom
+}
+
+// String renders the op as +R(...) or -R(...).
+func (o Op) String() string {
+	if o.Insert {
+		return "+" + o.Atom.String()
+	}
+	return "-" + o.Atom.String()
+}
+
+// T is a resource transaction: U :-1 B. The zero value is an empty,
+// invalid transaction.
+type T struct {
+	// ID is assigned by the quantum database at admission; 0 before.
+	ID int64
+	// Update is the FOLLOWED BY block: blind writes executed at grounding.
+	Update []Op
+	// Body is the conjunctive query with hard and optional atoms.
+	Body []BodyAtom
+	// Tag is an optional application label (e.g. the requesting user);
+	// carried through serialization, not interpreted by the engine.
+	Tag string
+	// PartnerTag, when non-empty, marks this as an entangled resource
+	// transaction coordinating with the transaction(s) tagged PartnerTag
+	// (§5.1); the entanglement policy grounds both when partners meet.
+	PartnerTag string
+}
+
+// HardAtoms returns the non-optional body atoms.
+func (t *T) HardAtoms() []logic.Atom {
+	var out []logic.Atom
+	for _, b := range t.Body {
+		if !b.Optional {
+			out = append(out, b.Atom)
+		}
+	}
+	return out
+}
+
+// OptionalAtoms returns the optional body atoms.
+func (t *T) OptionalAtoms() []logic.Atom {
+	var out []logic.Atom
+	for _, b := range t.Body {
+		if b.Optional {
+			out = append(out, b.Atom)
+		}
+	}
+	return out
+}
+
+// Vars returns the variable names of the whole transaction in order of
+// first occurrence (body first, then update).
+func (t *T) Vars() []string {
+	var vars []string
+	for _, b := range t.Body {
+		vars = b.Atom.Vars(vars)
+	}
+	for _, u := range t.Update {
+		vars = u.Atom.Vars(vars)
+	}
+	return vars
+}
+
+// Validate checks structural sanity:
+//   - at least one update op;
+//   - range restriction: every variable in the update portion appears in a
+//     hard (non-optional) body atom, so admission satisfiability implies
+//     executability;
+//   - no variable occurs only optionally and in the update.
+func (t *T) Validate() error {
+	if len(t.Update) == 0 {
+		return fmt.Errorf("txn: transaction with empty update portion")
+	}
+	var hard []string
+	for _, b := range t.Body {
+		if !b.Optional {
+			hard = b.Atom.Vars(hard)
+		}
+	}
+	hardSet := make(map[string]bool, len(hard))
+	for _, v := range hard {
+		hardSet[v] = true
+	}
+	for _, u := range t.Update {
+		for _, v := range u.Atom.Vars(nil) {
+			if !hardSet[v] {
+				return fmt.Errorf("txn: update variable %q not bound by a hard body atom (range restriction)", v)
+			}
+		}
+	}
+	return nil
+}
+
+// RenamedApart returns a copy of t whose variables carry a "#id" suffix so
+// distinct transactions share no variables when composed (the standing
+// assumption of Lemma 3.4).
+func (t *T) RenamedApart() *T {
+	r := logic.NewRenamer(t.ID)
+	c := &T{ID: t.ID, Tag: t.Tag, PartnerTag: t.PartnerTag}
+	c.Body = make([]BodyAtom, len(t.Body))
+	for i, b := range t.Body {
+		c.Body[i] = BodyAtom{Atom: b.Atom.Rename(r.Rename), Optional: b.Optional}
+	}
+	c.Update = make([]Op, len(t.Update))
+	for i, u := range t.Update {
+		c.Update[i] = Op{Insert: u.Insert, Atom: u.Atom.Rename(r.Rename)}
+	}
+	return c
+}
+
+// Inserts returns the insert ops of the update portion.
+func (t *T) Inserts() []logic.Atom {
+	var out []logic.Atom
+	for _, u := range t.Update {
+		if u.Insert {
+			out = append(out, u.Atom)
+		}
+	}
+	return out
+}
+
+// Deletes returns the delete ops of the update portion.
+func (t *T) Deletes() []logic.Atom {
+	var out []logic.Atom
+	for _, u := range t.Update {
+		if !u.Insert {
+			out = append(out, u.Atom)
+		}
+	}
+	return out
+}
+
+// String renders the transaction in the parseable Datalog-like notation:
+//
+//	-A(f1, s1), +B('Mickey', f1, s1) :-1 A(f1, s1), ?B('Goofy', f1, s2)
+func (t *T) String() string {
+	var b strings.Builder
+	for i, u := range t.Update {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(u.String())
+	}
+	b.WriteString(" :-1 ")
+	for i, at := range t.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(at.String())
+	}
+	return b.String()
+}
+
+// envelope is the JSON serialization written to the pending-transactions
+// table. The body/update go through the textual notation, which the parser
+// round-trips exactly.
+type envelope struct {
+	ID         int64  `json:"id"`
+	Tag        string `json:"tag,omitempty"`
+	PartnerTag string `json:"partner,omitempty"`
+	Text       string `json:"text"`
+}
+
+// Marshal serializes t for the WAL-backed pending table.
+func (t *T) Marshal() ([]byte, error) {
+	return json.Marshal(envelope{ID: t.ID, Tag: t.Tag, PartnerTag: t.PartnerTag, Text: t.String()})
+}
+
+// Unmarshal reconstructs a transaction serialized by Marshal.
+func Unmarshal(data []byte) (*T, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("txn: unmarshal: %w", err)
+	}
+	t, err := Parse(env.Text)
+	if err != nil {
+		return nil, fmt.Errorf("txn: unmarshal body: %w", err)
+	}
+	t.ID = env.ID
+	t.Tag = env.Tag
+	t.PartnerTag = env.PartnerTag
+	return t, nil
+}

@@ -1,0 +1,221 @@
+package txn
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+const mickey = "-A(f1, s1), +B('Mickey', f1, s1) :-1 A(f1, s1), ?B('Goofy', f1, s2), ?Adj(s1, s2)"
+
+func TestParsePaperExample(t *testing.T) {
+	tx, err := Parse(mickey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.Update) != 2 {
+		t.Fatalf("update ops = %d, want 2", len(tx.Update))
+	}
+	if tx.Update[0].Insert || !tx.Update[1].Insert {
+		t.Error("update op polarity wrong")
+	}
+	if len(tx.Body) != 3 {
+		t.Fatalf("body atoms = %d, want 3", len(tx.Body))
+	}
+	if tx.Body[0].Optional || !tx.Body[1].Optional || !tx.Body[2].Optional {
+		t.Error("optional flags wrong")
+	}
+	wantHard := logic.NewAtom("A", logic.Var("f1"), logic.Var("s1"))
+	if !tx.Body[0].Atom.Equal(wantHard) {
+		t.Errorf("hard atom = %v, want %v", tx.Body[0].Atom, wantHard)
+	}
+	if got := tx.Update[1].Atom.Args[0]; got != logic.Str("Mickey") {
+		t.Errorf("insert constant = %v", got)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	cases := []string{
+		mickey,
+		"-A(2, s3), +B('Goofy', 2, s3) :-1 A(2, s3)",
+		"+R(x) :-1 S(x)",
+		"-R(x), +Q(x, 'it\\'s') :-1 R(x), ?P(x)",
+		"+R(n) :-1 S(n, -42)",
+	}
+	for _, src := range cases {
+		tx, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		again, err := Parse(tx.String())
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", tx.String(), err)
+			continue
+		}
+		if again.String() != tx.String() {
+			t.Errorf("round trip changed: %q -> %q", tx.String(), again.String())
+		}
+	}
+}
+
+func TestParseWithOPTKeywordAndTrailingDot(t *testing.T) {
+	tx, err := Parse("+B('M', f, s) :-1 A(f, s), OPT Adj(s, s2), OPT B('G', f, s2).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.OptionalAtoms()) != 2 {
+		t.Fatalf("OPT keyword not honored: %v", tx)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"A(x) :-1 A(x)",            // missing +/- on update
+		"+A(x)",                    // missing :-1 and body
+		"+A(x) :-1",                // empty body
+		"+A(x) : -1 A(x)",          // broken :-1 token
+		"+A(x) :-1 A(x) trailing",  // trailing junk
+		"+A() :-1 B(x)",            // empty atom
+		"+A(x :-1 B(x)",            // unterminated args
+		"+A('oops) :-1 B(x)",       // unterminated string
+		"+A(x) :-1 B(y)",           // range restriction: x unbound
+		"+A(x) :-1 ?B(x)",          // x only optionally bound
+		"+A(x), :-1 B(x)",          // dangling comma
+		"+A(x) :-1 B(x), ,",        // dangling comma in body
+		"+A(x) :-1 B(x), C(x,, y)", // double comma in args
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestValidateRangeRestriction(t *testing.T) {
+	// Update var bound only by an optional atom: invalid.
+	tx := &T{
+		Update: []Op{{Insert: true, Atom: logic.NewAtom("B", logic.Var("s2"))}},
+		Body: []BodyAtom{
+			{Atom: logic.NewAtom("A", logic.Var("s1"))},
+			{Atom: logic.NewAtom("Adj", logic.Var("s1"), logic.Var("s2")), Optional: true},
+		},
+	}
+	if err := tx.Validate(); err == nil {
+		t.Fatal("optional-only binding accepted")
+	}
+	// Constants only: fine.
+	tx = &T{
+		Update: []Op{{Insert: true, Atom: logic.NewAtom("B", logic.Str("M"))}},
+		Body:   []BodyAtom{{Atom: logic.NewAtom("A", logic.Var("x"))}},
+	}
+	if err := tx.Validate(); err != nil {
+		t.Fatalf("constant update rejected: %v", err)
+	}
+	if err := (&T{Body: tx.Body}).Validate(); err == nil {
+		t.Fatal("empty update accepted")
+	}
+}
+
+func TestHardOptionalSplit(t *testing.T) {
+	tx := MustParse(mickey)
+	if got := len(tx.HardAtoms()); got != 1 {
+		t.Errorf("hard atoms = %d, want 1", got)
+	}
+	if got := len(tx.OptionalAtoms()); got != 2 {
+		t.Errorf("optional atoms = %d, want 2", got)
+	}
+	if got := len(tx.Inserts()); got != 1 {
+		t.Errorf("inserts = %d, want 1", got)
+	}
+	if got := len(tx.Deletes()); got != 1 {
+		t.Errorf("deletes = %d, want 1", got)
+	}
+}
+
+func TestVarsOrder(t *testing.T) {
+	tx := MustParse(mickey)
+	vars := tx.Vars()
+	want := []string{"f1", "s1", "s2"}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars = %v, want %v", vars, want)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vars, want)
+		}
+	}
+}
+
+func TestRenamedApart(t *testing.T) {
+	tx := MustParse(mickey)
+	tx.ID = 42
+	r := tx.RenamedApart()
+	for _, v := range r.Vars() {
+		if !strings.HasSuffix(v, "#42") {
+			t.Errorf("variable %q not renamed", v)
+		}
+	}
+	// Original untouched.
+	for _, v := range tx.Vars() {
+		if strings.Contains(v, "#") {
+			t.Errorf("original variable %q mutated", v)
+		}
+	}
+	// Renamed txn still parses (round trip through text).
+	if _, err := Parse(r.String()); err != nil {
+		t.Errorf("renamed txn does not re-parse: %v", err)
+	}
+	// Constants unchanged.
+	if r.Update[1].Atom.Args[0] != logic.Str("Mickey") {
+		t.Error("constant was renamed")
+	}
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	tx := MustParse(mickey)
+	tx.ID = 7
+	tx.Tag = "Mickey"
+	tx.PartnerTag = "Goofy"
+	data, err := tx.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 7 || got.Tag != "Mickey" || got.PartnerTag != "Goofy" {
+		t.Errorf("metadata lost: %+v", got)
+	}
+	if got.String() != tx.String() {
+		t.Errorf("body changed: %q vs %q", got.String(), tx.String())
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte("{bad json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"id":1,"text":"not a txn"}`)); err == nil {
+		t.Error("bad body text accepted")
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	atoms, err := ParseQuery("B('Mickey', f, s), F(f, 'LA')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atoms) != 2 || atoms[0].Rel != "B" || atoms[1].Rel != "F" {
+		t.Fatalf("ParseQuery = %v", atoms)
+	}
+	if _, err := ParseQuery(""); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := ParseQuery("B(x) B(y)"); err == nil {
+		t.Error("missing comma accepted")
+	}
+}

@@ -1,0 +1,187 @@
+// Package wal implements a minimal append-only write-ahead log with
+// CRC32-framed records. The quantum database stores its pending resource
+// transactions in a WAL-backed table (§4 "Recovery" of the paper): a
+// transaction is logged after the satisfiability check and before commit,
+// and a tombstone record is logged when it is grounded and executed.
+// Replay rebuilds the set of still-pending transactions after a crash.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Record is one logged entry: an opaque payload plus a record type chosen
+// by the caller.
+type Record struct {
+	Type    uint8
+	Payload []byte
+}
+
+// frame layout: 4-byte little-endian length of (type+payload), 1-byte
+// type, payload, 4-byte CRC32 (Castagnoli) of type+payload.
+const frameOverhead = 4 + 1 + 4
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is wrapped by replay errors caused by a torn or corrupted
+// tail; records before the corruption are still delivered.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Log is an append-only record log on a single file. Append is safe for
+// concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+	// SyncOnAppend forces an fsync after every append. Off by default:
+	// the paper's experiments measure middle-tier costs, not disk stalls;
+	// durability-sensitive callers flip it on.
+	SyncOnAppend bool
+}
+
+// Open opens (creating if needed) the log file at path for appending.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), path: path}, nil
+}
+
+// Append writes one record to the log.
+func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: append to closed log")
+	}
+	body := make([]byte, 1+len(rec.Payload))
+	body[0] = rec.Type
+	copy(body[1:], rec.Payload)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.w.Write(body); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(body, crcTable))
+	if _, err := l.w.Write(crc[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if l.SyncOnAppend {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync flushes buffered data and fsyncs the file.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: sync on closed log")
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close flushes and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	flushErr := l.w.Flush()
+	closeErr := l.f.Close()
+	l.f = nil
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// Path returns the file path of the log.
+func (l *Log) Path() string { return l.path }
+
+// Truncate discards all records, resetting the log to empty. Used after a
+// checkpoint has made the logged state redundant.
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: truncate on closed log")
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: truncate seek: %w", err)
+	}
+	l.w.Reset(l.f)
+	return nil
+}
+
+// Replay reads every intact record from the log file at path, in order,
+// calling fn for each. A torn or corrupt tail stops replay: records read
+// so far are delivered and the error wraps ErrCorrupt. A missing file
+// replays zero records.
+func Replay(path string, fn func(Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("wal: replay open: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("%w: torn header", ErrCorrupt)
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n == 0 || n > 1<<30 {
+			return fmt.Errorf("%w: implausible record length %d", ErrCorrupt, n)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return fmt.Errorf("%w: torn body", ErrCorrupt)
+		}
+		var crc [4]byte
+		if _, err := io.ReadFull(r, crc[:]); err != nil {
+			return fmt.Errorf("%w: torn checksum", ErrCorrupt)
+		}
+		if binary.LittleEndian.Uint32(crc[:]) != crc32.Checksum(body, crcTable) {
+			return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+		}
+		if err := fn(Record{Type: body[0], Payload: body[1:]}); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, path
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	l, path := openTemp(t)
+	recs := []Record{
+		{Type: 1, Payload: []byte("pending txn 1")},
+		{Type: 2, Payload: []byte{}},
+		{Type: 1, Payload: bytes.Repeat([]byte{0xAB}, 1000)},
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := Replay(path, func(r Record) error {
+		got = append(got, Record{Type: r.Type, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Type != recs[i].Type || !bytes.Equal(got[i].Payload, recs[i].Payload) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	err := Replay(filepath.Join(t.TempDir(), "absent.wal"), func(Record) error {
+		t.Fatal("callback on missing file")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("missing file should replay empty, got %v", err)
+	}
+}
+
+func TestReplayTornTail(t *testing.T) {
+	l, path := openTemp(t)
+	if err := l.Append(Record{Type: 1, Payload: []byte("good")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: 1, Payload: []byte("to be torn")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last 3 bytes off, simulating a crash mid-write.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	err = Replay(path, func(Record) error { got++; return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	if got != 1 {
+		t.Fatalf("replayed %d intact records before corruption, want 1", got)
+	}
+}
+
+func TestReplayBitFlip(t *testing.T) {
+	l, path := openTemp(t)
+	if err := l.Append(Record{Type: 1, Payload: []byte("payload")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[6] ^= 0x01 // flip a payload bit
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = Replay(path, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt after bit flip, got %v", err)
+	}
+}
+
+func TestReplayCallbackError(t *testing.T) {
+	l, path := openTemp(t)
+	for i := 0; i < 3; i++ {
+		if err := l.Append(Record{Type: 1, Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	sentinel := errors.New("stop")
+	n := 0
+	err := Replay(path, func(Record) error {
+		n++
+		if n == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || n != 2 {
+		t.Fatalf("callback error not propagated: n=%d err=%v", n, err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	l, path := openTemp(t)
+	if err := l.Append(Record{Type: 1, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: 2, Payload: []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	var got []Record
+	if err := Replay(path, func(r Record) error {
+		got = append(got, Record{Type: r.Type, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Type != 2 {
+		t.Fatalf("after truncate: %v", got)
+	}
+}
+
+func TestClosedLogErrors(t *testing.T) {
+	l, _ := openTemp(t)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: 1}); err == nil {
+		t.Error("append to closed log succeeded")
+	}
+	if err := l.Sync(); err == nil {
+		t.Error("sync on closed log succeeded")
+	}
+	if err := l.Truncate(); err == nil {
+		t.Error("truncate on closed log succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Error("double close should be a no-op")
+	}
+}
+
+func TestSyncOnAppend(t *testing.T) {
+	l, path := openTemp(t)
+	l.SyncOnAppend = true
+	if err := l.Append(Record{Type: 7, Payload: []byte("durable")}); err != nil {
+		t.Fatal(err)
+	}
+	// Without closing, the data must already be on disk.
+	var got int
+	if err := Replay(path, func(Record) error { got++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("synced record not visible: %d", got)
+	}
+}
+
+func TestQuickRoundTripArbitraryPayloads(t *testing.T) {
+	f := func(payloads [][]byte, types []uint8) bool {
+		dir, err := os.MkdirTemp("", "walquick")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "q.wal")
+		l, err := Open(path)
+		if err != nil {
+			return false
+		}
+		n := len(payloads)
+		if len(types) < n {
+			n = len(types)
+		}
+		for i := 0; i < n; i++ {
+			if err := l.Append(Record{Type: types[i], Payload: payloads[i]}); err != nil {
+				return false
+			}
+		}
+		l.Close()
+		i := 0
+		err = Replay(path, func(r Record) error {
+			if r.Type != types[i] || !bytes.Equal(r.Payload, payloads[i]) {
+				return errors.New("mismatch")
+			}
+			i++
+			return nil
+		})
+		return err == nil && i == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"repro/internal/formula"
+	"repro/internal/logic"
+	"repro/internal/relstore"
+)
+
+// FlexibilityChooser implements the §3.2.2 guidance — "fix values in such
+// a way as to maximize the remaining number of possible worlds" — for the
+// travel schema. Two concerns compete when a transaction is force-
+// grounded before its partner arrives:
+//
+//   - its own pair stays viable only if the chosen seat keeps at least
+//     one free neighbour (otherwise the late partner can never sit
+//     adjacent), and
+//   - globally, the grounding should consume as few free adjacent seat
+//     pairs as possible.
+//
+// The chooser therefore heavily penalizes isolating a booking whose
+// partner is still outstanding, then minimizes adjacency loss. Plug it
+// into core.Options.Chooser with a ChooserSample of a few candidates.
+func FlexibilityChooser(cands []formula.Grounding, src relstore.Source) int {
+	best, bestScore := 0, int(^uint(0)>>1)
+	for i, g := range cands {
+		lost := adjacencyLost(src, g)
+		score := lost
+		if lost == 0 && partnerOutstanding(src, g) {
+			score = 1000 // isolated seat would doom the pair
+		}
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// partnerOutstanding reports whether the grounded transaction waits on a
+// coordination partner who has not booked yet.
+func partnerOutstanding(src relstore.Source, g formula.Grounding) bool {
+	if g.Txn == nil || g.Txn.PartnerTag == "" {
+		return false
+	}
+	q := relstore.Query{Atoms: []logic.Atom{
+		logic.NewAtom(RelBookings, logic.Str(g.Txn.PartnerTag), logic.Var("f"), logic.Var("s")),
+	}}
+	_, booked, err := q.FindOne(src, nil)
+	return err == nil && !booked
+}
+
+// adjacencyLost counts the free adjacent seat pairs a grounding consumes:
+// for every seat it takes, the still-available neighbours of that seat.
+func adjacencyLost(src relstore.Source, g formula.Grounding) int {
+	lost := 0
+	for _, d := range g.Deletes {
+		if d.Rel != RelAvailable || len(d.Tuple) != 2 {
+			continue
+		}
+		f, s := d.Tuple[0], d.Tuple[1]
+		q := relstore.Query{Atoms: []logic.Atom{
+			logic.NewAtom(RelAdjacent, logic.Const(f), logic.Const(s), logic.Var("x")),
+			logic.NewAtom(RelAvailable, logic.Const(f), logic.Var("x")),
+		}}
+		n, err := q.Count(src)
+		if err != nil {
+			continue
+		}
+		lost += n
+	}
+	return lost
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"repro/internal/logic"
+	"repro/internal/relstore"
+)
+
+// Coordinated reports whether two users hold adjacent seats on the same
+// flight in the final database.
+func Coordinated(db *relstore.DB, a, b string) bool {
+	q := relstore.Query{Atoms: []logic.Atom{
+		logic.NewAtom(RelBookings, logic.Str(a), logic.Var("f"), logic.Var("s1")),
+		logic.NewAtom(RelBookings, logic.Str(b), logic.Var("f"), logic.Var("s2")),
+		logic.NewAtom(RelAdjacent, logic.Var("f"), logic.Var("s1"), logic.Var("s2")),
+	}}
+	_, ok, err := q.FindOne(db, nil)
+	return err == nil && ok
+}
+
+// CoordinatedPairs counts the pairs whose members ended up adjacent.
+func CoordinatedPairs(db *relstore.DB, pairs []Pair) int {
+	n := 0
+	for _, p := range pairs {
+		if Coordinated(db, p.AName, p.BName) {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxPossiblePairs is the theoretical coordination ceiling for a pair
+// set: per flight, no more pairs than 3-seat rows can sit adjacently.
+func MaxPossiblePairs(cfg Config, pairs []Pair) int {
+	perFlight := make(map[int]int)
+	for _, p := range pairs {
+		perFlight[p.Flight]++
+	}
+	total := 0
+	for _, n := range perFlight {
+		if n > cfg.MaxCoordPairsPerFlight() {
+			n = cfg.MaxCoordPairsPerFlight()
+		}
+		total += n
+	}
+	return total
+}
+
+// CoordinationPercent is the paper's headline metric: achieved pairs over
+// the theoretical maximum, in percent.
+func CoordinationPercent(db *relstore.DB, cfg Config, pairs []Pair) float64 {
+	max := MaxPossiblePairs(cfg, pairs)
+	if max == 0 {
+		return 0
+	}
+	return 100 * float64(CoordinatedPairs(db, pairs)) / float64(max)
+}

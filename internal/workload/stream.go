@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/txn"
+)
+
+// OrderKind is one of the four arrival orders of Table 1.
+type OrderKind int
+
+const (
+	// Alternate: each transaction is immediately followed by its partner
+	// (max 1 pending).
+	Alternate OrderKind = iota
+	// Random: a uniform shuffle (the paper's "most realistic" order).
+	Random
+	// InOrder: all first partners, then all second partners in the same
+	// order (Ti entangles with Ti+N/2).
+	InOrder
+	// ReverseOrder: first partners in order, second partners reversed
+	// (Ti entangles with TN−i).
+	ReverseOrder
+)
+
+// Orders lists all four kinds in the paper's presentation order.
+var Orders = []OrderKind{Alternate, Random, InOrder, ReverseOrder}
+
+// String names the order as in Table 1.
+func (o OrderKind) String() string {
+	switch o {
+	case Alternate:
+		return "Alternate"
+	case Random:
+		return "Random"
+	case InOrder:
+		return "In Order"
+	case ReverseOrder:
+		return "Reverse Order"
+	default:
+		return fmt.Sprintf("OrderKind(%d)", int(o))
+	}
+}
+
+// Pair is one coordinating couple: two entangled resource transactions
+// targeting the same flight, each optionally requesting adjacency to the
+// other (the Figure 1 pattern).
+type Pair struct {
+	Flight int
+	A, B   *txn.T
+	// AName and BName are the user tags, for coordination accounting.
+	AName, BName string
+}
+
+// PairName returns the two user names of pair i on flight f.
+func PairName(f, i int) (a, b string) {
+	return fmt.Sprintf("f%dp%da", f, i), fmt.Sprintf("f%dp%db", f, i)
+}
+
+// EntangledBooking builds the §5.1 transaction: user books any available
+// seat on flight f, with OPTIONAL forward constraints to sit adjacent to
+// partner.
+func EntangledBooking(user, partner string, f int) *txn.T {
+	t := txn.MustParse(fmt.Sprintf(
+		"-%s(%d, s), +%s('%s', %d, s) :-1 %s(%d, s), ?%s('%s', %d, m), ?%s(%d, s, m)",
+		RelAvailable, f, RelBookings, user, f,
+		RelAvailable, f,
+		RelBookings, partner, f,
+		RelAdjacent, f))
+	t.Tag = user
+	t.PartnerTag = partner
+	return t
+}
+
+// PlainBooking builds a booking with no coordination preference.
+func PlainBooking(user string, f int) *txn.T {
+	t := txn.MustParse(fmt.Sprintf(
+		"-%s(%d, s), +%s('%s', %d, s) :-1 %s(%d, s)",
+		RelAvailable, f, RelBookings, user, f, RelAvailable, f))
+	t.Tag = user
+	return t
+}
+
+// EntangledPairs generates pairsPerFlight coordinating couples on every
+// flight of the world.
+func EntangledPairs(cfg Config, pairsPerFlight int) []Pair {
+	var out []Pair
+	for f := 1; f <= cfg.Flights; f++ {
+		for i := 0; i < pairsPerFlight; i++ {
+			an, bn := PairName(f, i)
+			out = append(out, Pair{
+				Flight: f,
+				A:      EntangledBooking(an, bn, f),
+				B:      EntangledBooking(bn, an, f),
+				AName:  an, BName: bn,
+			})
+		}
+	}
+	return out
+}
+
+// Arrival materializes an arrival order over the pairs: the returned
+// stream contains every pair member exactly once.
+func Arrival(pairs []Pair, kind OrderKind, rng *rand.Rand) []*txn.T {
+	n := len(pairs)
+	out := make([]*txn.T, 0, 2*n)
+	switch kind {
+	case Alternate:
+		for _, p := range pairs {
+			out = append(out, p.A, p.B)
+		}
+	case InOrder:
+		for _, p := range pairs {
+			out = append(out, p.A)
+		}
+		for _, p := range pairs {
+			out = append(out, p.B)
+		}
+	case ReverseOrder:
+		for _, p := range pairs {
+			out = append(out, p.A)
+		}
+		for i := n - 1; i >= 0; i-- {
+			out = append(out, pairs[i].B)
+		}
+	case Random:
+		for _, p := range pairs {
+			out = append(out, p.A, p.B)
+		}
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	default:
+		panic("workload: unknown order kind")
+	}
+	return out
+}
+
+// MaxPendingBound returns Table 1's analytic bound on the number of
+// pending transactions for an order over n total transactions, assuming a
+// transaction stays pending exactly until its partner arrives.
+func MaxPendingBound(kind OrderKind, n int) int {
+	switch kind {
+	case Alternate:
+		return 1
+	default:
+		return (n + 1) / 2
+	}
+}
+
+// Op is one element of a mixed stream: either a resource transaction or a
+// read by a user who issued one earlier.
+type Op struct {
+	// Txn is non-nil for resource transactions.
+	Txn *txn.T
+	// ReadUser/ReadFlight define a booking-lookup read when Txn is nil.
+	ReadUser   string
+	ReadFlight int
+}
+
+// ReadQuery builds the conjunctive query of a booking lookup: the
+// (name, flight) constants make the read unify only with that user's
+// pending update (§3.2.2's conservative criterion).
+func (o Op) ReadQuery() []logic.Atom {
+	return []logic.Atom{logic.NewAtom(
+		RelBookings,
+		logic.Str(o.ReadUser),
+		logic.Int(int64(o.ReadFlight)),
+		logic.Var("s"),
+	)}
+}
+
+// MixedStream builds the Fig 8/9 workload: a fixed population of
+// `resource` entangled booking transactions (the paper fills the fleet:
+// one per seat) in Random arrival order, plus readPct% × resource read
+// transactions added on top — each read targets a uniformly random
+// earlier resource-transaction user and is interleaved uniformly. This
+// matches §5.3's arithmetic (6000 resource transactions; "steps of 10%
+// (600 transactions)" of reads), keeping contention constant while the
+// read share sweeps.
+func MixedStream(cfg Config, resource, readPct int, rng *rand.Rand) []Op {
+	if readPct < 0 {
+		panic("workload: readPct out of range")
+	}
+	reads := resource * readPct / 100
+	pairsPerFlight := resource / (2 * cfg.Flights)
+	pairs := EntangledPairs(cfg, pairsPerFlight)
+	stream := Arrival(pairs, Random, rng)
+	ops := make([]Op, 0, resource+reads)
+	for _, t := range stream {
+		ops = append(ops, Op{Txn: t})
+	}
+	// Insert reads at random positions (each read targets a user whose
+	// resource txn appears earlier in the final stream).
+	for i := 0; i < reads && len(ops) > 0; i++ {
+		pos := 1 + rng.Intn(len(ops))
+		// Find a resource op before pos to read.
+		var target *txn.T
+		for tries := 0; tries < 32; tries++ {
+			cand := ops[rng.Intn(pos)]
+			if cand.Txn != nil {
+				target = cand.Txn
+				break
+			}
+		}
+		if target == nil {
+			continue
+		}
+		f := flightOf(target)
+		read := Op{ReadUser: target.Tag, ReadFlight: f}
+		ops = append(ops[:pos], append([]Op{read}, ops[pos:]...)...)
+	}
+	return ops
+}
+
+// flightOf extracts the flight constant from a booking transaction's
+// insert op.
+func flightOf(t *txn.T) int {
+	for _, u := range t.Update {
+		if u.Insert && u.Atom.Rel == RelBookings {
+			return int(u.Atom.Args[1].Value().Int())
+		}
+	}
+	panic("workload: transaction has no booking insert")
+}

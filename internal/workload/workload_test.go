@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relstore"
+	"repro/internal/value"
+)
+
+func TestNewWorldCounts(t *testing.T) {
+	cfg := Config{Flights: 2, RowsPerFlight: 4}
+	w := NewWorld(cfg)
+	if got := w.DB.Len(RelFlights); got != 2 {
+		t.Errorf("flights = %d", got)
+	}
+	if got := w.DB.Len(RelAvailable); got != cfg.TotalSeats() {
+		t.Errorf("available = %d, want %d", got, cfg.TotalSeats())
+	}
+	// Four ordered adjacent pairs per row (§5.2).
+	if got := w.DB.Len(RelAdjacent); got != 2*4*4 {
+		t.Errorf("adjacent = %d, want %d", got, 2*4*4)
+	}
+	if got := w.DB.Len(RelBookings); got != 0 {
+		t.Errorf("bookings = %d, want 0", got)
+	}
+	if cfg.Seats() != 12 || cfg.TotalSeats() != 24 || cfg.MaxCoordPairsPerFlight() != 4 {
+		t.Errorf("config arithmetic wrong: %+v", cfg)
+	}
+}
+
+func TestAdjacencySymmetricWithinRow(t *testing.T) {
+	w := NewWorld(Config{Flights: 1, RowsPerFlight: 2})
+	pairs := [][2]string{{"1A", "1B"}, {"1B", "1C"}, {"2A", "2B"}, {"2B", "2C"}}
+	for _, p := range pairs {
+		for _, dir := range [][2]string{p, {p[1], p[0]}} {
+			tup := value.Tuple{value.NewInt(1), value.NewString(dir[0]), value.NewString(dir[1])}
+			if !w.DB.Contains(RelAdjacent, tup) {
+				t.Errorf("missing adjacency %v", dir)
+			}
+		}
+	}
+	// No cross-row adjacency.
+	if w.DB.Contains(RelAdjacent, value.Tuple{value.NewInt(1), value.NewString("1C"), value.NewString("2A")}) {
+		t.Error("cross-row adjacency present")
+	}
+	// No A-C adjacency within a row.
+	if w.DB.Contains(RelAdjacent, value.Tuple{value.NewInt(1), value.NewString("1A"), value.NewString("1C")}) {
+		t.Error("A-C adjacency present")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	w := NewWorld(Config{Flights: 1, RowsPerFlight: 1})
+	c := w.Clone()
+	if err := c.DB.Delete(RelAvailable, value.Tuple{value.NewInt(1), value.NewString("1A")}); err != nil {
+		t.Fatal(err)
+	}
+	if !w.DB.Contains(RelAvailable, value.Tuple{value.NewInt(1), value.NewString("1A")}) {
+		t.Fatal("clone delete leaked")
+	}
+}
+
+func TestEntangledPairsShape(t *testing.T) {
+	cfg := Config{Flights: 3, RowsPerFlight: 2}
+	pairs := EntangledPairs(cfg, 3)
+	if len(pairs) != 9 {
+		t.Fatalf("pairs = %d, want 9", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.A.Tag != p.B.PartnerTag || p.B.Tag != p.A.PartnerTag {
+			t.Fatalf("partner tags mismatched: %+v", p)
+		}
+		if p.A.Tag == p.B.Tag {
+			t.Fatalf("pair members share a name: %+v", p)
+		}
+		if len(p.A.OptionalAtoms()) != 2 || len(p.A.HardAtoms()) != 1 {
+			t.Fatalf("unexpected atom split: %v", p.A)
+		}
+		if err := p.A.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Names unique across all pairs.
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		for _, n := range []string{p.AName, p.BName} {
+			if seen[n] {
+				t.Fatalf("duplicate user name %s", n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestArrivalOrders(t *testing.T) {
+	cfg := Config{Flights: 1, RowsPerFlight: 4}
+	pairs := EntangledPairs(cfg, 6)
+	rng := rand.New(rand.NewSource(1))
+	for _, kind := range Orders {
+		stream := Arrival(pairs, kind, rng)
+		if len(stream) != 12 {
+			t.Fatalf("%v: stream length %d, want 12", kind, len(stream))
+		}
+		// Every member exactly once.
+		seen := map[string]int{}
+		for _, tx := range stream {
+			seen[tx.Tag]++
+		}
+		for tag, n := range seen {
+			if n != 1 {
+				t.Fatalf("%v: %s appears %d times", kind, tag, n)
+			}
+		}
+	}
+	// Structural spot checks.
+	alt := Arrival(pairs, Alternate, rng)
+	if alt[0].PartnerTag != alt[1].Tag {
+		t.Error("Alternate: first two are not partners")
+	}
+	ino := Arrival(pairs, InOrder, rng)
+	if ino[0].PartnerTag != ino[6].Tag {
+		t.Error("InOrder: Ti not entangled with Ti+N/2")
+	}
+	rev := Arrival(pairs, ReverseOrder, rng)
+	if rev[0].PartnerTag != rev[11].Tag {
+		t.Error("ReverseOrder: T0 not entangled with TN")
+	}
+}
+
+func TestMaxPendingBound(t *testing.T) {
+	if MaxPendingBound(Alternate, 102) != 1 {
+		t.Error("Alternate bound")
+	}
+	for _, k := range []OrderKind{Random, InOrder, ReverseOrder} {
+		if MaxPendingBound(k, 102) != 51 {
+			t.Errorf("%v bound = %d, want 51", k, MaxPendingBound(k, 102))
+		}
+	}
+}
+
+func TestCoordinationMetric(t *testing.T) {
+	cfg := Config{Flights: 1, RowsPerFlight: 2}
+	w := NewWorld(cfg)
+	pairs := EntangledPairs(cfg, 3) // 3 pairs, ceiling is 2 (rows)
+	book := func(user string, seat string) {
+		if err := w.DB.Apply(
+			[]relstore.GroundFact{{Rel: RelBookings, Tuple: value.Tuple{
+				value.NewString(user), value.NewInt(1), value.NewString(seat)}}},
+			[]relstore.GroundFact{{Rel: RelAvailable, Tuple: value.Tuple{
+				value.NewInt(1), value.NewString(seat)}}},
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pair 0 adjacent, pair 1 split across rows, pair 2 unbooked.
+	book(pairs[0].AName, "1A")
+	book(pairs[0].BName, "1B")
+	book(pairs[1].AName, "1C")
+	book(pairs[1].BName, "2A")
+	if !Coordinated(w.DB, pairs[0].AName, pairs[0].BName) {
+		t.Error("pair 0 should coordinate")
+	}
+	if Coordinated(w.DB, pairs[1].AName, pairs[1].BName) {
+		t.Error("pair 1 should not coordinate")
+	}
+	if got := CoordinatedPairs(w.DB, pairs); got != 1 {
+		t.Errorf("CoordinatedPairs = %d, want 1", got)
+	}
+	if got := MaxPossiblePairs(cfg, pairs); got != 2 {
+		t.Errorf("MaxPossiblePairs = %d, want 2", got)
+	}
+	if got := CoordinationPercent(w.DB, cfg, pairs); got != 50 {
+		t.Errorf("CoordinationPercent = %v, want 50", got)
+	}
+}
+
+func TestMixedStream(t *testing.T) {
+	cfg := Config{Flights: 2, RowsPerFlight: 10}
+	rng := rand.New(rand.NewSource(7))
+	ops := MixedStream(cfg, 40, 50, rng)
+	var reads, txns int
+	seenResource := map[string]bool{}
+	for _, op := range ops {
+		if op.Txn != nil {
+			txns++
+			seenResource[op.Txn.Tag] = true
+			continue
+		}
+		reads++
+		if op.ReadUser == "" || op.ReadFlight == 0 {
+			t.Fatalf("malformed read op: %+v", op)
+		}
+		q := op.ReadQuery()
+		if len(q) != 1 || q[0].Rel != RelBookings {
+			t.Fatalf("bad read query: %v", q)
+		}
+	}
+	if txns != 40 {
+		t.Errorf("resource ops = %d, want 40 (reads are additive)", txns)
+	}
+	if reads == 0 || reads > 20 {
+		t.Errorf("reads = %d, want ≈20", reads)
+	}
+	// Every read's target issued a resource txn earlier in the stream.
+	issued := map[string]bool{}
+	for _, op := range ops {
+		if op.Txn != nil {
+			issued[op.Txn.Tag] = true
+		} else if !issued[op.ReadUser] {
+			t.Fatalf("read of %s before their resource txn", op.ReadUser)
+		}
+	}
+}
+
+func TestMixedStreamZeroReads(t *testing.T) {
+	cfg := Config{Flights: 1, RowsPerFlight: 5}
+	ops := MixedStream(cfg, 10, 0, rand.New(rand.NewSource(1)))
+	for _, op := range ops {
+		if op.Txn == nil {
+			t.Fatal("read op in 0% stream")
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package workload generates the travel-application databases and
+// transaction streams of the paper's evaluation (§5.2): flights seating
+// rows of three, seat adjacency, entangled reservation pairs, the four
+// arrival orders of Table 1, and mixed read/resource streams.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/relstore"
+	"repro/internal/value"
+)
+
+// Relation names of the travel schema.
+const (
+	RelFlights   = "Flights"
+	RelAvailable = "Available"
+	RelBookings  = "Bookings"
+	RelAdjacent  = "Adjacent"
+)
+
+// Config sizes a world.
+type Config struct {
+	// Flights is the number of flights; numbered 1..Flights.
+	Flights int
+	// RowsPerFlight is the number of 3-seat rows per flight.
+	RowsPerFlight int
+}
+
+// Seats returns the per-flight seat count.
+func (c Config) Seats() int { return 3 * c.RowsPerFlight }
+
+// TotalSeats returns the database-wide seat count.
+func (c Config) TotalSeats() int { return c.Flights * c.Seats() }
+
+// MaxCoordPairsPerFlight is the adjacency capacity of one flight: each
+// 3-seat row accommodates one adjacent pair (the paper: a 10-row flight
+// accommodates "a maximum of twenty coordination requests", i.e. ten
+// pairs).
+func (c Config) MaxCoordPairsPerFlight() int { return c.RowsPerFlight }
+
+// World is a generated travel database.
+type World struct {
+	Config Config
+	DB     *relstore.DB
+}
+
+// SeatName renders the canonical seat label for row r (1-based) and
+// column c (0..2).
+func SeatName(r, c int) string { return fmt.Sprintf("%d%c", r, 'A'+c) }
+
+// NewWorld builds a fresh database: all seats of all flights available,
+// adjacency as in §5.2 (within-row neighbours, both directions: four
+// ordered pairs per row).
+func NewWorld(cfg Config) *World {
+	db := relstore.NewDB()
+	db.MustCreateTable(relstore.Schema{Name: RelFlights, Columns: []string{"fno", "dest"}, Key: []int{0}})
+	db.MustCreateTable(relstore.Schema{Name: RelAvailable, Columns: []string{"fno", "sno"}})
+	db.MustCreateTable(relstore.Schema{
+		Name: RelBookings, Columns: []string{"name", "fno", "sno"}, Key: []int{1, 2},
+		Indexes: [][]int{{0, 1}},
+	})
+	// Seat labels repeat across flights, so lookups like
+	// Adjacent(f, s, ?) need (fno, seat) composite indexes to stay O(1)
+	// as the fleet grows ("appropriate indices are defined for each
+	// relation", §5.2).
+	db.MustCreateTable(relstore.Schema{
+		Name: RelAdjacent, Columns: []string{"fno", "s1", "s2"},
+		Indexes: [][]int{{0, 1}, {0, 2}},
+	})
+	for f := 1; f <= cfg.Flights; f++ {
+		db.MustInsert(RelFlights, value.Tuple{value.NewInt(int64(f)), value.NewString("LA")})
+		for r := 1; r <= cfg.RowsPerFlight; r++ {
+			for c := 0; c < 3; c++ {
+				db.MustInsert(RelAvailable, value.Tuple{
+					value.NewInt(int64(f)), value.NewString(SeatName(r, c)),
+				})
+			}
+			for c := 0; c < 2; c++ {
+				a, b := SeatName(r, c), SeatName(r, c+1)
+				db.MustInsert(RelAdjacent, value.Tuple{
+					value.NewInt(int64(f)), value.NewString(a), value.NewString(b),
+				})
+				db.MustInsert(RelAdjacent, value.Tuple{
+					value.NewInt(int64(f)), value.NewString(b), value.NewString(a),
+				})
+			}
+		}
+	}
+	return &World{Config: cfg, DB: db}
+}
+
+// Clone duplicates the world's database so experiment repetitions start
+// from identical state.
+func (w *World) Clone() *World {
+	return &World{Config: w.Config, DB: w.DB.Clone()}
+}

@@ -1,0 +1,385 @@
+// Package quantumdb is a Go implementation of Quantum Databases (Roy,
+// Kot, Koch — CIDR 2013): a database abstraction that defers the choices
+// made by transactions until an application or user forces them by
+// observation.
+//
+// A resource transaction ("give Mickey any available seat on a flight to
+// LA, preferably next to Goofy") commits without binding concrete values.
+// The database keeps the set of possible worlds — intensionally, as an
+// extensional store plus composed constraint bodies over the pending
+// transactions — and guarantees that a consistent grounding always
+// exists, so a committed transaction never rolls back. Reading data that
+// a pending transaction may write collapses the superposition: values
+// are fixed, updates execute, and reads are thereafter repeatable.
+//
+// Quick start:
+//
+//	db, _ := quantumdb.Open(quantumdb.Options{})
+//	db.MustCreateTable(quantumdb.Table{Name: "Available", Columns: []string{"fno", "sno"}})
+//	db.MustCreateTable(quantumdb.Table{Name: "Bookings",
+//	    Columns: []string{"name", "fno", "sno"}, Key: []int{1, 2}})
+//	db.MustExec("+Available(123, '5A')")
+//	id, _ := db.Submit("-Available(f, s), +Bookings('Mickey', f, s) :-1 Available(f, s)")
+//	// ... committed, but no seat chosen yet ...
+//	rows, _ := db.Query("Bookings('Mickey', f, s)") // observation collapses
+//	fmt.Println(rows[0]["s"], id)
+//
+// The package is a facade over the engine packages (internal/core,
+// internal/relstore, internal/formula, internal/txn); everything is
+// reachable through it, including entangled coordination
+// (NewCoordinator) and durability/recovery (Options.WALPath, Recover).
+package quantumdb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/relstore"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// Options configures a quantum database; see the field docs on the
+// underlying type for the k-bound, serializability mode, caching,
+// partitioning, durability, and collapse-choice heuristics.
+type Options = core.Options
+
+// Serializability modes for out-of-order grounding (§3.2.3 of the
+// paper).
+const (
+	// Semantic grounds only the observed transaction when the reordered
+	// chain stays satisfiable (the paper's recommended mode).
+	Semantic = core.Semantic
+	// Strict preserves arrival order: observing a transaction grounds
+	// every earlier one in its partition first.
+	Strict = core.Strict
+)
+
+// Stats re-exports the engine counters.
+type Stats = core.Stats
+
+// Table describes one relation: column names, optional key column
+// positions (nil means the whole tuple is the key), and optional
+// composite secondary indexes.
+type Table struct {
+	Name    string
+	Columns []string
+	Key     []int
+	Indexes [][]int
+}
+
+// Row maps variable names of a query to the values a solution assigned
+// them.
+type Row map[string]Value
+
+// Value is a scalar database value: an int64 or a string.
+type Value = value.Value
+
+// Int builds an integer Value.
+func Int(i int64) Value { return value.NewInt(i) }
+
+// Str builds a string Value.
+func Str(s string) Value { return value.NewString(s) }
+
+// DB is a quantum database over an embedded relational store.
+type DB struct {
+	q     *core.QDB
+	store *relstore.DB
+}
+
+// Open creates an empty quantum database.
+func Open(opt Options) (*DB, error) {
+	store := relstore.NewDB()
+	q, err := core.New(store, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{q: q, store: store}, nil
+}
+
+// Recover rebuilds a quantum database from the write-ahead log named in
+// opt.WALPath. setup must re-create the SCHEMA (CreateTable calls) and
+// any rows that were inserted outside the quantum database; every write
+// made through DB.Exec and every grounded transaction is replayed from
+// the log and must not be re-seeded. Still-pending resource transactions
+// are re-admitted, restoring the quantum state.
+func Recover(opt Options, setup func(*DB) error) (*DB, error) {
+	store := relstore.NewDB()
+	tmp := &DB{store: store}
+	if setup != nil {
+		if err := setup(tmp); err != nil {
+			return nil, err
+		}
+	}
+	q, err := core.Recover(store, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{q: q, store: store}, nil
+}
+
+// Close releases the WAL, if any.
+func (db *DB) Close() error { return db.q.Close() }
+
+// CreateTable registers a relation.
+func (db *DB) CreateTable(t Table) error {
+	return db.store.CreateTable(relstore.Schema{
+		Name: t.Name, Columns: t.Columns, Key: t.Key, Indexes: t.Indexes,
+	})
+}
+
+// MustCreateTable is CreateTable panicking on error, for setup code.
+func (db *DB) MustCreateTable(t Table) {
+	if err := db.CreateTable(t); err != nil {
+		panic(err)
+	}
+}
+
+// Submit admits a resource transaction written in the paper's
+// Datalog-like notation:
+//
+//	-Available(f, s), +Bookings('Mickey', f, s) :-1 Available(f, s), ?Bookings('Goofy', f, m), ?Adjacent(f, s, m)
+//
+// '?' (or OPT) marks OPTIONAL body atoms. On success the transaction is
+// committed — a suitable resource is guaranteed — but no values are
+// bound until observation. The returned ID can be passed to Ground.
+func (db *DB) Submit(src string) (int64, error) {
+	t, err := txn.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	return db.q.Submit(t)
+}
+
+// SubmitSQL is Submit for the paper's SQL-flavoured syntax (Figure 1):
+//
+//	SELECT A.fno AS @f, A.sno AS @s
+//	FROM Available A, OPTIONAL Adjacent J
+//	WHERE ...
+//	CHOOSE 1
+//	FOLLOWED BY (DELETE (@f, @s) FROM Available; INSERT ('Mickey', @f, @s) INTO Bookings)
+//
+// The statement is compiled to the Datalog-like core form against the
+// current schema.
+func (db *DB) SubmitSQL(src string) (int64, error) {
+	t, err := txn.ParseSQL(src, db.schemaLookup)
+	if err != nil {
+		return 0, err
+	}
+	return db.q.Submit(t)
+}
+
+func (db *DB) schemaLookup(rel string) ([]string, bool) {
+	sch, ok := db.store.SchemaOf(rel)
+	if !ok {
+		return nil, false
+	}
+	return sch.Columns, true
+}
+
+// SubmitTagged is Submit for entangled resource transactions: tag names
+// this user; partner names the coordination partner whose transaction
+// will arrive separately (§5.1). Use a Coordinator to ground pairs on
+// partner arrival.
+func (db *DB) SubmitTagged(src, tag, partner string) (int64, error) {
+	t, err := txn.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	t.Tag = tag
+	t.PartnerTag = partner
+	return db.q.Submit(t)
+}
+
+// Query evaluates a conjunctive read query, e.g.
+//
+//	Bookings('Mickey', f, s)
+//
+// Pending transactions whose updates could affect the result are
+// grounded first (observation collapses the quantum state); the returned
+// rows bind the query's variables and are repeatable.
+func (db *DB) Query(src string) ([]Row, error) {
+	atoms, err := txn.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	sols, err := db.q.Read(atoms)
+	if err != nil {
+		return nil, err
+	}
+	var vars []string
+	for _, a := range atoms {
+		vars = a.Vars(vars)
+	}
+	rows := make([]Row, 0, len(sols))
+	for _, s := range sols {
+		row := make(Row, len(vars))
+		for _, v := range vars {
+			if t := s.Walk(logic.Var(v)); !t.IsVar() {
+				row[v] = t.Value()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Exec applies non-resource blind writes, given as comma-separated
+// signed ground atoms:
+//
+//	+Available(123, '9Z'), -Available(123, '5A')
+//
+// Writes that would leave some committed resource transaction without
+// any possible grounding are rejected with core.ErrWriteRejected.
+func (db *DB) Exec(src string) error {
+	inserts, deletes, err := parseFacts(src)
+	if err != nil {
+		return err
+	}
+	if db.q == nil {
+		// Inside a Recover setup callback: seed the initial store
+		// directly (there is no quantum state yet).
+		return db.store.Apply(inserts, deletes)
+	}
+	return db.q.Write(inserts, deletes)
+}
+
+// MustExec is Exec panicking on error, for setup code.
+func (db *DB) MustExec(src string) {
+	if err := db.Exec(src); err != nil {
+		panic(err)
+	}
+}
+
+// Preview reports which pending transactions the given read query WOULD
+// collapse, without collapsing anything (§3.2.2's "consequences of a
+// read" feedback). Broad queries collapse more — prefer narrow ones.
+func (db *DB) Preview(query string) ([]int64, error) {
+	atoms, err := txn.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.q.PreviewRead(atoms), nil
+}
+
+// Ground forces value assignment for one committed transaction,
+// executing its writes.
+func (db *DB) Ground(id int64) error { return db.q.Ground(id) }
+
+// GroundAll collapses every pending transaction; the database is fully
+// extensional afterwards.
+func (db *DB) GroundAll() error { return db.q.GroundAll() }
+
+// Pending returns the number of committed-but-unground transactions.
+func (db *DB) Pending() int { return db.q.PendingCount() }
+
+// Stats returns engine counters.
+func (db *DB) Stats() Stats { return db.q.Stats() }
+
+// Engine exposes the underlying quantum engine for advanced use
+// (GroundPair, partition inspection).
+func (db *DB) Engine() *core.QDB { return db.q }
+
+// Coordinator executes entangled resource transactions: it grounds a
+// pair together as soon as both partners are in the system.
+type Coordinator struct{ c *core.Coordinator }
+
+// NewCoordinator wraps the database for entangled submission.
+func (db *DB) NewCoordinator() *Coordinator {
+	return &Coordinator{c: core.NewCoordinator(db.q)}
+}
+
+// SetEager enables coordinated collapse on arrival when the partner was
+// already executed (an extension over the paper; see the ablation
+// benchmarks).
+func (co *Coordinator) SetEager(on bool) { co.c.EagerCoordination = on }
+
+// Submit admits an entangled resource transaction; when its partner is
+// already pending, the pair is grounded together, coordinating if at all
+// possible.
+func (co *Coordinator) Submit(src, tag, partner string) (int64, error) {
+	t, err := txn.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	t.Tag = tag
+	t.PartnerTag = partner
+	return co.c.Submit(t)
+}
+
+// CoordinatedPairs reports how many pairs were grounded together.
+func (co *Coordinator) CoordinatedPairs() int { return co.c.CoordinatedPairs() }
+
+// parseFacts reads comma-separated signed ground atoms.
+func parseFacts(src string) (inserts, deletes []relstore.GroundFact, err error) {
+	rest := strings.TrimSpace(src)
+	if rest == "" {
+		return nil, nil, fmt.Errorf("quantumdb: empty write")
+	}
+	// Reuse the transaction parser by wrapping the ops into a dummy txn:
+	// "<ops> :-1 True(0)" would need a True relation; parse manually via
+	// ParseQuery on the atom part after stripping signs instead.
+	parts := splitTopLevel(rest)
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, nil, fmt.Errorf("quantumdb: empty atom in write %q", src)
+		}
+		var insert bool
+		switch p[0] {
+		case '+':
+			insert = true
+		case '-':
+			insert = false
+		default:
+			return nil, nil, fmt.Errorf("quantumdb: write atom %q must start with + or -", p)
+		}
+		atoms, err := txn.ParseQuery(p[1:])
+		if err != nil || len(atoms) != 1 {
+			return nil, nil, fmt.Errorf("quantumdb: bad write atom %q", p)
+		}
+		a := atoms[0]
+		if !a.IsGround() {
+			return nil, nil, fmt.Errorf("quantumdb: write atom %q contains variables", p)
+		}
+		f := relstore.GroundFact{Rel: a.Rel, Tuple: a.Tuple()}
+		if insert {
+			inserts = append(inserts, f)
+		} else {
+			deletes = append(deletes, f)
+		}
+	}
+	return inserts, deletes, nil
+}
+
+// splitTopLevel splits on commas that are outside parentheses and
+// quotes.
+func splitTopLevel(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '\'' {
+				inStr = false
+			}
+		case c == '\'':
+			inStr = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
