@@ -46,7 +46,8 @@ func slotOf(a logic.Atom, pos int) slotKey {
 	if t.IsVar() {
 		return slotKey{rel: a.Rel, pos: pos}
 	}
-	return slotKey{rel: a.Rel, pos: pos, val: string(t.Value().AppendBinary(nil))}
+	var kb [32]byte
+	return slotKey{rel: a.Rel, pos: pos, val: string(t.Value().AppendBinary(kb[:0]))}
 }
 
 func bump(m map[int64]int, pid int64, delta int) bool {

@@ -353,7 +353,11 @@ func (q *QDB) noteHighWater(p *partition) {
 	}
 	atoms := 0
 	for _, t := range p.txns {
-		atoms += len(t.HardAtoms())
+		for _, b := range t.Body {
+			if !b.Optional {
+				atoms++
+			}
+		}
 	}
 	if atoms > q.stats.MaxComposedAtoms {
 		q.stats.MaxComposedAtoms = atoms

@@ -205,7 +205,10 @@ func Eval(f Formula, src relstore.Source, init logic.Subst, emit func(logic.Subs
 func FindOne(f Formula, src relstore.Source, init logic.Subst) (logic.Subst, bool, error) {
 	var found logic.Subst
 	err := Eval(f, src, init, func(s logic.Subst) bool {
-		found = s.Clone()
+		// Emitted substitutions are never mutated after emission: atom
+		// branches hand out fresh evaluator snapshots and predicate
+		// branches clone before extending. Retain without cloning.
+		found = s
 		return false
 	})
 	if err != nil {

@@ -1,13 +1,15 @@
 package formula
 
 import (
+	"bytes"
 	"fmt"
+	"math/bits"
 	"sort"
-	"strings"
 
 	"repro/internal/logic"
 	"repro/internal/relstore"
 	"repro/internal/txn"
+	"repro/internal/value"
 )
 
 // Grounding is the concrete value assignment chosen for one transaction in
@@ -117,10 +119,11 @@ func SolveChainVaryingFirst(base relstore.Source, ts []*txn.T, opt ChainOptions,
 		n = 1
 	}
 	var sols []*ChainSolution
+	var fk factsKeyer
 	seen := make(map[string]bool)
 	for len(sols) < n {
 		o := opt
-		o.skipFirst = func(g Grounding) bool { return seen[factsKey(g)] }
+		o.skipFirst = func(g Grounding) bool { return seen[fk.key(g)] }
 		got, err := SolveChainN(base, ts, o, 1)
 		if err != nil {
 			return nil, err
@@ -129,22 +132,52 @@ func SolveChainVaryingFirst(base relstore.Source, ts []*txn.T, opt ChainOptions,
 			break
 		}
 		sols = append(sols, got[0])
-		seen[factsKey(got[0].Groundings[0])] = true
+		seen[fk.key(got[0].Groundings[0])] = true
 	}
 	return sols, nil
 }
 
-// factsKey canonicalizes a grounding's update facts for dedup.
-func factsKey(g Grounding) string {
-	keys := make([]string, 0, len(g.Inserts)+len(g.Deletes))
+// factsKeyer canonicalizes a grounding's update facts for dedup. The
+// skipFirst filter runs it against every candidate grounding of the
+// chain head, so the fact encodings are built in one reused byte buffer
+// (binary value encoding, no per-fact string rendering) and only the
+// final map key is allocated.
+type factsKeyer struct {
+	buf   []byte
+	spans [][2]int // per-fact [start, end) into buf
+	out   []byte
+}
+
+func (fk *factsKeyer) add(sign byte, f relstore.GroundFact) {
+	start := len(fk.buf)
+	fk.buf = append(fk.buf, sign)
+	fk.buf = append(fk.buf, f.Rel...)
+	for _, v := range f.Tuple {
+		fk.buf = v.AppendBinary(fk.buf)
+	}
+	fk.spans = append(fk.spans, [2]int{start, len(fk.buf)})
+}
+
+func (fk *factsKeyer) key(g Grounding) string {
+	fk.buf, fk.spans = fk.buf[:0], fk.spans[:0]
 	for _, f := range g.Inserts {
-		keys = append(keys, "+"+f.String())
+		fk.add('+', f)
 	}
 	for _, f := range g.Deletes {
-		keys = append(keys, "-"+f.String())
+		fk.add('-', f)
 	}
-	sort.Strings(keys)
-	return strings.Join(keys, "|")
+	sort.Slice(fk.spans, func(i, j int) bool {
+		a, b := fk.spans[i], fk.spans[j]
+		return bytes.Compare(fk.buf[a[0]:a[1]], fk.buf[b[0]:b[1]]) < 0
+	})
+	fk.out = fk.out[:0]
+	for i, sp := range fk.spans {
+		if i > 0 {
+			fk.out = append(fk.out, '|')
+		}
+		fk.out = append(fk.out, fk.buf[sp[0]:sp[1]]...)
+	}
+	return string(fk.out)
 }
 
 type chainSolver struct {
@@ -154,6 +187,50 @@ type chainSolver struct {
 	steps int
 	want  int
 	sols  []*ChainSolution
+	// freeOvs is a free list of overlays: one overlay is needed per live
+	// chain level, but one is speculatively created per candidate
+	// grounding, so recycling them removes two map allocations from every
+	// rejected candidate.
+	freeOvs []*relstore.Overlay
+	// prep caches the compiled body query per (transaction index,
+	// optional-subset mask). solveFrom(i) runs once per candidate
+	// grounding of the earlier transactions, so without the cache the
+	// same body would be recompiled for every candidate.
+	prep map[uint64]*relstore.Prepared
+}
+
+// preparedFor returns the compiled body query for transaction i under the
+// given optional-subset mask, compiling on first use. atoms is invoked
+// only on a cache miss. Reuse is safe because the chain recursion only
+// ever nests evaluations of strictly later transactions inside an
+// evaluation of transaction i.
+func (c *chainSolver) preparedFor(i int, mask uint64, atoms func() []logic.Atom) *relstore.Prepared {
+	key := uint64(i)<<32 | mask
+	if p, ok := c.prep[key]; ok {
+		return p
+	}
+	if c.prep == nil {
+		c.prep = make(map[uint64]*relstore.Prepared)
+	}
+	p := relstore.Query{Atoms: atoms(), Planner: c.opt.Planner}.Compile()
+	c.prep[key] = p
+	return p
+}
+
+// overlayFor returns a cleared overlay over src, reusing the free list.
+func (c *chainSolver) overlayFor(src relstore.Source) *relstore.Overlay {
+	if n := len(c.freeOvs); n > 0 {
+		o := c.freeOvs[n-1]
+		c.freeOvs = c.freeOvs[:n-1]
+		o.Reset(src)
+		return o
+	}
+	return relstore.NewOverlay(src)
+}
+
+// releaseOverlay returns an overlay whose chain level has backtracked.
+func (c *chainSolver) releaseOverlay(o *relstore.Overlay) {
+	c.freeOvs = append(c.freeOvs, o)
 }
 
 func (c *chainSolver) run() ([]*ChainSolution, error) {
@@ -181,7 +258,7 @@ func (c *chainSolver) solveFrom(src relstore.Source, i int, gs *[]Grounding) (bo
 	if c.opt.MaximizeOptionals {
 		return c.solveMaximizing(src, i, gs)
 	}
-	return c.solveWithAtoms(src, i, t.HardAtoms(), 0, gs)
+	return c.solveWithAtoms(src, i, 0, t.HardAtoms, 0, gs)
 }
 
 // solveMaximizing tries optional-atom subsets of decreasing size, so the
@@ -192,9 +269,8 @@ func (c *chainSolver) solveFrom(src relstore.Source, i int, gs *[]Grounding) (bo
 func (c *chainSolver) solveMaximizing(src relstore.Source, i int, gs *[]Grounding) (bool, error) {
 	t := c.ts[i]
 	opts := t.OptionalAtoms()
-	hard := t.HardAtoms()
 	if len(opts) == 0 {
-		return c.solveWithAtoms(src, i, hard, 0, gs)
+		return c.solveWithAtoms(src, i, 0, t.HardAtoms, 0, gs)
 	}
 	if len(opts) > 16 {
 		return false, fmt.Errorf("formula: %d optional atoms exceeds subset-search limit", len(opts))
@@ -203,16 +279,19 @@ func (c *chainSolver) solveMaximizing(src relstore.Source, i int, gs *[]Groundin
 	for size := len(opts); size >= 0; size-- {
 		before := len(c.sols)
 		for mask := uint64(0); mask < 1<<n; mask++ {
-			if popcount(mask) != size {
+			if bits.OnesCount64(mask) != size {
 				continue
 			}
-			atoms := append([]logic.Atom(nil), hard...)
-			for b := 0; b < len(opts); b++ {
-				if mask&(1<<uint(b)) != 0 {
-					atoms = append(atoms, opts[b])
+			atoms := func() []logic.Atom {
+				out := append([]logic.Atom(nil), t.HardAtoms()...)
+				for b := 0; b < len(opts); b++ {
+					if mask&(1<<uint(b)) != 0 {
+						out = append(out, opts[b])
+					}
 				}
+				return out
 			}
-			stop, err := c.solveWithAtoms(src, i, atoms, size, gs)
+			stop, err := c.solveWithAtoms(src, i, mask, atoms, size, gs)
 			if err != nil || stop {
 				return stop, err
 			}
@@ -224,20 +303,13 @@ func (c *chainSolver) solveMaximizing(src relstore.Source, i int, gs *[]Groundin
 	return false, nil
 }
 
-func popcount(x uint64) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
-}
-
-// solveWithAtoms grounds transaction i using the given body atoms, then
-// recurses on the remaining transactions; it backtracks through all
-// groundings of i until enough full-chain solutions are collected.
-func (c *chainSolver) solveWithAtoms(src relstore.Source, i int, atoms []logic.Atom, optCount int, gs *[]Grounding) (bool, error) {
+// solveWithAtoms grounds transaction i using the body atoms selected by
+// mask (built by atoms on a compile-cache miss), then recurses on the
+// remaining transactions; it backtracks through all groundings of i
+// until enough full-chain solutions are collected.
+func (c *chainSolver) solveWithAtoms(src relstore.Source, i int, mask uint64, atoms func() []logic.Atom, optCount int, gs *[]Grounding) (bool, error) {
 	t := c.ts[i]
-	q := relstore.Query{Atoms: atoms, Planner: c.opt.Planner}
+	q := c.preparedFor(i, mask, atoms)
 	var (
 		done   bool
 		recErr error
@@ -257,15 +329,17 @@ func (c *chainSolver) solveWithAtoms(src relstore.Source, i int, atoms []logic.A
 		if i == 0 && c.opt.skipFirst != nil && c.opt.skipFirst(g) {
 			return true
 		}
-		next := relstore.NewOverlay(src)
+		next := c.overlayFor(src)
 		if err := next.ApplyFacts(g.Inserts, g.Deletes); err != nil {
 			// This grounding collides with the store state (e.g. duplicate
 			// key): not a valid world, try the next grounding.
+			c.releaseOverlay(next)
 			return true
 		}
 		*gs = append(*gs, g)
 		stop, err := c.solveFrom(next, i+1, gs)
 		*gs = (*gs)[:len(*gs)-1]
+		c.releaseOverlay(next)
 		if err != nil {
 			recErr = err
 			return false
@@ -287,15 +361,32 @@ func (c *chainSolver) solveWithAtoms(src relstore.Source, i int, atoms []logic.A
 
 // groundUpdates instantiates t's update portion under s. Every update
 // variable must be bound (guaranteed by range restriction when s solves
-// the hard body).
+// the hard body). It takes ownership of s: the query evaluator hands a
+// fresh snapshot to every emit, so no defensive clone is needed.
 func groundUpdates(t *txn.T, s logic.Subst) (Grounding, error) {
-	g := Grounding{Txn: t, Subst: s.Clone()}
+	g := Grounding{Txn: t, Subst: s}
+	nIns := 0
 	for _, op := range t.Update {
-		ga := s.Apply(op.Atom)
-		if !ga.IsGround() {
-			return Grounding{}, fmt.Errorf("formula: update atom %v not ground under %v", op.Atom, s)
+		if op.Insert {
+			nIns++
 		}
-		fact := relstore.GroundFact{Rel: ga.Rel, Tuple: ga.Tuple()}
+	}
+	if nIns > 0 {
+		g.Inserts = make([]relstore.GroundFact, 0, nIns)
+	}
+	if nDel := len(t.Update) - nIns; nDel > 0 {
+		g.Deletes = make([]relstore.GroundFact, 0, nDel)
+	}
+	for _, op := range t.Update {
+		tup := make(value.Tuple, len(op.Atom.Args))
+		for i, at := range op.Atom.Args {
+			w := s.Walk(at)
+			if w.IsVar() {
+				return Grounding{}, fmt.Errorf("formula: update atom %v not ground under %v", op.Atom, s)
+			}
+			tup[i] = w.Value()
+		}
+		fact := relstore.GroundFact{Rel: op.Atom.Rel, Tuple: tup}
 		if op.Insert {
 			g.Inserts = append(g.Inserts, fact)
 		} else {

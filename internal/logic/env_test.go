@@ -1,0 +1,102 @@
+package logic
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestEnvBindUndo(t *testing.T) {
+	e := NewEnv()
+	x, y := e.Slot("x"), e.Slot("y")
+	if e.Slot("x") != x {
+		t.Fatal("Slot not idempotent")
+	}
+	m0 := e.Mark()
+	e.Bind(x, Int(1))
+	if !e.Bound(x) || e.Bound(y) {
+		t.Fatal("bound flags wrong after Bind")
+	}
+	if v, ok := e.Value(x); !ok || v != value.NewInt(1) {
+		t.Fatalf("Value(x) = %v, %v", v, ok)
+	}
+	m1 := e.Mark()
+	e.Bind(y, Str("a"))
+	e.Undo(m1)
+	if e.Bound(y) {
+		t.Fatal("Undo did not unbind y")
+	}
+	if !e.Bound(x) {
+		t.Fatal("Undo past its mark")
+	}
+	e.Undo(m0)
+	if e.Bound(x) {
+		t.Fatal("Undo to base did not unbind x")
+	}
+}
+
+func TestEnvAliasChain(t *testing.T) {
+	e := NewEnv()
+	x, y := e.Slot("x"), e.Slot("y")
+	e.Bind(x, Var("y")) // x -> y (alias)
+	if _, ok := e.Value(x); ok {
+		t.Fatal("alias to unbound var resolved to a constant")
+	}
+	v, end, ok := e.ResolveSlot(x)
+	if ok || end != y {
+		t.Fatalf("ResolveSlot(x) = %v, %d, %v; want unbound end %d", v, end, ok, y)
+	}
+	e.Bind(y, Int(7))
+	if v, ok := e.Value(x); !ok || v != value.NewInt(7) {
+		t.Fatalf("Value through chain = %v, %v", v, ok)
+	}
+	if got := e.Walk(Var("x")); got != Int(7) {
+		t.Fatalf("Walk(x) = %v", got)
+	}
+}
+
+func TestEnvSnapshotMatchesSubst(t *testing.T) {
+	// Load + extra bindings must snapshot to exactly the same map a
+	// Subst-based evaluation would have built.
+	init := Subst{"a": Int(1), "b": Var("c")}
+	e := NewEnv()
+	e.Load(init)
+	e.Bind(e.Slot("c"), Str("z"))
+	snap := e.Snapshot()
+	want := Subst{"a": Int(1), "b": Var("c"), "c": Str("z")}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot = %v, want %v", snap, want)
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Fatalf("snapshot[%s] = %v, want %v", k, snap[k], v)
+		}
+	}
+	// The snapshot walks like the equivalent Subst.
+	if got := snap.Walk(Var("b")); got != Str("z") {
+		t.Fatalf("snapshot Walk(b) = %v", got)
+	}
+}
+
+func TestEnvResetKeepsSlots(t *testing.T) {
+	e := NewEnvCap(2)
+	x := e.Slot("x")
+	e.Bind(x, Int(3))
+	e.Reset()
+	if e.Bound(x) {
+		t.Fatal("Reset left x bound")
+	}
+	if got, ok := e.SlotOf("x"); !ok || got != x {
+		t.Fatal("Reset dropped the slot table")
+	}
+}
+
+func TestEnvWalkUnknownVar(t *testing.T) {
+	e := NewEnv()
+	if got := e.Walk(Var("nope")); got != Var("nope") {
+		t.Fatalf("Walk(unknown) = %v", got)
+	}
+	if got := e.Walk(Int(5)); got != Int(5) {
+		t.Fatalf("Walk(const) = %v", got)
+	}
+}

@@ -107,10 +107,46 @@ func MGU(a, b Atom) (Subst, bool) {
 }
 
 // Unifiable reports whether two atoms have a most general unifier. It is
-// the conservative read-check / partition-overlap predicate from §3.2.2.
+// the conservative read-check / partition-overlap predicate from §3.2.2,
+// called per (query atom, pending update) pair on every Read, so unlike
+// MGU it tracks bindings in a small on-stack array instead of a map.
 func Unifiable(a, b Atom) bool {
-	_, ok := MGU(a, b)
-	return ok
+	if a.Rel != b.Rel || len(a.Args) != len(b.Args) {
+		return false
+	}
+	type binding struct {
+		name string
+		t    Term
+	}
+	var buf [8]binding
+	binds := buf[:0]
+	walk := func(t Term) Term {
+	chain:
+		for t.IsVar() {
+			for _, b := range binds {
+				if b.name == t.Name() {
+					t = b.t
+					continue chain
+				}
+			}
+			return t
+		}
+		return t
+	}
+	for i := range a.Args {
+		ta := walk(a.Args[i])
+		tb := walk(b.Args[i])
+		switch {
+		case ta == tb:
+		case ta.IsVar():
+			binds = append(binds, binding{ta.Name(), tb})
+		case tb.IsVar():
+			binds = append(binds, binding{tb.Name(), ta})
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // EqConstraint is a single equality t1 = t2 between terms; a conjunction of

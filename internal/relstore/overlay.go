@@ -16,21 +16,48 @@ import (
 type Overlay struct {
 	base Source
 	// added and deleted are keyed by relation, then by primary-key string.
+	// Both are nil until the first write: the chain solver speculatively
+	// creates overlays per candidate grounding and most are rejected
+	// before (or while) touching them, so eager allocation is pure waste.
 	added   map[string]map[string]value.Tuple
 	deleted map[string]map[string]value.Tuple
+
+	// Scan plumbing: base-scan callbacks must skip tombstoned rows and
+	// remember whether the consumer stopped. A closure per scan would
+	// allocate on every atom enumeration, so the wrapper is a single
+	// bound method (filterFn) reading these fields; they are saved and
+	// restored around nested scans of the same overlay. Overlays are not
+	// safe for concurrent use.
+	scanF       func(value.Tuple) bool
+	scanDead    map[string]value.Tuple
+	scanKey     []int
+	scanStopped bool
+	filterFn    func(value.Tuple) bool
 }
 
-// NewOverlay returns an empty delta view over base.
+// NewOverlay returns an empty delta view over base. The delta maps are
+// allocated lazily on first write.
 func NewOverlay(base Source) *Overlay {
-	return &Overlay{
-		base:    base,
-		added:   make(map[string]map[string]value.Tuple),
-		deleted: make(map[string]map[string]value.Tuple),
+	return &Overlay{base: base}
+}
+
+// Reset rebinds the overlay to base and clears the delta, retaining the
+// allocated maps. Pooled overlays (the chain solver keeps a free list)
+// are Reset instead of reallocated per candidate grounding.
+func (o *Overlay) Reset(base Source) {
+	o.base = base
+	for _, m := range o.added {
+		clear(m)
+	}
+	for _, m := range o.deleted {
+		clear(m)
 	}
 }
 
 // Insert records a virtual insert. It fails if the key is already present
-// (set semantics across base plus delta).
+// (set semantics across base plus delta). The overlay aliases tup —
+// tuples are immutable by convention, and overlays are speculative, so
+// no defensive clone is taken.
 func (o *Overlay) Insert(rel string, tup value.Tuple) error {
 	sch, ok := o.SchemaOf(rel)
 	if !ok {
@@ -39,13 +66,15 @@ func (o *Overlay) Insert(rel string, tup value.Tuple) error {
 	if len(tup) != sch.Arity() {
 		return fmt.Errorf("relstore: overlay %s: arity mismatch for %v", rel, tup)
 	}
-	k := sch.keyOf(tup)
+	var kb [64]byte
+	k := string(sch.appendKeyOf(kb[:0], tup))
 	if _, dead := o.deleted[rel][k]; dead {
-		// Reinsertion after delete: drop the tombstone.
+		// Reinsertion after delete: the tombstone stays — it still
+		// suppresses the base row, which may differ from tup in non-key
+		// columns — and the new tuple is recorded as an add.
 		if cur := o.added[rel][k]; cur != nil {
 			return fmt.Errorf("relstore: overlay %s: duplicate key for %v", rel, tup)
 		}
-		delete(o.deleted[rel], k)
 		o.add(rel, k, tup)
 		return nil
 	}
@@ -57,12 +86,15 @@ func (o *Overlay) Insert(rel string, tup value.Tuple) error {
 }
 
 func (o *Overlay) add(rel, k string, tup value.Tuple) {
+	if o.added == nil {
+		o.added = make(map[string]map[string]value.Tuple)
+	}
 	m := o.added[rel]
 	if m == nil {
 		m = make(map[string]value.Tuple)
 		o.added[rel] = m
 	}
-	m[k] = tup.Clone()
+	m[k] = tup
 }
 
 // keyPresent reports whether any live row with the given primary key
@@ -82,14 +114,15 @@ func (o *Overlay) ContainsKey(rel string, key string) bool {
 	return o.base.ContainsKey(rel, key)
 }
 
-// Delete records a tombstone for the exact tuple. Deleting an absent tuple
-// is an error.
+// Delete records a tombstone for the exact tuple (which the overlay
+// aliases; see Insert). Deleting an absent tuple is an error.
 func (o *Overlay) Delete(rel string, tup value.Tuple) error {
 	sch, ok := o.SchemaOf(rel)
 	if !ok {
 		return fmt.Errorf("relstore: overlay delete from unknown relation %s", rel)
 	}
-	k := sch.keyOf(tup)
+	var kb [64]byte
+	k := string(sch.appendKeyOf(kb[:0], tup))
 	if cur, ok := o.added[rel][k]; ok {
 		if !cur.Equal(tup) {
 			return fmt.Errorf("relstore: overlay %s: delete %v does not match %v", rel, tup, cur)
@@ -103,12 +136,15 @@ func (o *Overlay) Delete(rel string, tup value.Tuple) error {
 	if !o.base.Contains(rel, tup) {
 		return fmt.Errorf("relstore: overlay %s: delete of absent tuple %v", rel, tup)
 	}
+	if o.deleted == nil {
+		o.deleted = make(map[string]map[string]value.Tuple)
+	}
 	m := o.deleted[rel]
 	if m == nil {
 		m = make(map[string]value.Tuple)
 		o.deleted[rel] = m
 	}
-	m[k] = tup.Clone()
+	m[k] = tup
 	return nil
 }
 
@@ -133,6 +169,12 @@ func (o *Overlay) ApplyFacts(inserts, deletes []GroundFact) error {
 func (o *Overlay) Clone() *Overlay {
 	c := NewOverlay(o.base)
 	for rel, m := range o.added {
+		if len(m) == 0 {
+			continue
+		}
+		if c.added == nil {
+			c.added = make(map[string]map[string]value.Tuple, len(o.added))
+		}
 		cm := make(map[string]value.Tuple, len(m))
 		for k, t := range m {
 			cm[k] = t
@@ -140,6 +182,12 @@ func (o *Overlay) Clone() *Overlay {
 		c.added[rel] = cm
 	}
 	for rel, m := range o.deleted {
+		if len(m) == 0 {
+			continue
+		}
+		if c.deleted == nil {
+			c.deleted = make(map[string]map[string]value.Tuple, len(o.deleted))
+		}
 		cm := make(map[string]value.Tuple, len(m))
 		for k, t := range m {
 			cm[k] = t
@@ -173,27 +221,56 @@ func (o *Overlay) Len(rel string) int {
 	return o.base.Len(rel) + len(o.added[rel]) - len(o.deleted[rel])
 }
 
+// filterTuple is the shared base-scan callback; see the field comment.
+func (o *Overlay) filterTuple(t value.Tuple) bool {
+	if o.scanDead != nil {
+		var kb [64]byte
+		if _, d := o.scanDead[string(t.AppendKey(kb[:0], o.scanKey))]; d {
+			return true
+		}
+	}
+	if !o.scanF(t) {
+		o.scanStopped = true
+		return false
+	}
+	return true
+}
+
+// beginScan installs f as the live consumer and returns the previous scan
+// state, which endScan restores (scans nest when a query enumerates one
+// atom while scanning another against the same overlay). The relation's
+// schema is returned so callers need not look it up again.
+func (o *Overlay) beginScan(rel string, f func(value.Tuple) bool) (prevF func(value.Tuple) bool, prevDead map[string]value.Tuple, prevKey []int, prevStopped bool, sch Schema, ok bool) {
+	sch, schOK := o.base.SchemaOf(rel)
+	if !schOK {
+		return nil, nil, nil, false, Schema{}, false
+	}
+	if o.filterFn == nil {
+		o.filterFn = o.filterTuple
+	}
+	dead := o.deleted[rel]
+	if len(dead) == 0 {
+		dead = nil // pooled overlays retain cleared maps; skip the filter
+	}
+	prevF, prevDead, prevKey, prevStopped = o.scanF, o.scanDead, o.scanKey, o.scanStopped
+	o.scanF, o.scanDead, o.scanKey, o.scanStopped = f, dead, sch.Key, false
+	return prevF, prevDead, prevKey, prevStopped, sch, true
+}
+
+func (o *Overlay) endScan(prevF func(value.Tuple) bool, prevDead map[string]value.Tuple, prevKey []int, prevStopped bool) (stopped bool) {
+	stopped = o.scanStopped
+	o.scanF, o.scanDead, o.scanKey, o.scanStopped = prevF, prevDead, prevKey, prevStopped
+	return stopped
+}
+
 // Scan implements Source: base rows minus tombstones, plus added rows.
 func (o *Overlay) Scan(rel string, f func(value.Tuple) bool) {
-	dead := o.deleted[rel]
-	stopped := false
-	sch, ok := o.base.SchemaOf(rel)
+	pf, pd, pk, ps, _, ok := o.beginScan(rel, f)
 	if !ok {
 		return
 	}
-	o.base.Scan(rel, func(t value.Tuple) bool {
-		if dead != nil {
-			if _, d := dead[sch.keyOf(t)]; d {
-				return true
-			}
-		}
-		if !f(t) {
-			stopped = true
-			return false
-		}
-		return true
-	})
-	if stopped {
+	o.base.Scan(rel, o.filterFn)
+	if o.endScan(pf, pd, pk, ps) {
 		return
 	}
 	for _, t := range o.added[rel] {
@@ -205,25 +282,12 @@ func (o *Overlay) Scan(rel string, f func(value.Tuple) bool) {
 
 // IndexScan implements Source.
 func (o *Overlay) IndexScan(rel string, col int, v value.Value, f func(value.Tuple) bool) {
-	dead := o.deleted[rel]
-	stopped := false
-	sch, ok := o.base.SchemaOf(rel)
+	pf, pd, pk, ps, _, ok := o.beginScan(rel, f)
 	if !ok {
 		return
 	}
-	o.base.IndexScan(rel, col, v, func(t value.Tuple) bool {
-		if dead != nil {
-			if _, d := dead[sch.keyOf(t)]; d {
-				return true
-			}
-		}
-		if !f(t) {
-			stopped = true
-			return false
-		}
-		return true
-	})
-	if stopped {
+	o.base.IndexScan(rel, col, v, o.filterFn)
+	if o.endScan(pf, pd, pk, ps) {
 		return
 	}
 	for _, t := range o.added[rel] {
@@ -249,30 +313,22 @@ func (o *Overlay) IndexCount(rel string, col int, v value.Value) int {
 
 // CompositeScan implements Source.
 func (o *Overlay) CompositeScan(rel string, ix int, key string, f func(value.Tuple) bool) {
-	sch, ok := o.base.SchemaOf(rel)
-	if !ok || ix >= len(sch.Indexes) {
+	pf, pd, pk, ps, sch, ok := o.beginScan(rel, f)
+	if !ok {
+		return
+	}
+	if ix >= len(sch.Indexes) {
+		o.endScan(pf, pd, pk, ps)
 		return
 	}
 	cols := sch.Indexes[ix]
-	dead := o.deleted[rel]
-	stopped := false
-	o.base.CompositeScan(rel, ix, key, func(t value.Tuple) bool {
-		if dead != nil {
-			if _, d := dead[sch.keyOf(t)]; d {
-				return true
-			}
-		}
-		if !f(t) {
-			stopped = true
-			return false
-		}
-		return true
-	})
-	if stopped {
+	o.base.CompositeScan(rel, ix, key, o.filterFn)
+	if o.endScan(pf, pd, pk, ps) {
 		return
 	}
 	for _, t := range o.added[rel] {
-		if t.Key(cols) == key {
+		var kb [64]byte
+		if string(t.AppendKey(kb[:0], cols)) == key {
 			if !f(t) {
 				return
 			}
@@ -289,7 +345,8 @@ func (o *Overlay) CompositeCount(rel string, ix int, key string) int {
 	}
 	cols := sch.Indexes[ix]
 	for _, t := range o.added[rel] {
-		if t.Key(cols) == key {
+		var kb [64]byte
+		if string(t.AppendKey(kb[:0], cols)) == key {
 			n++
 		}
 	}
@@ -302,11 +359,12 @@ func (o *Overlay) Contains(rel string, tup value.Tuple) bool {
 	if !ok {
 		return false
 	}
-	k := sch.keyOf(tup)
-	if cur, ok := o.added[rel][k]; ok {
+	var kb [64]byte
+	k := sch.appendKeyOf(kb[:0], tup)
+	if cur, ok := o.added[rel][string(k)]; ok {
 		return cur.Equal(tup)
 	}
-	if _, dead := o.deleted[rel][k]; dead {
+	if _, dead := o.deleted[rel][string(k)]; dead {
 		return false
 	}
 	return o.base.Contains(rel, tup)

@@ -48,41 +48,187 @@ type Check struct {
 
 // Eval enumerates satisfying substitutions of q over src, starting from
 // the (possibly nil) initial substitution, calling emit for each complete
-// solution. emit returns false to stop enumeration. Eval returns an error
-// only for structural problems (unknown relation, arity mismatch).
+// solution. emit returns false to stop enumeration. The Subst handed to
+// emit is a fresh snapshot per solution; callers may retain it. Eval
+// returns an error only for structural problems (unknown relation, arity
+// mismatch).
 func (q Query) Eval(src Source, init logic.Subst, emit func(logic.Subst) bool) error {
-	for _, a := range q.Atoms {
-		sch, ok := src.SchemaOf(a.Rel)
-		if !ok {
-			return fmt.Errorf("relstore: query over unknown relation %s", a.Rel)
-		}
-		if len(a.Args) != sch.Arity() {
-			return fmt.Errorf("relstore: query atom %v has arity %d, relation has %d",
-				a, len(a.Args), sch.Arity())
-		}
-	}
-	s := init
-	if s == nil {
-		s = logic.NewSubst()
-	} else {
-		s = s.Clone()
-	}
-	e := evaluator{src: src, q: q, emit: emit}
-	e.pendingChecks = append(e.pendingChecks, q.Checks...)
-	remaining := make([]int, len(q.Atoms))
-	for i := range remaining {
-		remaining[i] = i
-	}
-	e.run(s, remaining)
-	return nil
+	return q.Compile().Eval(src, init, emit)
 }
 
 // FindOne returns the first satisfying substitution, or ok=false if the
 // query is unsatisfiable over src. This is the LIMIT 1 oracle.
 func (q Query) FindOne(src Source, init logic.Subst) (logic.Subst, bool, error) {
+	return q.Compile().FindOne(src, init)
+}
+
+// FindAll returns up to limit satisfying substitutions (limit <= 0 means
+// no limit).
+func (q Query) FindAll(src Source, init logic.Subst, limit int) ([]logic.Subst, error) {
+	return q.Compile().FindAll(src, init, limit)
+}
+
+// Count returns the number of satisfying substitutions.
+func (q Query) Count(src Source) (int, error) {
+	return q.Compile().Count(src)
+}
+
+// Prepared is a compiled conjunctive query: every variable is resolved to
+// a slot of a logic.Env once, each atom's arguments are pre-split into
+// slots and constants, and all evaluation scratch (remaining-atom lists,
+// per-atom walk buffers, composite-key buffer) is hoisted into reusable
+// storage. Evaluation then backtracks by binding slots and undoing a
+// trail instead of cloning a map per candidate tuple, so a Prepared
+// performs no per-tuple allocations; only emitted solutions allocate
+// (their Subst snapshot).
+//
+// A Prepared may be evaluated repeatedly but is not safe for concurrent
+// use; compile one per goroutine.
+type Prepared struct {
+	planner PlannerMode
+	env     *logic.Env
+	atoms   []compiledAtom
+	checks  []compiledCheck
+
+	// Per-evaluation state.
+	src     Source
+	emit    func(logic.Subst) bool
+	stopped bool
+	// rem[d] holds the indexes of atoms not yet grounded at depth d; each
+	// depth owns one reusable buffer since recursion visits it once per
+	// evaluation path.
+	rem    [][]int
+	keyBuf []byte
+	bindFn func(string) (value.Value, bool)
+}
+
+// compiledAtom is one atom with its arguments resolved to slots, plus the
+// scratch the evaluator needs while estimating or scanning it. Sharing
+// the scratch across an evaluation is safe because an atom is active at
+// most once per evaluation path (it leaves the remaining set when
+// picked).
+type compiledAtom struct {
+	p      *Prepared
+	rel    string
+	args   []logic.Term
+	slots  []int         // per argument: variable slot, or -1 for a constant
+	consts []value.Value // per argument: the constant when slots[i] < 0
+
+	ground []bool        // walked argument resolved to a constant
+	vals   []value.Value // that constant, when ground
+	tup    value.Tuple   // probe buffer for fully ground atoms
+
+	nextDepth int // depth the continuation resumes at while scanning
+	match     func(value.Tuple) bool
+}
+
+// compiledCheck pairs a residual check with the slots of its variables.
+type compiledCheck struct {
+	c     Check
+	slots []int
+}
+
+// Compile resolves q's variables to Env slots and allocates all
+// evaluation scratch up front — from a handful of shared backing arrays,
+// since the chain solver compiles one query per transaction per solve.
+// Query.Eval compiles transparently; callers evaluating the same query
+// many times can compile once and reuse the Prepared.
+func (q Query) Compile() *Prepared {
+	nargs := 0
+	for _, a := range q.Atoms {
+		nargs += len(a.Args)
+	}
+	nchk := 0
+	for _, c := range q.Checks {
+		nchk += len(c.Vars)
+	}
+	na := len(q.Atoms)
+	p := &Prepared{planner: q.Planner, env: logic.NewEnvCap(nargs + nchk)}
+	ints := make([]int, nargs+nchk+(na+1)*na)
+	bools := make([]bool, nargs)
+	vals := make([]value.Value, 2*nargs)
+	tups := make(value.Tuple, nargs)
+	p.atoms = make([]compiledAtom, na)
+	off := 0
+	for ai := range q.Atoms {
+		a := &q.Atoms[ai]
+		n := len(a.Args)
+		ca := &p.atoms[ai]
+		ca.p = p
+		ca.rel = a.Rel
+		ca.args = a.Args
+		ca.slots = ints[off : off+n : off+n]
+		ca.ground = bools[off : off+n : off+n]
+		ca.consts = vals[2*off : 2*off+n : 2*off+n]
+		ca.vals = vals[2*off+n : 2*off+2*n : 2*off+2*n]
+		ca.tup = tups[off : off+n : off+n]
+		off += n
+		for i, t := range a.Args {
+			if t.IsVar() {
+				ca.slots[i] = p.env.Slot(t.Name())
+			} else {
+				ca.slots[i] = -1
+				ca.consts[i] = t.Value()
+			}
+		}
+		ca.match = ca.matchTuple // bound once; scans reuse it
+	}
+	coff := nargs
+	if len(q.Checks) > 0 {
+		p.checks = make([]compiledCheck, len(q.Checks))
+		for ci, c := range q.Checks {
+			cc := &p.checks[ci]
+			cc.c = c
+			cc.slots = ints[coff : coff+len(c.Vars) : coff+len(c.Vars)]
+			for i, v := range c.Vars {
+				cc.slots[i] = p.env.Slot(v)
+			}
+			coff += len(c.Vars)
+		}
+	}
+	p.rem = make([][]int, na+1)
+	for d := range p.rem {
+		p.rem[d] = ints[coff : coff : coff+na]
+		coff += na
+	}
+	p.bindFn = p.lookupVar
+	return p
+}
+
+// Eval evaluates the compiled query over src; see Query.Eval for the
+// contract.
+func (p *Prepared) Eval(src Source, init logic.Subst, emit func(logic.Subst) bool) error {
+	for i := range p.atoms {
+		ca := &p.atoms[i]
+		sch, ok := src.SchemaOf(ca.rel)
+		if !ok {
+			return fmt.Errorf("relstore: query over unknown relation %s", ca.rel)
+		}
+		if len(ca.args) != sch.Arity() {
+			return fmt.Errorf("relstore: query atom %v has arity %d, relation has %d",
+				logic.Atom{Rel: ca.rel, Args: ca.args}, len(ca.args), sch.Arity())
+		}
+	}
+	p.env.Reset()
+	if init != nil {
+		p.env.Load(init)
+	}
+	p.src, p.emit, p.stopped = src, emit, false
+	rem := p.rem[0][:0]
+	for i := range p.atoms {
+		rem = append(rem, i)
+	}
+	p.rem[0] = rem
+	p.run(0)
+	p.src, p.emit = nil, nil
+	return nil
+}
+
+// FindOne is the LIMIT-1 oracle on a compiled query.
+func (p *Prepared) FindOne(src Source, init logic.Subst) (logic.Subst, bool, error) {
 	var found logic.Subst
-	err := q.Eval(src, init, func(s logic.Subst) bool {
-		found = s.Clone()
+	err := p.Eval(src, init, func(s logic.Subst) bool {
+		found = s
 		return false
 	})
 	return found, found != nil, err
@@ -90,79 +236,74 @@ func (q Query) FindOne(src Source, init logic.Subst) (logic.Subst, bool, error) 
 
 // FindAll returns up to limit satisfying substitutions (limit <= 0 means
 // no limit).
-func (q Query) FindAll(src Source, init logic.Subst, limit int) ([]logic.Subst, error) {
+func (p *Prepared) FindAll(src Source, init logic.Subst, limit int) ([]logic.Subst, error) {
 	var out []logic.Subst
-	err := q.Eval(src, init, func(s logic.Subst) bool {
-		out = append(out, s.Clone())
+	err := p.Eval(src, init, func(s logic.Subst) bool {
+		out = append(out, s)
 		return limit <= 0 || len(out) < limit
 	})
 	return out, err
 }
 
 // Count returns the number of satisfying substitutions.
-func (q Query) Count(src Source) (int, error) {
+func (p *Prepared) Count(src Source) (int, error) {
 	n := 0
-	err := q.Eval(src, nil, func(logic.Subst) bool { n++; return true })
+	err := p.Eval(src, nil, func(logic.Subst) bool { n++; return true })
 	return n, err
 }
 
-type evaluator struct {
-	src           Source
-	q             Query
-	emit          func(logic.Subst) bool
-	pendingChecks []Check
-	stopped       bool
-}
-
-// run recursively grounds the remaining atoms (indexes into q.Atoms).
-func (e *evaluator) run(s logic.Subst, remaining []int) {
-	if e.stopped {
+// run grounds the atoms remaining at depth (p.rem[depth]), recursively.
+func (p *Prepared) run(depth int) {
+	if p.stopped {
 		return
 	}
+	remaining := p.rem[depth]
 	if len(remaining) == 0 {
-		if !e.checksHold(s, true) {
+		if !p.checksHold(true) {
 			return
 		}
-		if !e.emit(s) {
-			e.stopped = true
+		if !p.emit(p.env.Snapshot()) {
+			p.stopped = true
 		}
 		return
 	}
 	// Prune early using any check whose variables are all bound.
-	if !e.checksHold(s, false) {
+	if !p.checksHold(false) {
 		return
 	}
 	pick := 0
-	if e.q.Planner == PlanDynamic {
-		pick = e.cheapest(s, remaining)
+	if p.planner == PlanDynamic {
+		pick = p.cheapest(remaining)
 	}
 	atomIdx := remaining[pick]
-	rest := make([]int, 0, len(remaining)-1)
+	rest := p.rem[depth+1][:0]
 	rest = append(rest, remaining[:pick]...)
 	rest = append(rest, remaining[pick+1:]...)
-	a := e.q.Atoms[atomIdx]
+	p.rem[depth+1] = rest
+	ca := &p.atoms[atomIdx]
+	ca.nextDepth = depth + 1
+	p.enumerate(ca)
+}
 
-	e.enumerate(s, a, func(s2 logic.Subst) {
-		e.run(s2, rest)
-	})
+// lookupVar is the bind function handed to residual checks; it resolves a
+// variable name through the environment.
+func (p *Prepared) lookupVar(name string) (value.Value, bool) {
+	slot, ok := p.env.SlotOf(name)
+	if !ok {
+		return value.Value{}, false
+	}
+	return p.env.Value(slot)
 }
 
 // checksHold evaluates residual checks. If final is false, checks whose
 // variables are not yet all bound are skipped (they will be re-checked);
 // if final is true, unbound variables are an internal error caught as a
 // failed check.
-func (e *evaluator) checksHold(s logic.Subst, final bool) bool {
-	bind := func(n string) (value.Value, bool) {
-		t := s.Walk(logic.Var(n))
-		if t.IsVar() {
-			return value.Value{}, false
-		}
-		return t.Value(), true
-	}
-	for _, c := range e.pendingChecks {
+func (p *Prepared) checksHold(final bool) bool {
+	for _, cc := range p.checks {
 		allBound := true
-		for _, v := range c.Vars {
-			if _, ok := bind(v); !ok {
+		for _, s := range cc.slots {
+			if _, ok := p.env.Value(s); !ok {
 				allBound = false
 				break
 			}
@@ -173,7 +314,7 @@ func (e *evaluator) checksHold(s logic.Subst, final bool) bool {
 			}
 			continue
 		}
-		if !c.Pred(bind) {
+		if !cc.c.Pred(p.bindFn) {
 			return false
 		}
 	}
@@ -182,10 +323,10 @@ func (e *evaluator) checksHold(s logic.Subst, final bool) bool {
 
 // cheapest returns the position in remaining of the atom with the lowest
 // cardinality estimate under the current bindings.
-func (e *evaluator) cheapest(s logic.Subst, remaining []int) int {
+func (p *Prepared) cheapest(remaining []int) int {
 	best, bestCost := 0, int(^uint(0)>>1)
 	for pos, idx := range remaining {
-		cost := e.estimate(s, e.q.Atoms[idx])
+		cost := p.estimate(&p.atoms[idx])
 		if cost < bestCost {
 			best, bestCost = pos, cost
 		}
@@ -193,38 +334,45 @@ func (e *evaluator) cheapest(s logic.Subst, remaining []int) int {
 	return best
 }
 
-// estimate approximates how many rows match atom a under s: the smallest
-// single-column or fully-bound composite index bucket, or the full
-// relation size if no column is bound. Fully ground atoms cost 0 (a
-// containment probe).
-func (e *evaluator) estimate(s logic.Subst, a logic.Atom) int {
+// resolve walks argument col of ca to a constant, or ok=false while it is
+// still unbound.
+func (ca *compiledAtom) resolve(col int) (value.Value, bool) {
+	if ca.slots[col] < 0 {
+		return ca.consts[col], true
+	}
+	return ca.p.env.Value(ca.slots[col])
+}
+
+// estimate approximates how many rows match ca under the current
+// bindings: the smallest single-column or fully-bound composite index
+// bucket, or the full relation size if no column is bound. Fully ground
+// atoms cost 0 (a containment probe).
+func (p *Prepared) estimate(ca *compiledAtom) int {
 	bound := 0
 	minBucket := -1
-	boundVals := make([]value.Value, len(a.Args))
-	isBound := make([]bool, len(a.Args))
-	for col, t := range a.Args {
-		w := s.Walk(t)
-		if w.IsVar() {
+	for col := range ca.slots {
+		v, ok := ca.resolve(col)
+		ca.ground[col] = ok
+		if !ok {
 			continue
 		}
+		ca.vals[col] = v
 		bound++
-		isBound[col] = true
-		boundVals[col] = w.Value()
-		n := e.src.IndexCount(a.Rel, col, w.Value())
+		n := p.src.IndexCount(ca.rel, col, v)
 		if minBucket < 0 || n < minBucket {
 			minBucket = n
 		}
 	}
-	if bound == len(a.Args) {
+	if bound == len(ca.slots) {
 		return 0
 	}
-	if sch, ok := e.src.SchemaOf(a.Rel); ok {
+	if sch, ok := p.src.SchemaOf(ca.rel); ok {
 		for ix, cols := range sch.Indexes {
-			key, ok := compositeKey(cols, isBound, boundVals)
+			key, ok := p.compositeKey(cols, ca)
 			if !ok {
 				continue
 			}
-			if n := e.src.CompositeCount(a.Rel, ix, key); minBucket < 0 || n < minBucket {
+			if n := p.src.CompositeCount(ca.rel, ix, key); minBucket < 0 || n < minBucket {
 				minBucket = n
 			}
 		}
@@ -232,115 +380,106 @@ func (e *evaluator) estimate(s logic.Subst, a logic.Atom) int {
 	if minBucket >= 0 {
 		return minBucket
 	}
-	return e.src.Len(a.Rel)
+	return p.src.Len(ca.rel)
 }
 
 // compositeKey builds the projection key for a composite index if every
-// indexed column is bound.
-func compositeKey(cols []int, isBound []bool, vals []value.Value) (string, bool) {
-	var buf []byte
+// indexed column is bound, reusing the evaluator's key buffer.
+func (p *Prepared) compositeKey(cols []int, ca *compiledAtom) (string, bool) {
+	buf := p.keyBuf[:0]
 	for _, c := range cols {
-		if !isBound[c] {
+		if !ca.ground[c] {
 			return "", false
 		}
-		buf = vals[c].AppendBinary(buf)
+		buf = ca.vals[c].AppendBinary(buf)
 	}
+	p.keyBuf = buf
 	return string(buf), true
 }
 
-// enumerate finds all tuples matching atom a under s and calls k with the
-// extended substitution for each.
-func (e *evaluator) enumerate(s logic.Subst, a logic.Atom, k func(logic.Subst)) {
-	// Resolve args once and pick the cheapest access path: a containment
-	// probe when ground, else the smallest single-column or fully-bound
-	// composite index bucket, else a scan.
-	walked := make([]logic.Term, len(a.Args))
+// enumerate scans the tuples matching ca under the current bindings,
+// recursing (via matchTuple) into the remaining atoms for each. It
+// resolves the arguments once and picks the cheapest access path: a
+// containment probe when ground, else the smallest single-column or
+// fully-bound composite index bucket, else a full scan.
+func (p *Prepared) enumerate(ca *compiledAtom) {
 	allGround := true
 	bestCol := -1
 	var bestVal value.Value
 	bestCount := -1
-	isBound := make([]bool, len(a.Args))
-	boundVals := make([]value.Value, len(a.Args))
-	for i, t := range a.Args {
-		walked[i] = s.Walk(t)
-		if walked[i].IsVar() {
+	for i := range ca.slots {
+		v, ok := ca.resolve(i)
+		ca.ground[i] = ok
+		if !ok {
 			allGround = false
-		} else {
-			isBound[i] = true
-			boundVals[i] = walked[i].Value()
-			n := e.src.IndexCount(a.Rel, i, walked[i].Value())
-			if bestCount < 0 || n < bestCount {
-				bestCol, bestVal, bestCount = i, walked[i].Value(), n
-			}
+			continue
+		}
+		ca.vals[i] = v
+		n := p.src.IndexCount(ca.rel, i, v)
+		if bestCount < 0 || n < bestCount {
+			bestCol, bestVal, bestCount = i, v, n
 		}
 	}
 	if allGround {
-		tup := make(value.Tuple, len(walked))
-		for i, t := range walked {
-			tup[i] = t.Value()
-		}
-		if e.src.Contains(a.Rel, tup) {
-			k(s)
+		copy(ca.tup, ca.vals)
+		if p.src.Contains(ca.rel, ca.tup) {
+			p.run(ca.nextDepth)
 		}
 		return
 	}
 	bestComp, bestCompKey := -1, ""
-	if sch, ok := e.src.SchemaOf(a.Rel); ok {
+	if sch, ok := p.src.SchemaOf(ca.rel); ok {
 		for ix, cols := range sch.Indexes {
-			key, ok := compositeKey(cols, isBound, boundVals)
+			key, ok := p.compositeKey(cols, ca)
 			if !ok {
 				continue
 			}
-			if n := e.src.CompositeCount(a.Rel, ix, key); bestCount < 0 || n < bestCount {
+			if n := p.src.CompositeCount(ca.rel, ix, key); bestCount < 0 || n < bestCount {
 				bestComp, bestCompKey, bestCount = ix, key, n
 			}
 		}
 	}
-	match := func(tup value.Tuple) bool {
-		if e.stopped {
-			return false
-		}
-		s2 := s
-		extended := false
-		for i, t := range walked {
-			if t.IsVar() {
-				continue
-			}
-			if tup[i] != t.Value() {
-				return true // mismatch; keep scanning
-			}
-		}
-		// Bind variables; repeated variables must agree.
-		for i, t := range walked {
-			if !t.IsVar() {
-				continue
-			}
-			if !extended {
-				s2 = s.Clone()
-				extended = true
-			}
-			w := s2.Walk(t)
-			if w.IsVar() {
-				s2[w.Name()] = logic.Const(tup[i])
-			} else if w.Value() != tup[i] {
-				return true
-			}
-		}
-		if !extended {
-			s2 = s.Clone()
-		}
-		k(s2)
-		return !e.stopped
-	}
 	if bestComp >= 0 {
-		e.src.CompositeScan(a.Rel, bestComp, bestCompKey, match)
+		p.src.CompositeScan(ca.rel, bestComp, bestCompKey, ca.match)
 		return
 	}
 	if bestCol >= 0 {
-		e.src.IndexScan(a.Rel, bestCol, bestVal, match)
+		p.src.IndexScan(ca.rel, bestCol, bestVal, ca.match)
 		return
 	}
-	e.src.Scan(a.Rel, match)
+	p.src.Scan(ca.rel, ca.match)
+}
+
+// matchTuple is the scan callback: it checks tup against the arguments
+// resolved at enumerate time, binds the still-free variables on the
+// trail (repeated variables must agree), recurses, and undoes the
+// bindings on the way out. Returning true keeps the scan going.
+func (ca *compiledAtom) matchTuple(tup value.Tuple) bool {
+	p := ca.p
+	if p.stopped {
+		return false
+	}
+	for i, g := range ca.ground {
+		if g && tup[i] != ca.vals[i] {
+			return true // mismatch; keep scanning
+		}
+	}
+	mark := p.env.Mark()
+	for i, g := range ca.ground {
+		if g {
+			continue
+		}
+		v, end, bound := p.env.ResolveSlot(ca.slots[i])
+		if !bound {
+			p.env.Bind(end, logic.Const(tup[i]))
+		} else if v != tup[i] {
+			p.env.Undo(mark)
+			return true
+		}
+	}
+	p.run(ca.nextDepth)
+	p.env.Undo(mark)
+	return !p.stopped
 }
 
 // NeqCheck builds a residual check asserting that two terms are not equal

@@ -31,19 +31,6 @@ type Schema struct {
 // Arity returns the number of columns.
 func (s *Schema) Arity() int { return len(s.Columns) }
 
-// KeyColumns returns the effective key column indexes: Key if set,
-// otherwise all columns.
-func (s *Schema) KeyColumns() []int {
-	if s.Key != nil {
-		return s.Key
-	}
-	all := make([]int, len(s.Columns))
-	for i := range all {
-		all[i] = i
-	}
-	return all
-}
-
 // Validate checks structural sanity of the schema.
 func (s *Schema) Validate() error {
 	if s.Name == "" {
@@ -81,4 +68,12 @@ func (s *Schema) Validate() error {
 }
 
 // keyOf computes the primary-key string of a tuple under this schema.
-func (s *Schema) keyOf(t value.Tuple) string { return t.Key(s.KeyColumns()) }
+// Tuple.Key treats nil columns as "the whole tuple", matching the nil-Key
+// convention.
+func (s *Schema) keyOf(t value.Tuple) string { return t.Key(s.Key) }
+
+// appendKeyOf is keyOf into a reused buffer, for allocation-free map
+// lookups on scan paths.
+func (s *Schema) appendKeyOf(buf []byte, t value.Tuple) []byte {
+	return t.AppendKey(buf, s.Key)
+}

@@ -36,8 +36,6 @@ func newTable(s Schema) *table {
 	return t
 }
 
-func colKey(v value.Value) string { return string(v.AppendBinary(nil)) }
-
 func (t *table) insert(tup value.Tuple) error {
 	if len(tup) != t.schema.Arity() {
 		return fmt.Errorf("relstore: %s: arity %d tuple into %d-column relation",
@@ -49,21 +47,24 @@ func (t *table) insert(tup value.Tuple) error {
 	}
 	tup = tup.Clone()
 	t.rows[k] = tup
+	// Bucket keys are only materialized as strings when a bucket is first
+	// created; existing buckets are found via the stack buffer.
+	var kb [64]byte
 	for c, v := range tup {
-		ck := colKey(v)
-		set := t.index[c][ck]
+		ck := v.AppendBinary(kb[:0])
+		set := t.index[c][string(ck)]
 		if set == nil {
 			set = make(map[string]struct{})
-			t.index[c][ck] = set
+			t.index[c][string(ck)] = set
 		}
 		set[k] = struct{}{}
 	}
 	for i, cols := range t.schema.Indexes {
-		ck := tup.Key(cols)
-		set := t.comp[i][ck]
+		ck := tup.AppendKey(kb[:0], cols)
+		set := t.comp[i][string(ck)]
 		if set == nil {
 			set = make(map[string]struct{})
-			t.comp[i][ck] = set
+			t.comp[i][string(ck)] = set
 		}
 		set[k] = struct{}{}
 	}
@@ -83,21 +84,22 @@ func (t *table) deleteTuple(tup value.Tuple) error {
 			t.schema.Name, tup, cur)
 	}
 	delete(t.rows, k)
+	var kb [64]byte
 	for c, v := range cur {
-		ck := colKey(v)
-		if set := t.index[c][ck]; set != nil {
+		ck := v.AppendBinary(kb[:0])
+		if set := t.index[c][string(ck)]; set != nil {
 			delete(set, k)
 			if len(set) == 0 {
-				delete(t.index[c], ck)
+				delete(t.index[c], string(ck))
 			}
 		}
 	}
 	for i, cols := range t.schema.Indexes {
-		ck := cur.Key(cols)
-		if set := t.comp[i][ck]; set != nil {
+		ck := cur.AppendKey(kb[:0], cols)
+		if set := t.comp[i][string(ck)]; set != nil {
 			delete(set, k)
 			if len(set) == 0 {
-				delete(t.comp[i], ck)
+				delete(t.comp[i], string(ck))
 			}
 		}
 	}
@@ -105,7 +107,10 @@ func (t *table) deleteTuple(tup value.Tuple) error {
 }
 
 func (t *table) contains(tup value.Tuple) bool {
-	cur, ok := t.rows[t.schema.keyOf(tup)]
+	// Containment probes run once per fully-ground candidate atom in the
+	// query evaluator; the stack buffer keeps them allocation-free.
+	var kb [64]byte
+	cur, ok := t.rows[string(tup.AppendKey(kb[:0], t.schema.Key))]
 	return ok && cur.Equal(tup)
 }
 
@@ -118,7 +123,8 @@ func (t *table) scan(f func(value.Tuple) bool) {
 }
 
 func (t *table) indexScan(col int, v value.Value, f func(value.Tuple) bool) {
-	set := t.index[col][colKey(v)]
+	var kb [64]byte
+	set := t.index[col][string(v.AppendBinary(kb[:0]))]
 	for k := range set {
 		if !f(t.rows[k]) {
 			return
@@ -126,8 +132,11 @@ func (t *table) indexScan(col int, v value.Value, f func(value.Tuple) bool) {
 	}
 }
 
+// indexCount is the planner's cardinality probe — called once per bound
+// column per remaining atom at every join level, so it must not allocate.
 func (t *table) indexCount(col int, v value.Value) int {
-	return len(t.index[col][colKey(v)])
+	var kb [64]byte
+	return len(t.index[col][string(v.AppendBinary(kb[:0]))])
 }
 
 func (t *table) compScan(ix int, key string, f func(value.Tuple) bool) {

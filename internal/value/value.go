@@ -190,17 +190,24 @@ type Tuple []Value
 // Key returns a canonical string usable as a map key for the projection of
 // t onto the given column indexes. cols == nil keys the whole tuple.
 func (t Tuple) Key(cols []int) string {
-	var buf []byte
+	return string(t.AppendKey(nil, cols))
+}
+
+// AppendKey appends the canonical key bytes of the projection of t onto
+// cols to buf and returns the extended slice. cols == nil keys the whole
+// tuple. Hot read paths look keys up as m[string(t.AppendKey(buf[:0],
+// cols))], which the compiler evaluates without allocating the string.
+func (t Tuple) AppendKey(buf []byte, cols []int) []byte {
 	if cols == nil {
 		for _, v := range t {
 			buf = v.AppendBinary(buf)
 		}
-		return string(buf)
+		return buf
 	}
 	for _, c := range cols {
 		buf = t[c].AppendBinary(buf)
 	}
-	return string(buf)
+	return buf
 }
 
 // Equal reports whether two tuples have identical length and values.
