@@ -6,8 +6,10 @@ package quantumdb
 // in minutes; `cmd/qdbbench` regenerates the full paper-scale series.
 
 import (
+	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -91,6 +93,33 @@ func BenchmarkFig9(b *testing.B) {
 			b.Fatal(err)
 		}
 		res.RenderFig9(io.Discard)
+	}
+}
+
+// BenchmarkGroundAllScaling measures partition-parallel grounding: N
+// independent flight pools collapsed by one GroundAll, swept over worker
+// counts. The per-op metric to watch is ns/op falling as workers rise
+// (the acceptance bar for the sharded scheduler was >= 2x at 4 workers
+// on 8 partitions).
+func BenchmarkGroundAllScaling(b *testing.B) {
+	cfg := bench.DefaultScale()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := cfg
+			c.Workers = workers
+			var groundTime time.Duration
+			var grounded int
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunScale(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				groundTime += r.Ground
+				grounded += r.Grounded
+			}
+			b.ReportMetric(groundTime.Seconds()/float64(b.N), "groundall-s/op")
+			b.ReportMetric(float64(grounded)/groundTime.Seconds(), "txn/s")
+		})
 	}
 }
 

@@ -29,9 +29,10 @@ func main() {
 	wal := flag.String("wal", "", "write-ahead log path (durability off when empty)")
 	k := flag.Int("k", 0, "per-partition pending bound (0 = paper default 61)")
 	strict := flag.Bool("strict", false, "strict (classical) serializability instead of semantic")
+	workers := flag.Int("workers", 0, "scheduler worker pool size for parallel partition grounding (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	opt := quantumdb.Options{WALPath: *wal, K: *k}
+	opt := quantumdb.Options{WALPath: *wal, K: *k, Workers: *workers}
 	if *strict {
 		opt.Mode = quantumdb.Strict
 	}
@@ -45,6 +46,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("qdbd listening on %s (wal=%q, k=%d, mode=%v)\n", l.Addr(), *wal, *k, opt.Mode)
+	fmt.Printf("qdbd listening on %s (wal=%q, k=%d, mode=%v, workers=%d)\n",
+		l.Addr(), *wal, *k, opt.Mode, db.Engine().Workers())
 	log.Fatal(server.New(db).Serve(l))
 }

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// ScaleConfig sizes the partition-parallel grounding experiment: N
+// independent flight pools (one partition each, since bookings on
+// different flights never unify), each loaded with TxnsPerPartition
+// pending bookings, then collapsed by one GroundAll driven by the
+// scheduler's worker pool. This is the scaling story the paper's §4
+// partitioning enables and the sharded scheduler cashes in: chain solves
+// of independent partitions run concurrently.
+type ScaleConfig struct {
+	// Partitions is the number of independent flight pools.
+	Partitions int
+	// TxnsPerPartition is the pending-chain length per partition; solve
+	// cost grows with it, which is what makes grounding worth
+	// parallelizing.
+	TxnsPerPartition int
+	// RowsPerFlight sizes each flight (3 seats per row).
+	RowsPerFlight int
+	// Workers is the scheduler pool width (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+}
+
+// DefaultScale exercises 8 partitions of 8 pending bookings over
+// 50-row flights.
+func DefaultScale() ScaleConfig {
+	return ScaleConfig{Partitions: 8, TxnsPerPartition: 8, RowsPerFlight: 50}
+}
+
+// ScaleResult is one measured GroundAll collapse.
+type ScaleResult struct {
+	Config   ScaleConfig
+	Workers  int // resolved pool width
+	Load     time.Duration
+	Ground   time.Duration
+	Grounded int
+}
+
+// Throughput reports grounded transactions per second of GroundAll time.
+func (r *ScaleResult) Throughput() float64 {
+	if r.Ground <= 0 {
+		return 0
+	}
+	return float64(r.Grounded) / r.Ground.Seconds()
+}
+
+// RunScale loads cfg.Partitions independent partitions and measures the
+// final GroundAll under the given worker count.
+func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
+	wcfg := workload.Config{Flights: cfg.Partitions, RowsPerFlight: cfg.RowsPerFlight}
+	world := workload.NewWorld(wcfg)
+	q, err := core.New(world.DB, core.Options{K: -1, Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	defer q.Close()
+
+	loadStart := time.Now()
+	total := 0
+	for f := 1; f <= cfg.Partitions; f++ {
+		for i := 0; i < cfg.TxnsPerPartition; i++ {
+			src := fmt.Sprintf(
+				"-Available(%d, s), +Bookings('u%d_%d', %d, s) :-1 Available(%d, s)",
+				f, f, i, f, f)
+			t, err := txn.Parse(src)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := q.Submit(t); err != nil {
+				return nil, fmt.Errorf("scale: loading flight %d txn %d: %w", f, i, err)
+			}
+			total++
+		}
+	}
+	load := time.Since(loadStart)
+	if got := len(q.Partitions()); got != cfg.Partitions {
+		return nil, fmt.Errorf("scale: %d partitions formed, want %d", got, cfg.Partitions)
+	}
+
+	groundStart := time.Now()
+	if err := q.GroundAll(); err != nil {
+		return nil, fmt.Errorf("scale: GroundAll: %w", err)
+	}
+	res := &ScaleResult{
+		Config:   cfg,
+		Workers:  q.Workers(),
+		Load:     load,
+		Ground:   time.Since(groundStart),
+		Grounded: total,
+	}
+	if n := q.PendingCount(); n != 0 {
+		return nil, fmt.Errorf("scale: %d transactions still pending", n)
+	}
+	if st := q.Stats(); st.Grounded != total {
+		return nil, fmt.Errorf("scale: grounded %d of %d", st.Grounded, total)
+	}
+	return res, nil
+}
+
+// RunScaleSweep measures the same workload at each worker count.
+func RunScaleSweep(cfg ScaleConfig, workers []int) ([]*ScaleResult, error) {
+	out := make([]*ScaleResult, 0, len(workers))
+	for _, w := range workers {
+		c := cfg
+		c.Workers = w
+		r, err := RunScale(c)
+		if err != nil {
+			return nil, fmt.Errorf("workers=%d: %w", w, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RenderScale prints the sweep as a table with speedups over the first
+// (baseline) row.
+func RenderScale(w io.Writer, rs []*ScaleResult) {
+	if len(rs) == 0 {
+		return
+	}
+	cfg := rs[0].Config
+	fmt.Fprintf(w, "Parallel grounding: %d partitions × %d txns, %d rows/flight\n",
+		cfg.Partitions, cfg.TxnsPerPartition, cfg.RowsPerFlight)
+	fmt.Fprintf(w, "%-10s%14s%14s%10s\n", "workers", "groundall", "txn/s", "speedup")
+	base := rs[0].Ground.Seconds()
+	for _, r := range rs {
+		fmt.Fprintf(w, "%-10d%14s%14.0f%9.2fx\n",
+			r.Workers, r.Ground.Round(time.Microsecond), r.Throughput(), base/r.Ground.Seconds())
+	}
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestScaleCorrectness checks the harness grounds everything and that
+// serial and parallel runs agree on the externally-visible outcome
+// (everything booked; timing aside, every schedule yields a consistent
+// world).
+func TestScaleCorrectness(t *testing.T) {
+	cfg := ScaleConfig{Partitions: 4, TxnsPerPartition: 3, RowsPerFlight: 6}
+	for _, w := range []int{1, 4} {
+		c := cfg
+		c.Workers = w
+		r, err := RunScale(c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if r.Grounded != cfg.Partitions*cfg.TxnsPerPartition {
+			t.Fatalf("workers=%d grounded %d", w, r.Grounded)
+		}
+	}
+}
+
+// TestScaleSpeedup asserts the acceptance bar — GroundAll at 4 workers at
+// least 2x the single-worker throughput on 8 independent partitions — on
+// machines with the cores to show it. Opt in with SCALE=1 (timing
+// assertions are hostile to loaded CI boxes); TestScaleCorrectness covers
+// the functional side unconditionally.
+func TestScaleSpeedup(t *testing.T) {
+	if os.Getenv("SCALE") == "" {
+		t.Skip("set SCALE=1 to run the timing assertion")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skip("needs 4 cores")
+	}
+	rs, err := RunScaleSweep(DefaultScale(), []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderScale(os.Stdout, rs)
+	speedup := rs[0].Ground.Seconds() / rs[1].Ground.Seconds()
+	if speedup < 2 {
+		t.Fatalf("4-worker speedup = %.2fx, want >= 2x", speedup)
+	}
+}

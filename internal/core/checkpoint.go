@@ -19,12 +19,19 @@ import (
 // Checkpoint layout: relstore snapshot, then uvarint nextID, then a
 // uvarint count of pending transactions followed by their
 // length-prefixed serializations.
+//
+// Checkpointing quiesces the engine: it holds the admission lock (no
+// partition-set changes, no blind writes) and every live partition's
+// shard (no groundings), so the snapshot pairs a stable store with a
+// stable pending set.
 func (q *QDB) Checkpoint(path string) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.log == nil {
 		return fmt.Errorf("core: Checkpoint requires a WAL-backed database")
 	}
+	q.admitMu.Lock()
+	defer q.admitMu.Unlock()
+	locked := q.lockAllPartitions()
+	defer unlockPartitions(locked)
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -36,22 +43,27 @@ func (q *QDB) Checkpoint(path string) error {
 		f.Close()
 		return fmt.Errorf("core: checkpoint snapshot: %w", err)
 	}
+	q.mu.Lock()
+	nextID := q.nextID
+	q.mu.Unlock()
 	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], uint64(q.nextID))
+	n := binary.PutUvarint(buf[:], uint64(nextID))
 	if _, err := w.Write(buf[:n]); err != nil {
 		f.Close()
 		return err
 	}
-	ids := q.pendingIDsLocked()
+	ids := q.PendingIDs()
 	n = binary.PutUvarint(buf[:], uint64(len(ids)))
 	if _, err := w.Write(buf[:n]); err != nil {
 		f.Close()
 		return err
 	}
 	for _, id := range ids {
+		q.mu.Lock()
 		p := q.byTxn[id]
+		q.mu.Unlock()
 		var target *txn.T
-		for _, t := range p.txns {
+		for _, t := range p.txns { // p's shard is held via lockAllPartitions
 			if t.ID == id {
 				target = t
 				break
@@ -90,21 +102,21 @@ func (q *QDB) Checkpoint(path string) error {
 	return q.log.Truncate()
 }
 
-func (q *QDB) pendingIDsLocked() []int64 {
-	ids := make([]int64, 0, len(q.byTxn))
-	for id := range q.byTxn {
-		ids = append(ids, id)
-	}
-	sortInt64s(ids)
-	return ids
-}
-
-func sortInt64s(s []int64) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
+// lockAllPartitions locks every live partition, ascending by shard ID.
+// Caller holds admitMu, so no new partition can appear; partitions that
+// drained between snapshot and lock are skipped.
+func (q *QDB) lockAllPartitions() []*partition {
+	parts := q.livePartitions()
+	locked := parts[:0]
+	for _, p := range parts {
+		p.shard.Lock()
+		if !p.shard.Alive() {
+			p.shard.Unlock()
+			continue
 		}
+		locked = append(locked, p)
 	}
+	return locked
 }
 
 // RecoverCheckpoint rebuilds a quantum database from a checkpoint file

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/relstore"
+)
+
+// seatQuery asks for every booking on flight f.
+func seatQuery(f int) []logic.Atom {
+	return []logic.Atom{logic.NewAtom("Bookings", logic.Var("n"), logic.Int(int64(f)), logic.Var("s"))}
+}
+
+// TestConcurrentSubmitGroundMixed hammers Submit/Ground/Read/Write from
+// many goroutines across many partitions (one partition per flight) and
+// then verifies the engine's invariants: nothing pending after GroundAll,
+// seat conservation and no double bookings, and internally consistent
+// counters. Run with -race; the schedule is intentionally chaotic.
+func TestConcurrentSubmitGroundMixed(t *testing.T) {
+	const (
+		flights    = 8
+		seatsEach  = 12
+		clients    = 8
+		opsPerGoro = 24
+	)
+	fls := make([]int, flights)
+	for i := range fls {
+		fls[i] = i + 1
+	}
+	db := worldDB(fls, seatsEach)
+	q := mustQDB(t, db, Options{K: 4, Workers: 4})
+
+	var (
+		wg        sync.WaitGroup
+		submitted atomic.Int64
+		writes    atomic.Int64
+	)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g + 1)))
+			var myIDs []int64
+			for op := 0; op < opsPerGoro; op++ {
+				f := rng.Intn(flights) + 1
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3, 4: // submit a booking
+					user := fmt.Sprintf("u%d_%d", g, op)
+					id, err := q.Submit(book(user, f))
+					if err != nil {
+						if errors.Is(err, ErrRejected) {
+							continue // flight full: a legal outcome
+						}
+						t.Errorf("submit: %v", err)
+						return
+					}
+					submitted.Add(1)
+					myIDs = append(myIDs, id)
+				case 5, 6: // ground one of ours (maybe already collapsed)
+					if len(myIDs) == 0 {
+						continue
+					}
+					id := myIDs[rng.Intn(len(myIDs))]
+					if err := q.Ground(id); err != nil && !errors.Is(err, ErrUnknownTxn) {
+						t.Errorf("ground %d: %v", id, err)
+						return
+					}
+				case 7: // collapse by reading
+					if _, err := q.Read(seatQuery(f)); err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+				case 8: // blind write: add a brand-new seat row
+					seat := fmt.Sprintf("X%d_%d", g, op)
+					err := q.Write(
+						[]relstore.GroundFact{{Rel: "Available", Tuple: tup(f, seat)}}, nil)
+					if err != nil && !errors.Is(err, ErrWriteRejected) {
+						t.Errorf("write: %v", err)
+						return
+					}
+					if err == nil {
+						writes.Add(1)
+					}
+				case 9: // preview is read-only but walks partitions
+					q.PreviewRead(seatQuery(f))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := q.GroundAll(); err != nil {
+		t.Fatalf("final GroundAll: %v", err)
+	}
+	if n := q.PendingCount(); n != 0 {
+		t.Fatalf("pending after GroundAll = %d", n)
+	}
+	if got := len(q.PendingIDs()); got != 0 {
+		t.Fatalf("PendingIDs after GroundAll = %d", got)
+	}
+	if got := len(q.Partitions()); got != 0 {
+		t.Fatalf("partitions after GroundAll = %v", q.Partitions())
+	}
+
+	// No double bookings, and every booked seat is gone from Available.
+	avail := make(map[string]bool)
+	for _, tp := range db.All("Available") {
+		avail[tp.String()] = true
+	}
+	seen := make(map[string]string) // "f/seat" -> user
+	bookings := 0
+	for _, tp := range db.All("Bookings") {
+		bookings++
+		user, f, seat := tp[0].Str(), tp[1], tp[2]
+		key := f.String() + "/" + seat.String()
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("seat %s booked by both %s and %s", key, prev, user)
+		}
+		seen[key] = user
+		if avail[tup(int(f.Int()), seat.Str()).String()] {
+			t.Fatalf("seat %s is booked by %s and still available", key, user)
+		}
+	}
+
+	st := q.Stats()
+	if st.Accepted != int(submitted.Load()) {
+		t.Errorf("accepted = %d, local count %d", st.Accepted, submitted.Load())
+	}
+	if bookings != st.Accepted {
+		t.Errorf("bookings in store = %d, accepted = %d", bookings, st.Accepted)
+	}
+	if st.Grounded != st.Accepted {
+		t.Errorf("grounded %d != accepted %d after GroundAll", st.Grounded, st.Accepted)
+	}
+	if st.WritesAccepted != int(writes.Load()) {
+		t.Errorf("writesAccepted = %d, local count %d", st.WritesAccepted, writes.Load())
+	}
+}
+
+// TestConcurrentEntangledCoordinator submits entangled pairs from many
+// goroutines; every pair must end up booked (coordination percentage is
+// scheduling-dependent, but bookings and accounting must hold).
+func TestConcurrentEntangledCoordinator(t *testing.T) {
+	const flights = 6
+	fls := make([]int, flights)
+	for i := range fls {
+		fls[i] = i + 1
+	}
+	db := worldDB(fls, 12)
+	q := mustQDB(t, db, Options{K: 8, Workers: 4})
+	c := NewCoordinator(q)
+
+	var wg sync.WaitGroup
+	for f := 1; f <= flights; f++ {
+		for pair := 0; pair < 4; pair++ {
+			a := fmt.Sprintf("a%d_%d", f, pair)
+			b := fmt.Sprintf("b%d_%d", f, pair)
+			wg.Add(2)
+			go func(f int, a, b string) {
+				defer wg.Done()
+				if _, err := c.Submit(bookNextTo(a, b, f)); err != nil {
+					t.Errorf("submit %s: %v", a, err)
+				}
+			}(f, a, b)
+			go func(f int, a, b string) {
+				defer wg.Done()
+				if _, err := c.Submit(bookNextTo(b, a, f)); err != nil {
+					t.Errorf("submit %s: %v", b, err)
+				}
+			}(f, b, a)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := q.GroundAll(); err != nil {
+		t.Fatalf("GroundAll: %v", err)
+	}
+	if got := len(db.All("Bookings")); got != flights*8 {
+		t.Fatalf("bookings = %d, want %d", got, flights*8)
+	}
+	seen := make(map[string]bool)
+	for _, tp := range db.All("Bookings") {
+		key := tp[1].String() + "/" + tp[2].String()
+		if seen[key] {
+			t.Fatalf("double-booked seat %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+// TestConcurrentGroundAllAndSubmit races a continuous submit stream with
+// repeated GroundAll barriers; the final barrier must leave the database
+// extensional with every accepted booking executed.
+func TestConcurrentGroundAllAndSubmit(t *testing.T) {
+	const flights = 4
+	fls := make([]int, flights)
+	for i := range fls {
+		fls[i] = i + 1
+	}
+	db := worldDB(fls, 15)
+	q := mustQDB(t, db, Options{K: -1, Workers: 4})
+
+	var wg sync.WaitGroup
+	var accepted atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				user := fmt.Sprintf("s%d_%d", g, i)
+				if _, err := q.Submit(book(user, (g+i)%flights+1)); err != nil {
+					if !errors.Is(err, ErrRejected) {
+						t.Errorf("submit: %v", err)
+					}
+					continue
+				}
+				accepted.Add(1)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := q.GroundAll(); err != nil {
+				t.Errorf("concurrent GroundAll: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := q.GroundAll(); err != nil {
+		t.Fatalf("final GroundAll: %v", err)
+	}
+	if n := q.PendingCount(); n != 0 {
+		t.Fatalf("pending = %d", n)
+	}
+	if got := int64(len(db.All("Bookings"))); got != accepted.Load() {
+		t.Fatalf("bookings = %d, accepted = %d", got, accepted.Load())
+	}
+}

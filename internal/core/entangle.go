@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/txn"
 )
@@ -16,16 +18,15 @@ import (
 // guaranteed a resource regardless.
 //
 // A Coordinator wraps a QDB; submit entangled work through
-// Coordinator.Submit and everything else through the QDB directly.
+// Coordinator.Submit and everything else through the QDB directly. The
+// Coordinator is safe for concurrent use: its waiting registry has its
+// own lock, match-or-register is atomic under it, and pair groundings run
+// outside it on the engine's sharded partition locks. When a concurrent
+// collapse (k-bound, read) beats a pair grounding to one of the partners,
+// the survivor is collapsed with its coordination constraints hardened if
+// at all possible.
 type Coordinator struct {
 	qdb *QDB
-	// waiting maps a Tag to the pending transaction IDs carrying it whose
-	// partners have not yet arrived.
-	waiting map[string][]int64
-	// partnerOf maps a pending ID to the PartnerTag it waits for.
-	partnerOf map[int64]string
-	// coordinated counts pairs grounded together.
-	coordinated int
 	// EagerCoordination extends the paper's policy: when a transaction
 	// arrives whose partner was ALREADY executed (for example force-
 	// grounded by the k-bound), collapse it immediately if a grounding
@@ -34,6 +35,15 @@ type Coordinator struct {
 	// prototype's behaviour (the Table 2 k-sensitivity depends on it);
 	// the ablation benchmarks quantify the improvement.
 	EagerCoordination bool
+
+	mu sync.Mutex
+	// waiting maps a Tag to the pending transaction IDs carrying it whose
+	// partners have not yet arrived.
+	waiting map[string][]int64
+	// partnerOf maps a pending ID to the PartnerTag it waits for.
+	partnerOf map[int64]string
+	// coordinated counts pairs grounded together.
+	coordinated int
 }
 
 // NewCoordinator wraps q.
@@ -50,7 +60,11 @@ func (c *Coordinator) QDB() *QDB { return c.qdb }
 
 // CoordinatedPairs returns how many entangled pairs this coordinator has
 // grounded together since construction.
-func (c *Coordinator) CoordinatedPairs() int { return c.coordinated }
+func (c *Coordinator) CoordinatedPairs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coordinated
+}
 
 // Submit admits t. If t carries a PartnerTag and a pending transaction
 // tagged with it is waiting for t.Tag, the pair is grounded together
@@ -63,45 +77,83 @@ func (c *Coordinator) Submit(tx *txn.T) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	c.prune()
+	c.mu.Lock()
+	c.pruneLocked()
 	if tx.PartnerTag == "" {
+		c.mu.Unlock()
 		return id, nil
 	}
 	// Look for a pending partner: tagged PartnerTag, waiting for our Tag.
-	if partnerID, ok := c.takeWaiting(tx.PartnerTag, tx.Tag); ok {
-		if err := c.qdb.GroundPair(partnerID, id); err != nil {
-			return id, fmt.Errorf("core: grounding entangled pair (%d, %d): %w", partnerID, id, err)
-		}
-		c.coordinated++
-		return id, nil
+	// Match-or-register is atomic under mu, so of two concurrently
+	// arriving partners exactly one registers and the other finds it.
+	if partnerID, ok := c.takeWaitingLocked(tx.PartnerTag, tx.Tag); ok {
+		c.mu.Unlock()
+		return id, c.groundFoundPair(partnerID, id)
 	}
-	// No pending partner. If the partner was already executed (e.g.
-	// force-grounded by the k-bound before we arrived), staying in a
-	// quantum state buys nothing: the seat next to the partner can only
-	// be lost. Collapse now if a fully-coordinated grounding exists.
 	if c.EagerCoordination {
-		if done, err := c.qdb.GroundCoordinated(id); err != nil {
+		// No pending partner. If the partner was already executed (e.g.
+		// force-grounded by the k-bound before we arrived), staying in a
+		// quantum state buys nothing: the seat next to the partner can
+		// only be lost. Collapse now if a fully-coordinated grounding
+		// exists. The grounding runs outside mu; re-check for a partner
+		// that registered meanwhile before registering ourselves.
+		c.mu.Unlock()
+		done, err := c.qdb.GroundCoordinated(id)
+		if err != nil && !errors.Is(err, ErrUnknownTxn) {
 			return id, err
-		} else if done {
+		}
+		c.mu.Lock()
+		if done {
 			c.coordinated++
+			c.mu.Unlock()
 			return id, nil
+		}
+		if partnerID, ok := c.takeWaitingLocked(tx.PartnerTag, tx.Tag); ok {
+			c.mu.Unlock()
+			return id, c.groundFoundPair(partnerID, id)
 		}
 	}
 	// Partner genuinely not here yet: register as waiting.
 	c.waiting[tx.Tag] = append(c.waiting[tx.Tag], id)
 	c.partnerOf[id] = tx.PartnerTag
+	c.mu.Unlock()
 	return id, nil
 }
 
-// takeWaiting pops the oldest pending transaction tagged tag that waits
-// for wantsPartner.
-func (c *Coordinator) takeWaiting(tag, wantsPartner string) (int64, bool) {
+// groundFoundPair grounds a matched pair. When a concurrent collapse
+// already executed one partner (k-bound or read racing the match), the
+// survivor is collapsed coordinated-if-possible instead — without
+// counting the pair as coordinated: CoordinatedPairs reports pairs
+// grounded TOGETHER, and inflating it under collapse races would skew
+// the Table 2 metric.
+func (c *Coordinator) groundFoundPair(partnerID, id int64) error {
+	err := c.qdb.GroundPair(partnerID, id)
+	if err != nil {
+		if !errors.Is(err, ErrUnknownTxn) {
+			return fmt.Errorf("core: grounding entangled pair (%d, %d): %w", partnerID, id, err)
+		}
+		for _, survivor := range []int64{partnerID, id} {
+			if _, err := c.qdb.GroundCoordinated(survivor); err != nil && !errors.Is(err, ErrUnknownTxn) {
+				return err
+			}
+		}
+		return nil
+	}
+	c.mu.Lock()
+	c.coordinated++
+	c.mu.Unlock()
+	return nil
+}
+
+// takeWaitingLocked pops the oldest pending transaction tagged tag that
+// waits for wantsPartner. Caller holds mu.
+func (c *Coordinator) takeWaitingLocked(tag, wantsPartner string) (int64, bool) {
 	ids := c.waiting[tag]
 	for i, id := range ids {
 		if c.partnerOf[id] != wantsPartner {
 			continue
 		}
-		if !c.stillPending(id) {
+		if !c.qdb.isPending(id) {
 			continue // grounded by a read or the k-bound meanwhile
 		}
 		c.waiting[tag] = append(ids[:i:i], ids[i+1:]...)
@@ -114,13 +166,14 @@ func (c *Coordinator) takeWaiting(tag, wantsPartner string) (int64, bool) {
 	return 0, false
 }
 
-// prune drops waiting entries whose transactions were grounded by other
-// causes (k-bound, reads) so the maps do not grow without bound.
-func (c *Coordinator) prune() {
+// pruneLocked drops waiting entries whose transactions were grounded by
+// other causes (k-bound, reads) so the maps do not grow without bound.
+// Caller holds mu.
+func (c *Coordinator) pruneLocked() {
 	for tag, ids := range c.waiting {
 		kept := ids[:0]
 		for _, id := range ids {
-			if c.stillPending(id) {
+			if c.qdb.isPending(id) {
 				kept = append(kept, id)
 			} else {
 				delete(c.partnerOf, id)
@@ -132,11 +185,4 @@ func (c *Coordinator) prune() {
 			c.waiting[tag] = kept
 		}
 	}
-}
-
-func (c *Coordinator) stillPending(id int64) bool {
-	c.qdb.mu.Lock()
-	defer c.qdb.mu.Unlock()
-	_, ok := c.qdb.byTxn[id]
-	return ok
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/formula"
 	"repro/internal/logic"
 	"repro/internal/relstore"
+	"repro/internal/sched"
 	"repro/internal/txn"
 )
 
@@ -23,58 +24,101 @@ var ErrWriteRejected = errors.New("core: write rejected: it would empty the set 
 // executing its update portion against the store. Under semantic
 // serializability only that transaction is grounded when possible; under
 // strict serializability (or as a fallback) every earlier transaction in
-// its partition is grounded first (§3.2.3).
+// its partition is grounded first (§3.2.3). Only the transaction's
+// partition is locked; groundings of independent partitions proceed in
+// parallel.
 func (q *QDB) Ground(id int64) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	p, idx, ok := q.locate(id)
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownTxn, id)
+	p, idx, err := q.lockTxn(id)
+	if err != nil {
+		return err
 	}
+	defer p.shard.Unlock()
 	return q.groundLocked(p, idx)
 }
 
-// GroundAll collapses every pending transaction in arrival order; the
-// database is fully extensional afterwards.
+// GroundAll collapses every transaction pending at the time of the call;
+// the database is fully extensional afterwards unless concurrent
+// admissions land new transactions meanwhile (those belong to the next
+// barrier — without the bound, a sustained submit stream could keep a
+// GroundAll looping forever). Partitions are independent, so each is
+// drained (in its own arrival order) by a worker-pool task; partitions
+// busy under another operation are skipped and retried on the next
+// round, with a blocking single-partition fallback guaranteeing
+// progress.
 func (q *QDB) GroundAll() error {
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.byTxn) > 0 {
+	var maxID int64 = -1
+	for id := range q.byTxn {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	q.mu.Unlock()
+	for {
+		q.mu.Lock()
 		var oldest int64 = -1
 		for id := range q.byTxn {
-			if oldest < 0 || id < oldest {
+			if id <= maxID && (oldest < 0 || id < oldest) {
 				oldest = id
 			}
 		}
-		p, idx, ok := q.locate(oldest)
-		if !ok {
-			return fmt.Errorf("%w: %d", ErrUnknownTxn, oldest)
+		q.mu.Unlock()
+		if oldest < 0 {
+			return nil
 		}
-		if err := q.groundLocked(p, idx); err != nil {
+
+		parts := q.livePartitions()
+		err := q.pool.Map(len(parts), func(i int) error {
+			p := parts[i]
+			// Pool tasks must not block on a shard (see sched): skip busy
+			// partitions; the outer loop re-examines them.
+			if !p.shard.TryLock() {
+				q.stats.lockWaits.Add(1)
+				return nil
+			}
+			defer p.shard.Unlock()
+			if !p.shard.Alive() || len(p.txns) == 0 {
+				return nil
+			}
+			q.stats.parallelSolves.Add(1)
+			for len(p.txns) > 0 {
+				if err := q.groundLocked(p, 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
 			return err
 		}
-	}
-	return nil
-}
-
-// locate finds the partition and position of a pending transaction.
-func (q *QDB) locate(id int64) (*partition, int, bool) {
-	p, ok := q.byTxn[id]
-	if !ok {
-		return nil, 0, false
-	}
-	for i, t := range p.txns {
-		if t.ID == id {
-			return p, i, true
+		q.mu.Lock()
+		_, stillPending := q.byTxn[oldest]
+		q.mu.Unlock()
+		if stillPending {
+			// Every partition holding work was busy under another
+			// operation. Block on the oldest pending transaction directly
+			// — from this goroutine, never from a pool task — so the loop
+			// always makes progress.
+			p, idx, err := q.lockTxn(oldest)
+			if err != nil {
+				if errors.Is(err, ErrUnknownTxn) {
+					continue // grounded concurrently; re-examine
+				}
+				return err
+			}
+			err = q.groundLocked(p, idx)
+			p.shard.Unlock()
+			if err != nil {
+				return err
+			}
 		}
 	}
-	return nil, 0, false
 }
 
-// groundLocked collapses p.txns[idx]. Semantic mode moves the target to
-// the front of the pending order when the reordered chain stays
-// satisfiable; otherwise (and always under Strict) the prefix up to and
-// including the target is grounded in arrival order.
+// groundLocked collapses p.txns[idx]. Caller holds p's shard. Semantic
+// mode moves the target to the front of the pending order when the
+// reordered chain stays satisfiable; otherwise (and always under Strict)
+// the prefix up to and including the target is grounded in arrival order.
 func (q *QDB) groundLocked(p *partition, idx int) error {
 	if q.opt.Mode == Semantic && idx > 0 {
 		ok, err := q.trySolveAndApply(p, moveToFront(idx, len(p.txns)), semanticSolver(p, idx), 1)
@@ -82,10 +126,10 @@ func (q *QDB) groundLocked(p *partition, idx int) error {
 			return err
 		}
 		if ok {
-			q.stats.SemanticReorders++
+			q.stats.semanticReorders.Add(1)
 			return nil
 		}
-		q.stats.SemanticFallbacks++
+		q.stats.semanticFallbacks.Add(1)
 	}
 	// Strict path: ground arrival-order prefix 0..idx.
 	order := identityOrder(len(p.txns))
@@ -146,6 +190,13 @@ func identityOrder(n int) []int {
 // success executes the first groundCount groundings against the store,
 // removing those transactions and caching the rest. Returns ok=false when
 // the chain is unsatisfiable in this order.
+//
+// Caller holds p's shard. The solve runs under the store's read gate
+// (storeMu.RLock) — solves of independent partitions still overlap, and
+// holding the gate guarantees no store writer queues mid-solve, which
+// would deadlock the evaluator's nested relstore read locks. The short
+// apply+log then runs under the exclusive side so collapsing reads see
+// whole groundings.
 func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groundCount int) (bool, error) {
 	maximize := false
 	for _, t := range solver[:groundCount] {
@@ -159,6 +210,7 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 		sols []*formula.ChainSolution
 		err  error
 	)
+	q.storeMu.RLock()
 	if sample > 1 {
 		// Candidates must differ in the grounding of the collapse target
 		// (the chain head) for the chooser to have a real choice.
@@ -167,9 +219,11 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 		sols, err = formula.SolveChainN(q.db, solver, q.chainOpts(maximize), 1)
 	}
 	if err != nil {
+		q.storeMu.RUnlock()
 		return false, err
 	}
 	if len(sols) == 0 {
+		q.storeMu.RUnlock()
 		return false, nil
 	}
 	pick := 0
@@ -183,22 +237,29 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 			pick = 0
 		}
 	}
+	q.storeMu.RUnlock()
 	sol := sols[pick]
 
-	// Execute the chosen prefix against the store.
+	// Execute the chosen prefix against the store. WAL appends happen
+	// inside the same storeMu section so log order matches apply order.
+	q.storeMu.Lock()
 	for i := 0; i < groundCount; i++ {
 		g := sol.Groundings[i]
 		if err := q.db.Apply(g.Inserts, g.Deletes); err != nil {
+			q.storeMu.Unlock()
 			return false, fmt.Errorf("core: executing grounding of txn %d: %w", g.Txn.ID, err)
 		}
 		if err := q.logFacts(g.Inserts, g.Deletes); err != nil {
+			q.storeMu.Unlock()
 			return false, err
 		}
 		if err := q.logGrounded(g.Txn.ID); err != nil {
+			q.storeMu.Unlock()
 			return false, err
 		}
-		q.stats.Grounded++
 	}
+	q.storeMu.Unlock()
+	q.stats.grounded.Add(int64(groundCount))
 
 	// Rebuild the partition: keep positions not in order[:groundCount].
 	grounded := make(map[int]bool, groundCount)
@@ -206,14 +267,16 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 		grounded[pos] = true
 	}
 	var rest []*txn.T
+	q.mu.Lock()
 	for i, t := range p.txns {
 		if grounded[i] {
 			delete(q.byTxn, t.ID)
-			q.idx.remove(t, p.id)
+			q.idx.remove(t, p.id())
 		} else {
 			rest = append(rest, t)
 		}
 	}
+	q.mu.Unlock()
 	p.txns = rest
 	if q.opt.DisableCache {
 		p.cached = nil
@@ -226,7 +289,10 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 		p.cached = append([]formula.Grounding(nil), sol.Groundings[groundCount:]...)
 	}
 	if len(p.txns) == 0 {
-		delete(q.parts, p.id)
+		q.mu.Lock()
+		delete(q.parts, p.id())
+		q.mu.Unlock()
+		p.shard.Retire()
 	}
 	return true, nil
 }
@@ -237,12 +303,11 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 // arrival when the partner was already executed — deferral can no longer
 // improve coordination, it can only lose the adjacent resource.
 func (q *QDB) GroundCoordinated(id int64) (bool, error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	p, idx, ok := q.locate(id)
-	if !ok {
-		return false, fmt.Errorf("%w: %d", ErrUnknownTxn, id)
+	p, idx, err := q.lockTxn(id)
+	if err != nil {
+		return false, err
 	}
+	defer p.shard.Unlock()
 	target := harden(p.txns[idx])
 	if q.opt.Mode == Semantic {
 		solver := make([]*txn.T, 0, len(p.txns))
@@ -257,7 +322,7 @@ func (q *QDB) GroundCoordinated(id int64) (bool, error) {
 			return false, err
 		}
 		if done {
-			q.stats.SemanticReorders++
+			q.stats.semanticReorders.Add(1)
 		}
 		return done, nil
 	}
@@ -281,22 +346,59 @@ func (q *QDB) GroundCoordinated(id int64) (bool, error) {
 // with a query atom is grounded (the conservative criterion of §3.2.2),
 // then the query runs on the now-extensional relevant state. Reads are
 // repeatable: the returned values are fixed in the store.
+//
+// Affected partitions are collapsed in parallel on the worker pool; the
+// final evaluation holds the store's read gate, so a transaction admitted
+// mid-read stays pending (the read linearizes before it) and the result
+// set is cut at a single store state. The collapse is bounded to
+// transactions pending when the read arrived: a transaction admitted
+// after that linearizes after the read (its grounding cannot execute
+// while the read gate is held), so a sustained stream of overlapping
+// admissions cannot starve the read.
 func (q *QDB) Read(query []logic.Atom) ([]logic.Subst, error) {
+	q.stats.reads.Add(1)
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.stats.Reads++
+	maxID := q.nextID - 1
+	q.mu.Unlock()
 	for {
-		p, idx, ok := q.firstAffected(query)
-		if !ok {
-			break
+		ps := q.lockCandidates(query)
+		var affected []*partition
+		for _, p := range ps {
+			if partitionAffected(p, query, maxID) >= 0 {
+				affected = append(affected, p)
+			}
 		}
-		q.stats.ForcedByRead++
-		if err := q.groundLocked(p, idx); err != nil {
+		if len(affected) == 0 {
+			// No pending transaction the read must observe can touch the
+			// query: evaluate while holding the read gate, then release
+			// the partitions (no pending update can execute against the
+			// store meanwhile).
+			q.storeMu.RLock()
+			unlockPartitions(ps)
+			rq := relstore.Query{Atoms: query, Planner: q.opt.Planner}
+			sols, err := rq.FindAll(q.db, nil, 0)
+			q.storeMu.RUnlock()
+			return sols, err
+		}
+		err := q.pool.Map(len(affected), func(i int) error {
+			p := affected[i] // pre-locked by this goroutine; task takes no shard
+			q.stats.parallelSolves.Add(1)
+			for {
+				idx := partitionAffected(p, query, maxID)
+				if idx < 0 {
+					return nil
+				}
+				q.stats.forcedByRead.Add(1)
+				if err := q.groundLocked(p, idx); err != nil {
+					return err
+				}
+			}
+		})
+		unlockPartitions(ps)
+		if err != nil {
 			return nil, err
 		}
 	}
-	rq := relstore.Query{Atoms: query, Planner: q.opt.Planner}
-	return rq.FindAll(q.db, nil, 0)
 }
 
 // ReadOne is Read returning just the first solution (ok=false when none).
@@ -316,80 +418,54 @@ func (q *QDB) ReadOne(query []logic.Atom) (logic.Subst, bool, error) {
 // is conservative and momentary — by the time the read is issued, more
 // transactions may have arrived.
 func (q *QDB) PreviewRead(query []logic.Atom) []int64 {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	ps := q.lockCandidates(query)
 	var ids []int64
-	for pid := range q.idx.candidates(query) {
-		p := q.parts[pid]
-		if p == nil {
-			continue
-		}
+	for _, p := range ps {
 		for _, t := range p.txns {
-			hit := false
-			for _, u := range t.Update {
-				for _, a := range query {
-					if logic.Unifiable(a, u.Atom) {
-						hit = true
-						break
-					}
-				}
-				if hit {
-					break
-				}
-			}
-			if hit {
+			if txnAffected(t, query) {
 				ids = append(ids, t.ID)
 			}
 		}
 	}
+	unlockPartitions(ps)
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
-// firstAffected finds the lowest-ID pending transaction one of whose
-// update atoms unifies with a query atom. The partition index narrows
-// the scan.
-func (q *QDB) firstAffected(query []logic.Atom) (*partition, int, bool) {
-	var (
-		bestP   *partition
-		bestIdx int
-		bestID  int64 = -1
-	)
-	for pid := range q.idx.candidates(query) {
-		p := q.parts[pid]
-		if p == nil {
-			continue
-		}
-		for i, t := range p.txns {
-			if bestID >= 0 && t.ID >= bestID {
-				continue
-			}
-			for _, u := range t.Update {
-				hit := false
-				for _, a := range query {
-					if logic.Unifiable(a, u.Atom) {
-						hit = true
-						break
-					}
-				}
-				if hit {
-					bestP, bestIdx, bestID = p, i, t.ID
-					break
-				}
+// txnAffected reports whether any update atom of t unifies with a query
+// atom.
+func txnAffected(t *txn.T, query []logic.Atom) bool {
+	for _, u := range t.Update {
+		for _, a := range query {
+			if logic.Unifiable(a, u.Atom) {
+				return true
 			}
 		}
 	}
-	return bestP, bestIdx, bestID >= 0
+	return false
+}
+
+// partitionAffected returns the position of the lowest-ID transaction in
+// p (no newer than maxID) whose update portion unifies with a query
+// atom, or -1. Caller holds p's shard.
+func partitionAffected(p *partition, query []logic.Atom, maxID int64) int {
+	for i, t := range p.txns {
+		if t.ID > maxID {
+			return -1 // txns ascend by ID; the rest postdate the read
+		}
+		if txnAffected(t, query) {
+			return i
+		}
+	}
+	return -1
 }
 
 // Write applies a non-resource blind write (a batch of ground inserts and
 // deletes). Writes that unify with pending bodies must keep every
 // affected partition satisfiable over the modified store, or they are
-// rejected (§3.2.2 "Writes").
+// rejected (§3.2.2 "Writes"). Validation solves of independent affected
+// partitions run in parallel on the worker pool.
 func (q *QDB) Write(inserts, deletes []relstore.GroundFact) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-
 	factAtoms := make([]logic.Atom, 0, len(inserts)+len(deletes))
 	for _, f := range inserts {
 		factAtoms = append(factAtoms, factAtom(f))
@@ -398,49 +474,83 @@ func (q *QDB) Write(inserts, deletes []relstore.GroundFact) error {
 		factAtoms = append(factAtoms, factAtom(f))
 	}
 
-	ov := relstore.NewOverlay(q.db)
-	if err := ov.ApplyFacts(inserts, deletes); err != nil {
+	q.admitMu.Lock()
+	defer q.admitMu.Unlock()
+
+	// Structural validation of the write itself (arity, delete-of-absent,
+	// duplicate keys) on a scratch overlay, under the store's read gate
+	// (see trySolveAndApply for why solves hold it).
+	q.storeMu.RLock()
+	err := relstore.NewOverlay(q.db).ApplyFacts(inserts, deletes)
+	q.storeMu.RUnlock()
+	if err != nil {
 		return fmt.Errorf("core: invalid write: %w", err)
 	}
 
-	type refresh struct {
-		p  *partition
-		gs []formula.Grounding
+	// Under admitMu the candidate set can only shrink; lock candidates
+	// and keep those the write actually touches.
+	cands := q.lockOverlappingAtoms(factAtoms)
+	var affected []*partition
+	for _, p := range cands {
+		if q.partitionTouches(p, factAtoms) {
+			affected = append(affected, p)
+		}
 	}
-	var refreshes []refresh
-	for pid := range q.idx.candidates(factAtoms) {
-		p := q.parts[pid]
-		if p == nil || !q.partitionTouches(p, factAtoms) {
-			continue
+
+	refreshed := make([][]formula.Grounding, len(affected))
+	err = q.pool.Map(len(affected), func(i int) error {
+		p := affected[i] // pre-locked; task takes no shard
+		q.stats.parallelSolves.Add(1)
+		// Overlays are single-goroutine; each validation builds its own.
+		q.storeMu.RLock()
+		defer q.storeMu.RUnlock()
+		ov := relstore.NewOverlay(q.db)
+		if err := ov.ApplyFacts(inserts, deletes); err != nil {
+			return fmt.Errorf("core: invalid write: %w", err)
 		}
 		sol, ok, err := formula.SolveChain(ov, stripAll(p.txns), q.chainOpts(false))
 		if err != nil {
 			return err
 		}
 		if !ok {
-			q.stats.WritesRejected++
 			return ErrWriteRejected
 		}
-		refreshes = append(refreshes, refresh{p: p, gs: sol.Groundings})
+		refreshed[i] = sol.Groundings
+		return nil
+	})
+	if err != nil {
+		unlockPartitions(cands)
+		if errors.Is(err, ErrWriteRejected) {
+			q.stats.writesRejected.Add(1)
+			return ErrWriteRejected
+		}
+		return err
 	}
 
+	q.storeMu.Lock()
 	if err := q.db.Apply(inserts, deletes); err != nil {
+		q.storeMu.Unlock()
+		unlockPartitions(cands)
 		return fmt.Errorf("core: applying write: %w", err)
 	}
 	if err := q.logFacts(inserts, deletes); err != nil {
+		q.storeMu.Unlock()
+		unlockPartitions(cands)
 		return err
 	}
+	q.storeMu.Unlock()
 	if !q.opt.DisableCache {
-		for _, r := range refreshes {
-			r.p.cached = r.gs
+		for i, p := range affected {
+			p.cached = refreshed[i]
 		}
 	}
-	q.stats.WritesAccepted++
+	unlockPartitions(cands)
+	q.stats.writesAccepted.Add(1)
 	return nil
 }
 
 // partitionTouches reports whether any fact atom unifies with any atom of
-// the partition's transactions.
+// the partition's transactions. Caller holds p's shard.
 func (q *QDB) partitionTouches(p *partition, facts []logic.Atom) bool {
 	for _, t := range p.txns {
 		for _, a := range atomsOf(t) {
@@ -469,37 +579,27 @@ func factAtom(f relstore.GroundFact) logic.Atom {
 // earlier partner's grounding until coordination succeeds; only if no
 // coordinated grounding exists does the pair collapse uncoordinated.
 func (q *QDB) GroundPair(id1, id2 int64) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	pa, ia, ok := q.locate(id1)
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownTxn, id1)
-	}
-	pb, ib, ok := q.locate(id2)
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownTxn, id2)
+	pa, ia, pb, ib, err := q.lockPair(id1, id2)
+	if err != nil {
+		return err
 	}
 	if pa != pb {
 		// Independent transactions cannot coordinate; collapse each.
+		defer pa.shard.Unlock()
+		defer pb.shard.Unlock()
 		if err := q.groundLocked(pa, ia); err != nil {
 			return err
-		}
-		pb, ib, ok = q.locate(id2)
-		if !ok {
-			return fmt.Errorf("%w: %d", ErrUnknownTxn, id2)
 		}
 		return q.groundLocked(pb, ib)
 	}
 	p := pa
+	defer p.shard.Unlock()
 	if p.txns[ia].ID > p.txns[ib].ID {
 		ia, ib = ib, ia
 	}
 	first, second := p.txns[ia], p.txns[ib]
 
-	var (
-		done bool
-		err  error
-	)
+	var done bool
 	if q.opt.Mode == Semantic {
 		order := pairFirstOrder(ia, ib, len(p.txns))
 		// Coordinated attempt: harden the later partner's optionals.
@@ -517,10 +617,10 @@ func (q *QDB) GroundPair(id1, id2 int64) error {
 			}
 		}
 		if done {
-			q.stats.SemanticReorders++
+			q.stats.semanticReorders.Add(1)
 			return nil
 		}
-		q.stats.SemanticFallbacks++
+		q.stats.semanticFallbacks.Add(1)
 	}
 	// Strict fallback: ground the arrival-order prefix through the later
 	// partner, with the coordinated attempt first.
@@ -553,6 +653,46 @@ func (q *QDB) GroundPair(id1, id2 int64) error {
 		return ErrInvariantBroken
 	}
 	return nil
+}
+
+// lockPair locks the partition(s) holding two pending transactions in
+// canonical shard order, retrying on stale acquires (merges can re-home
+// either transaction between lookup and lock).
+func (q *QDB) lockPair(id1, id2 int64) (pa *partition, ia int, pb *partition, ib int, err error) {
+	for {
+		q.mu.Lock()
+		pa, pb = q.byTxn[id1], q.byTxn[id2]
+		q.mu.Unlock()
+		if pa == nil {
+			return nil, 0, nil, 0, fmt.Errorf("%w: %d", ErrUnknownTxn, id1)
+		}
+		if pb == nil {
+			return nil, 0, nil, 0, fmt.Errorf("%w: %d", ErrUnknownTxn, id2)
+		}
+		locked := sched.LockOrdered([]*sched.Shard{pa.shard, pb.shard})
+		q.mu.Lock()
+		stillA, stillB := q.byTxn[id1] == pa, q.byTxn[id2] == pb
+		q.mu.Unlock()
+		if pa.shard.Alive() && pb.shard.Alive() && stillA && stillB {
+			ia, ib = txnPos(pa, id1), txnPos(pb, id2)
+			if ia >= 0 && ib >= 0 {
+				return pa, ia, pb, ib, nil
+			}
+		}
+		sched.UnlockAll(locked)
+		q.stats.lockWaits.Add(1)
+	}
+}
+
+// txnPos returns the position of id in p.txns, or -1. Caller holds p's
+// shard.
+func txnPos(p *partition, id int64) int {
+	for i, t := range p.txns {
+		if t.ID == id {
+			return i
+		}
+	}
+	return -1
 }
 
 // pairFirstOrder permutes partition positions so ia then ib come first.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/txn"
 )
@@ -17,20 +18,27 @@ import (
 // optionals merely maximized.
 //
 // Members in other partitions (which cannot interact) are grounded
-// individually.
+// individually. Member partitions are locked together in canonical shard
+// order and processed ascending by partition ID (deterministically — not
+// in Go map order).
 func (q *QDB) GroundGroup(ids []int64) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	// Bucket members by partition.
-	byPart := make(map[*partition][]int64)
-	for _, id := range ids {
-		p, _, ok := q.locate(id)
-		if !ok {
-			return fmt.Errorf("%w: %d", ErrUnknownTxn, id)
-		}
-		byPart[p] = append(byPart[p], id)
+	ps, err := q.lockGroup(ids)
+	if err != nil {
+		return err
 	}
-	for p, members := range byPart {
+	defer unlockPartitions(ps)
+	// Bucket members by partition, preserving the deterministic partition
+	// order of ps.
+	for _, p := range ps {
+		var members []int64
+		for _, id := range ids {
+			if txnPos(p, id) >= 0 {
+				members = append(members, id)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
 		if err := q.groundGroupLocked(p, members); err != nil {
 			return err
 		}
@@ -38,22 +46,72 @@ func (q *QDB) GroundGroup(ids []int64) error {
 	return nil
 }
 
+// lockGroup locks the partitions holding the given pending transactions,
+// ascending by shard ID, retrying when a merge or collapse re-homes a
+// member between lookup and lock.
+func (q *QDB) lockGroup(ids []int64) ([]*partition, error) {
+	for {
+		q.mu.Lock()
+		seen := make(map[*partition]bool, len(ids))
+		var ps []*partition
+		missing := int64(-1)
+		for _, id := range ids {
+			p := q.byTxn[id]
+			if p == nil {
+				missing = id
+				break
+			}
+			if !seen[p] {
+				seen[p] = true
+				ps = append(ps, p)
+			}
+		}
+		q.mu.Unlock()
+		if missing >= 0 {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownTxn, missing)
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i].id() < ps[j].id() })
+		for _, p := range ps {
+			p.shard.Lock()
+		}
+		ok := true
+		q.mu.Lock()
+		for _, id := range ids {
+			p := q.byTxn[id]
+			if p == nil || !seen[p] {
+				ok = false
+				break
+			}
+		}
+		q.mu.Unlock()
+		if ok {
+			for _, p := range ps {
+				if !p.shard.Alive() {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return ps, nil
+		}
+		unlockPartitions(ps)
+		q.stats.lockWaits.Add(1)
+	}
+}
+
+// groundGroupLocked collapses the given members of p together. Caller
+// holds p's shard.
 func (q *QDB) groundGroupLocked(p *partition, ids []int64) error {
 	// Resolve current positions, ascending by ID (arrival order).
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	pos := make([]int, len(ids))
 	for i, id := range ids {
-		found := false
-		for j, t := range p.txns {
-			if t.ID == id {
-				pos[i] = j
-				found = true
-				break
-			}
-		}
-		if !found {
+		j := txnPos(p, id)
+		if j < 0 {
 			return fmt.Errorf("%w: %d", ErrUnknownTxn, id)
 		}
+		pos[i] = j
 	}
 	if len(ids) == 1 {
 		return q.groundLocked(p, pos[0])
@@ -97,10 +155,10 @@ func (q *QDB) groundGroupLocked(p *partition, ids []int64) error {
 			}
 		}
 		if done {
-			q.stats.SemanticReorders++
+			q.stats.semanticReorders.Add(1)
 			return nil
 		}
-		q.stats.SemanticFallbacks++
+		q.stats.semanticFallbacks.Add(1)
 	}
 	// Strict fallback: ground the whole prefix through the last member.
 	last := pos[len(pos)-1]
@@ -155,9 +213,13 @@ func groupFirstOrder(pos []int, n int) []int {
 // submitted under a named group collapse together once the declared
 // group size is reached. Pairs are the PartnerTag special case handled
 // by Coordinator; groups generalize to parties ("our team of four wants
-// a row of adjacent slots").
+// a row of adjacent slots"). Safe for concurrent use: the registry has
+// its own lock, and group collapses run outside it on the engine's
+// sharded locks.
 type GroupCoordinator struct {
-	qdb    *QDB
+	qdb *QDB
+
+	mu     sync.Mutex
 	size   map[string]int
 	member map[string][]int64
 	closed int
@@ -173,7 +235,11 @@ func NewGroupCoordinator(q *QDB) *GroupCoordinator {
 }
 
 // ClosedGroups reports how many groups have collapsed together.
-func (g *GroupCoordinator) ClosedGroups() int { return g.closed }
+func (g *GroupCoordinator) ClosedGroups() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.closed
+}
 
 // Submit admits tx as a member of the named group of the given size.
 // When the group completes, all its still-pending members ground
@@ -183,35 +249,50 @@ func (g *GroupCoordinator) Submit(tx *txn.T, group string, size int) (int64, err
 	if size < 1 {
 		return 0, fmt.Errorf("core: group %q size %d", group, size)
 	}
+	g.mu.Lock()
 	if have, ok := g.size[group]; ok && have != size {
+		g.mu.Unlock()
 		return 0, fmt.Errorf("core: group %q declared with size %d and %d", group, have, size)
 	}
+	g.mu.Unlock()
 	id, err := g.qdb.Submit(tx)
 	if err != nil {
 		return 0, err
 	}
+	g.mu.Lock()
+	// Re-check at record time: the pre-Submit check ran outside this
+	// critical section, so two racing declarations of a new group could
+	// both have passed it. The transaction is already admitted (it stays
+	// pending under the engine's usual collapse causes); only the group
+	// membership is refused.
+	if have, ok := g.size[group]; ok && have != size {
+		g.mu.Unlock()
+		return id, fmt.Errorf("core: group %q declared with size %d and %d", group, have, size)
+	}
 	g.size[group] = size
 	g.member[group] = append(g.member[group], id)
 	if len(g.member[group]) < size {
+		g.mu.Unlock()
 		return id, nil
 	}
 	// Group complete: collapse the members that are still pending.
 	var live []int64
-	g.qdb.mu.Lock()
 	for _, m := range g.member[group] {
-		if _, ok := g.qdb.byTxn[m]; ok {
+		if g.qdb.isPending(m) {
 			live = append(live, m)
 		}
 	}
-	g.qdb.mu.Unlock()
 	delete(g.member, group)
 	delete(g.size, group)
+	g.mu.Unlock()
 	if len(live) == 0 {
 		return id, nil
 	}
 	if err := g.qdb.GroundGroup(live); err != nil {
 		return id, fmt.Errorf("core: grounding group %q: %w", group, err)
 	}
+	g.mu.Lock()
 	g.closed++
+	g.mu.Unlock()
 	return id, nil
 }

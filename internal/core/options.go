@@ -78,6 +78,12 @@ type Options struct {
 	// MaxSolverSteps bounds backtracking per satisfiability check; 0
 	// means unbounded.
 	MaxSolverSteps int
+	// Workers bounds the scheduler's worker pool, which drives parallel
+	// partition grounding: GroundAll, read collapse across partitions,
+	// and blind-write validation solves. 0 means GOMAXPROCS; 1 runs the
+	// scheduler fully serially (every multi-partition operation executes
+	// inline on the calling goroutine); negative values are treated as 1.
+	Workers int
 	// WALPath, when non-empty, durably logs pending transactions and base
 	// writes to this file; Recover rebuilds the quantum state from it.
 	WALPath string
@@ -108,4 +114,11 @@ func (o *Options) sample() int {
 		return 1
 	}
 	return o.ChooserSample
+}
+
+func (o *Options) workers() int {
+	if o.Workers < 0 {
+		return 1
+	}
+	return o.Workers // 0 = GOMAXPROCS, resolved by sched.NewPool
 }

@@ -3,12 +3,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
 	"repro/internal/formula"
 	"repro/internal/logic"
 	"repro/internal/relstore"
+	"repro/internal/sched"
 	"repro/internal/txn"
 	"repro/internal/wal"
 )
@@ -24,10 +26,43 @@ var ErrUnknownTxn = errors.New("core: unknown or already-grounded transaction")
 // QDB is a quantum database: an extensional store plus an ordered set of
 // committed-but-unground resource transactions, partitioned into
 // independent composed bodies, each with a cached consistent grounding.
+//
+// The engine is sharded by partition (internal/sched): partitions are
+// mutually non-unifiable by construction, so each gets its own lock and
+// operations acquire only the partitions they touch. Lock order, outermost
+// first:
+//
+//		admitMu → partition shards (ascending ID) → mu | storeMu
+//
+//	  - admitMu serializes changes to the partition SET: admission (which
+//	    can create and merge partitions), blind writes, and checkpoints.
+//	    While held, no partition appears or gains atoms, so an overlap
+//	    snapshot stays a sound superset without a retry loop.
+//	  - each partition's shard guards its txns and cached groundings.
+//	    Cross-partition operations (merging admissions, entangled pairs
+//	    spanning partitions, GroundAll barriers) lock shards in canonical
+//	    ID order, which is deadlock-free by construction. Operations that
+//	    hold no admitMu (Ground, Read, GroundPair) validate after locking
+//	    and retry on a stale shard (counted in Stats.LockWaits).
+//	  - mu guards only the partition registry (parts, byTxn, idx, the ID
+//	    counters) and is held for map operations only — never across a
+//	    solve.
+//	  - storeMu orders store mutations against collapsing reads: grounding
+//	    executions and accepted writes hold it exclusively for the short
+//	    apply+log; Read holds it shared across its final query evaluation
+//	    so results are cut at one store state.
+//
+// Chain solves — the expensive part — run outside mu and storeMu, under
+// only the solved partition's shard; the worker pool (Options.Workers)
+// drives solves of independent partitions in parallel.
 type QDB struct {
-	mu  sync.Mutex
-	db  *relstore.DB
-	opt Options
+	admitMu sync.Mutex
+	mu      sync.Mutex
+	storeMu sync.RWMutex
+
+	db   *relstore.DB
+	opt  Options
+	pool *sched.Pool
 
 	nextID   int64
 	nextPart int64
@@ -35,15 +70,17 @@ type QDB struct {
 	byTxn    map[int64]*partition
 	idx      *partIndex
 
-	log   *wal.Log
-	stats Stats
+	log   *wal.Log // immutable after New; internally synchronized
+	stats counters
 }
 
 // partition is one independent set of mutually-unifiable pending
 // transactions, the unit over which a composed body (Theorem 3.5) is
-// maintained.
+// maintained. txns and cached are guarded by shard; when the partition
+// merges away or drains empty the shard is retired and stale holders
+// re-resolve through the registry.
 type partition struct {
-	id int64
+	shard *sched.Shard
 	// txns are the pending transactions (renamed apart), ascending ID.
 	txns []*txn.T
 	// cached holds one consistent grounding per pending transaction,
@@ -52,6 +89,8 @@ type partition struct {
 	cached []formula.Grounding
 }
 
+func (p *partition) id() int64 { return p.shard.ID() }
+
 // New creates a quantum database over db. The store is owned by the QDB
 // afterwards: all mutations must go through resource transactions, Write,
 // or grounding.
@@ -59,6 +98,7 @@ func New(db *relstore.DB, opt Options) (*QDB, error) {
 	q := &QDB{
 		db:     db,
 		opt:    opt,
+		pool:   sched.NewPool(opt.workers()),
 		nextID: 1,
 		parts:  make(map[int64]*partition),
 		byTxn:  make(map[int64]*partition),
@@ -75,16 +115,12 @@ func New(db *relstore.DB, opt Options) (*QDB, error) {
 	return q, nil
 }
 
-// Close releases the WAL, if any.
+// Close releases the WAL, if any. Safe to call more than once.
 func (q *QDB) Close() error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.log == nil {
 		return nil
 	}
-	err := q.log.Close()
-	q.log = nil
-	return err
+	return q.log.Close()
 }
 
 // Store returns the underlying extensional store for read-only inspection
@@ -93,11 +129,10 @@ func (q *QDB) Close() error {
 func (q *QDB) Store() *relstore.DB { return q.db }
 
 // Stats returns a copy of the counters.
-func (q *QDB) Stats() Stats {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.stats
-}
+func (q *QDB) Stats() Stats { return q.stats.snapshot() }
+
+// Workers reports the scheduler's parallelism bound.
+func (q *QDB) Workers() int { return q.pool.Workers() }
 
 // PendingCount returns the number of committed-but-unground transactions.
 func (q *QDB) PendingCount() int {
@@ -120,14 +155,36 @@ func (q *QDB) PendingIDs() []int64 {
 
 // Partitions returns the current partition sizes, for stats and tests.
 func (q *QDB) Partitions() []int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
 	var out []int
-	for _, p := range q.parts {
-		out = append(out, len(p.txns))
+	for _, p := range q.livePartitions() {
+		p.shard.Lock()
+		if p.shard.Alive() && len(p.txns) > 0 {
+			out = append(out, len(p.txns))
+		}
+		p.shard.Unlock()
 	}
 	sort.Ints(out)
 	return out
+}
+
+// livePartitions snapshots the registry's partitions, ascending by ID.
+func (q *QDB) livePartitions() []*partition {
+	q.mu.Lock()
+	out := make([]*partition, 0, len(q.parts))
+	for _, p := range q.parts {
+		out = append(out, p)
+	}
+	q.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id() < out[j].id() })
+	return out
+}
+
+// isPending reports whether id is still committed-but-unground.
+func (q *QDB) isPending(id int64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, ok := q.byTxn[id]
+	return ok
 }
 
 // Submit admits a resource transaction. On success the transaction is
@@ -137,23 +194,32 @@ func (q *QDB) Partitions() []int {
 //
 // Submit implements §3.2.1 + §4: tentative partition merge, solution-cache
 // extension, full composed-body solve on cache miss, durable logging to
-// the pending-transactions table, and k-bound enforcement.
+// the pending-transactions table, and k-bound enforcement. Admissions
+// serialize on the admission lock (they can create or merge partitions);
+// the k-bound eviction at the end runs with only the target partition
+// locked, so evictions of different partitions proceed in parallel.
 func (q *QDB) Submit(t *txn.T) (int64, error) {
 	if err := t.Validate(); err != nil {
 		return 0, err
 	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.stats.Submitted++
+	q.stats.submitted.Add(1)
+	q.admitMu.Lock()
 
+	q.mu.Lock()
 	id := q.nextID
+	q.mu.Unlock()
 	admitted := &txn.T{ID: id, Tag: t.Tag, PartnerTag: t.PartnerTag, Body: t.Body, Update: t.Update}
 	admitted = admitted.RenamedApart()
 
-	overlapping := q.overlappingPartitions(admitted)
+	overlapping := q.lockOverlapping(admitted)
 	merged := mergedTxns(overlapping, admitted)
 
+	// Admission solves run under the store's read gate: no store writer
+	// may queue mid-solve (the evaluator re-enters relstore read locks;
+	// see trySolveAndApply), and groundings of independent partitions
+	// cannot invalidate this partition's solution anyway.
 	var cached []formula.Grounding
+	q.storeMu.RLock()
 	if !q.opt.DisableCache && allCached(overlapping) {
 		// Fast path: extend the combined cached solution with a grounding
 		// for just the new transaction.
@@ -162,53 +228,71 @@ func (q *QDB) Submit(t *txn.T) (int64, error) {
 		if applyGroundings(ov, combined) == nil {
 			sol, ok, err := formula.SolveChain(ov, []*txn.T{strip(admitted)}, q.chainOpts(false))
 			if err != nil {
+				q.storeMu.RUnlock()
+				unlockPartitions(overlapping)
+				q.admitMu.Unlock()
 				return 0, err
 			}
 			if ok {
-				q.stats.CacheHits++
+				q.stats.cacheHits.Add(1)
 				cached = append(combined, sol.Groundings[0])
 			}
 		}
 	}
 	if cached == nil {
 		// Slow path: full composed-body satisfiability check.
-		q.stats.CacheMisses++
+		q.stats.cacheMisses.Add(1)
 		sol, ok, err := formula.SolveChain(q.db, stripAll(merged), q.chainOpts(false))
 		if err != nil {
+			q.storeMu.RUnlock()
+			unlockPartitions(overlapping)
+			q.admitMu.Unlock()
 			return 0, err
 		}
 		if !ok {
-			q.stats.Rejected++
+			q.storeMu.RUnlock()
+			unlockPartitions(overlapping)
+			q.admitMu.Unlock()
+			q.stats.rejected.Add(1)
 			return 0, fmt.Errorf("%w: txn %q", ErrRejected, t.String())
 		}
 		cached = sol.Groundings
 	}
+	q.storeMu.RUnlock()
 
-	// Accept: merge partitions and install the new cached solution.
-	p := q.mergePartitions(overlapping)
+	// Accept: commit the ID, merge partitions, install the new solution.
+	p := q.mergeLocked(overlapping)
 	p.txns = merged
 	if q.opt.DisableCache {
 		p.cached = nil
 	} else {
 		p.cached = cached
 	}
+	q.mu.Lock()
+	q.nextID = id + 1
 	q.byTxn[id] = p
-	q.idx.add(admitted, p.id)
-	q.nextID++
-	q.stats.Accepted++
+	q.idx.add(admitted, p.id())
+	q.mu.Unlock()
+	q.stats.accepted.Add(1)
 	q.noteHighWater(p)
 	if err := q.logPending(admitted); err != nil {
+		p.shard.Unlock()
+		q.admitMu.Unlock()
 		return 0, err
 	}
+	q.admitMu.Unlock()
 
 	// Enforce the k-bound: force-ground oldest transactions while the
-	// partition is too large (§4).
+	// partition is too large (§4). Only p is locked here, so evictions on
+	// independent partitions run concurrently.
 	for len(p.txns) > q.opt.k() {
-		q.stats.ForcedByK++
+		q.stats.forcedByK.Add(1)
 		if err := q.groundLocked(p, 0); err != nil {
+			p.shard.Unlock()
 			return id, fmt.Errorf("core: k-bound forced grounding: %w", err)
 		}
 	}
+	p.shard.Unlock()
 	return id, nil
 }
 
@@ -219,34 +303,83 @@ func (q *QDB) chainOpts(maximize bool) formula.ChainOptions {
 		Planner:           q.opt.Planner,
 		MaximizeOptionals: maximize,
 		MaxSteps:          q.opt.MaxSolverSteps,
-		StepCounter:       &q.stats.SolverSteps,
+		StepCounter:       &q.stats.solverSteps,
 	}
 }
 
-// overlappingPartitions returns the partitions sharing a unifiable atom
-// with t, ascending by partition id. With partitioning disabled it
-// returns every partition. The index narrows the search to a sound
-// candidate superset; the exact unification test runs on candidates only.
-func (q *QDB) overlappingPartitions(t *txn.T) []*partition {
-	var out []*partition
+// lockOverlapping locks and returns the live partitions sharing a
+// unifiable atom with t, ascending by partition ID. With partitioning
+// disabled it returns every partition. The caller MUST hold admitMu (see
+// lockOverlappingAtoms); the exact unification test runs on candidates
+// only, under their locks.
+func (q *QDB) lockOverlapping(t *txn.T) []*partition {
 	if q.opt.DisablePartitioning {
-		for _, p := range q.parts {
+		return q.lockAllPartitions()
+	}
+	cands := q.lockOverlappingAtoms(atomsOf(t))
+	out := cands[:0]
+	for _, p := range cands {
+		if overlaps(t, p) {
 			out = append(out, p)
-		}
-	} else {
-		for pid := range q.idx.candidates(atomsOf(t)) {
-			p := q.parts[pid]
-			if p != nil && overlaps(t, p) {
-				out = append(out, p)
-			}
+		} else {
+			// Index false positive: routine sound-superset slack, not
+			// contention — released without touching LockWaits.
+			p.shard.Unlock()
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// lockOverlappingAtoms locks and returns the live candidate partitions
+// for a bare atom set, ascending by partition ID. The caller MUST hold
+// admitMu: the candidate set can then only shrink (no admissions run),
+// so one pass suffices — candidates that died between snapshot and lock
+// are dropped (a stale acquire, counted in LockWaits).
+func (q *QDB) lockOverlappingAtoms(atoms []logic.Atom) []*partition {
+	q.mu.Lock()
+	var cands []*partition
+	for pid := range q.idx.candidates(atoms) {
+		if p := q.parts[pid]; p != nil {
+			cands = append(cands, p)
+		}
+	}
+	q.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].id() < cands[j].id() })
+
+	out := cands[:0]
+	for _, p := range cands {
+		p.shard.Lock()
+		if !p.shard.Alive() {
+			p.shard.Unlock()
+			q.stats.lockWaits.Add(1)
+			continue
+		}
+		if len(p.txns) == 0 {
+			p.shard.Unlock()
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func unlockPartitions(ps []*partition) {
+	for _, p := range ps {
+		p.shard.Unlock()
+	}
+}
+
+func shardsOf(ps []*partition) []*sched.Shard {
+	out := make([]*sched.Shard, len(ps))
+	for i, p := range ps {
+		out[i] = p.shard
+	}
 	return out
 }
 
 // overlaps reports whether any atom of t unifies with any atom of any
-// transaction in p (the conservative independence test of §4).
+// transaction in p (the conservative independence test of §4). Caller
+// holds p's shard.
 func overlaps(t *txn.T, p *partition) bool {
 	ta := atomsOf(t)
 	for _, pt := range p.txns {
@@ -318,39 +451,53 @@ func applyGroundings(ov *relstore.Overlay, gs []formula.Grounding) error {
 	return nil
 }
 
-// mergePartitions collapses ps into a single partition (reusing the first
-// or creating a fresh one) and returns it. Caller fixes txns/cached.
-func (q *QDB) mergePartitions(ps []*partition) *partition {
-	if len(ps) == 1 {
-		return ps[0]
+// mergeLocked collapses ps into a single partition (reusing the first or
+// creating a fresh one) and returns it, locked. Caller holds admitMu and
+// every shard in ps; losing shards are retired and released. Caller fixes
+// txns/cached on the survivor.
+func (q *QDB) mergeLocked(ps []*partition) *partition {
+	if len(ps) == 0 {
+		q.mu.Lock()
+		id := q.nextPart
+		q.nextPart++
+		q.mu.Unlock()
+		p := &partition{shard: sched.NewShard(id)}
+		p.shard.Lock() // lock before publishing: a fresh mutex cannot block
+		q.mu.Lock()
+		q.parts[id] = p
+		q.mu.Unlock()
+		return p
 	}
+	keep := ps[0]
 	if len(ps) > 1 {
-		q.stats.PartitionMerges++
-		keep := ps[0]
+		q.stats.partitionMerges.Add(1)
+		q.mu.Lock()
 		for _, p := range ps[1:] {
-			delete(q.parts, p.id)
+			delete(q.parts, p.id())
 			for _, t := range p.txns {
 				q.byTxn[t.ID] = keep
-				q.idx.move(t, p.id, keep.id)
+				q.idx.move(t, p.id(), keep.id())
 			}
 		}
-		return keep
+		q.mu.Unlock()
+		for _, p := range ps[1:] {
+			p.txns, p.cached = nil, nil
+			p.shard.Retire()
+			p.shard.Unlock()
+		}
 	}
-	p := &partition{id: q.nextPart}
-	q.nextPart++
-	q.parts[p.id] = p
-	return p
+	return keep
 }
 
 // noteHighWater refreshes the high-water counters for the one partition
 // an admission touched (keeping admissions O(1) in the partition count).
+// Caller holds p's shard.
 func (q *QDB) noteHighWater(p *partition) {
-	if n := len(q.byTxn); n > q.stats.MaxPending {
-		q.stats.MaxPending = n
-	}
-	if n := len(p.txns); n > q.stats.MaxPartitionPending {
-		q.stats.MaxPartitionPending = n
-	}
+	q.mu.Lock()
+	pending := len(q.byTxn)
+	q.mu.Unlock()
+	raiseMax(&q.stats.maxPending, int64(pending))
+	raiseMax(&q.stats.maxPartitionPending, int64(len(p.txns)))
 	atoms := 0
 	for _, t := range p.txns {
 		for _, b := range t.Body {
@@ -359,9 +506,95 @@ func (q *QDB) noteHighWater(p *partition) {
 			}
 		}
 	}
-	if atoms > q.stats.MaxComposedAtoms {
-		q.stats.MaxComposedAtoms = atoms
+	raiseMax(&q.stats.maxComposed, int64(atoms))
+}
+
+// lockTxn resolves a pending transaction ID to its current partition and
+// position, with the shard locked. When the partition merged away,
+// drained, or re-homed the transaction between lookup and lock (a stale
+// acquire), it retries; ErrUnknownTxn when the transaction is gone.
+func (q *QDB) lockTxn(id int64) (*partition, int, error) {
+	for {
+		q.mu.Lock()
+		p := q.byTxn[id]
+		q.mu.Unlock()
+		if p == nil {
+			return nil, 0, fmt.Errorf("%w: %d", ErrUnknownTxn, id)
+		}
+		p.shard.Lock()
+		if p.shard.Alive() {
+			q.mu.Lock()
+			cur := q.byTxn[id]
+			q.mu.Unlock()
+			if cur == p {
+				for i, t := range p.txns {
+					if t.ID == id {
+						return p, i, nil
+					}
+				}
+			}
+			if cur == nil {
+				p.shard.Unlock()
+				return nil, 0, fmt.Errorf("%w: %d", ErrUnknownTxn, id)
+			}
+		}
+		p.shard.Unlock()
+		q.stats.lockWaits.Add(1)
+		runtime.Gosched()
 	}
+}
+
+// lockCandidates locks the live partitions that MIGHT contain an atom
+// unifiable with the given atoms (the index's sound superset), ascending
+// by ID, validating that no new candidate appeared between snapshot and
+// lock (admissions run concurrently here — unlike lockOverlapping, the
+// caller does not hold admitMu). Retries on a stale set.
+func (q *QDB) lockCandidates(atoms []logic.Atom) []*partition {
+	for {
+		snap := q.candidateSnapshot(atoms)
+		locked := snap[:0]
+		for _, p := range snap {
+			p.shard.Lock()
+			if !p.shard.Alive() {
+				p.shard.Unlock()
+				continue
+			}
+			locked = append(locked, p)
+		}
+		// Validate: every current candidate must be in the locked set.
+		ok := true
+		have := make(map[int64]bool, len(locked))
+		for _, p := range locked {
+			have[p.id()] = true
+		}
+		for _, p := range q.candidateSnapshot(atoms) {
+			if !have[p.id()] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return locked
+		}
+		unlockPartitions(locked)
+		q.stats.lockWaits.Add(1)
+		runtime.Gosched()
+	}
+}
+
+// candidateSnapshot resolves the index's candidate partitions under the
+// registry lock, ascending by ID.
+func (q *QDB) candidateSnapshot(atoms []logic.Atom) []*partition {
+	q.mu.Lock()
+	var out []*partition
+	for pid := range q.idx.candidates(atoms) {
+		if p := q.parts[pid]; p != nil {
+			out = append(out, p)
+		}
+	}
+	q.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id() < out[j].id() })
+	return out
 }
 
 // strip returns a copy of t without optional atoms: the admission

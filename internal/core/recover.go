@@ -164,7 +164,9 @@ func recoverOnto(initial *relstore.DB, checkpointPending []*txn.T, opt Options) 
 	if err != nil {
 		return nil, err
 	}
+	q.mu.Lock()
 	q.nextID = maxID + 1
+	q.mu.Unlock()
 
 	ids := make([]int64, 0, len(pending))
 	for id := range pending {
@@ -185,26 +187,33 @@ func recoverOnto(initial *relstore.DB, checkpointPending []*txn.T, opt Options) 
 // state is replayed exactly, so admission must succeed; failure indicates
 // a corrupted log or a wrong initial database.
 func (q *QDB) readmit(t *txn.T) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	overlapping := q.overlappingPartitions(t)
+	q.admitMu.Lock()
+	defer q.admitMu.Unlock()
+	overlapping := q.lockOverlapping(t)
 	merged := mergedTxns(overlapping, t)
+	q.storeMu.RLock()
 	sol, ok, err := formula.SolveChain(q.db, stripAll(merged), q.chainOpts(false))
+	q.storeMu.RUnlock()
 	if err != nil {
+		unlockPartitions(overlapping)
 		return err
 	}
 	if !ok {
+		unlockPartitions(overlapping)
 		return ErrInvariantBroken
 	}
-	p := q.mergePartitions(overlapping)
+	p := q.mergeLocked(overlapping)
 	p.txns = merged
 	if q.opt.DisableCache {
 		p.cached = nil
 	} else {
 		p.cached = sol.Groundings
 	}
+	q.mu.Lock()
 	q.byTxn[t.ID] = p
-	q.idx.add(t, p.id)
+	q.idx.add(t, p.id())
+	q.mu.Unlock()
 	q.noteHighWater(p)
+	p.shard.Unlock()
 	return nil
 }

@@ -1,7 +1,10 @@
 package core
 
+import "sync/atomic"
+
 // Stats exposes counters for the experiment harness; all are cumulative
-// since construction. Retrieved via QDB.Stats (a copy).
+// since construction. Retrieved via QDB.Stats (a consistent-enough copy:
+// each counter is read atomically, the set is not a snapshot).
 type Stats struct {
 	// Submitted counts resource transactions offered to Submit.
 	Submitted int
@@ -41,8 +44,70 @@ type Stats struct {
 	MaxComposedAtoms int
 	// PartitionMerges counts partition-merge events during admission.
 	PartitionMerges int
+	// ParallelSolves counts partition tasks executed on the scheduler's
+	// worker pool: GroundAll partition drains, read-collapse tasks, and
+	// blind-write validation solves.
+	ParallelSolves int
+	// LockWaits counts lock-order waits: stale shard acquisitions (the
+	// partition merged, drained, or re-homed its transactions between
+	// lookup and lock, forcing a retry) plus GroundAll TryLock skips of
+	// busy partitions.
+	LockWaits int
 	// SolverSteps accumulates grounding attempts across all
 	// satisfiability checks (the phase-transition experiment's effort
 	// metric).
 	SolverSteps int64
+}
+
+// counters is the engine-internal, concurrency-safe form of Stats. Every
+// field is updated atomically so the hot paths never serialize on a
+// statistics lock.
+type counters struct {
+	submitted, accepted, rejected, grounded      atomic.Int64
+	forcedByK, forcedByRead                      atomic.Int64
+	cacheHits, cacheMisses                       atomic.Int64
+	semanticReorders, semanticFallbacks          atomic.Int64
+	reads, writesAccepted, writesRejected        atomic.Int64
+	maxPending, maxPartitionPending, maxComposed atomic.Int64
+	partitionMerges, parallelSolves, lockWaits   atomic.Int64
+	// solverSteps is a plain int64 because its address is handed to the
+	// chain solver (formula.ChainOptions.StepCounter), which adds to it
+	// with sync/atomic.
+	solverSteps int64
+}
+
+// snapshot materializes the exported counter copy.
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Submitted:           int(c.submitted.Load()),
+		Accepted:            int(c.accepted.Load()),
+		Rejected:            int(c.rejected.Load()),
+		Grounded:            int(c.grounded.Load()),
+		ForcedByK:           int(c.forcedByK.Load()),
+		ForcedByRead:        int(c.forcedByRead.Load()),
+		CacheHits:           int(c.cacheHits.Load()),
+		CacheMisses:         int(c.cacheMisses.Load()),
+		SemanticReorders:    int(c.semanticReorders.Load()),
+		SemanticFallbacks:   int(c.semanticFallbacks.Load()),
+		Reads:               int(c.reads.Load()),
+		WritesAccepted:      int(c.writesAccepted.Load()),
+		WritesRejected:      int(c.writesRejected.Load()),
+		MaxPending:          int(c.maxPending.Load()),
+		MaxPartitionPending: int(c.maxPartitionPending.Load()),
+		MaxComposedAtoms:    int(c.maxComposed.Load()),
+		PartitionMerges:     int(c.partitionMerges.Load()),
+		ParallelSolves:      int(c.parallelSolves.Load()),
+		LockWaits:           int(c.lockWaits.Load()),
+		SolverSteps:         atomic.LoadInt64(&c.solverSteps),
+	}
+}
+
+// raiseMax lifts an atomic high-water mark to at least v.
+func raiseMax(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/logic"
 	"repro/internal/relstore"
@@ -73,7 +74,9 @@ type ChainOptions struct {
 	MaxSteps int
 	// StepCounter, when non-nil, is incremented by the number of
 	// grounding attempts the solve performed (satisfiability-effort
-	// accounting for the §6 phase-transition experiment).
+	// accounting for the §6 phase-transition experiment). The add is
+	// atomic: independent partitions solve concurrently and may share a
+	// counter.
 	StepCounter *int64
 	// skipFirst, when set, rejects candidate groundings of the first
 	// transaction (used by SolveChainVaryingFirst to enumerate distinct
@@ -237,7 +240,7 @@ func (c *chainSolver) run() ([]*ChainSolution, error) {
 	gs := make([]Grounding, 0, len(c.ts))
 	_, err := c.solveFrom(c.base, 0, &gs)
 	if c.opt.StepCounter != nil {
-		*c.opt.StepCounter += int64(c.steps)
+		atomic.AddInt64(c.opt.StepCounter, int64(c.steps))
 	}
 	if err != nil {
 		return nil, err

@@ -32,8 +32,10 @@ type Source interface {
 	// Contains reports whether the exact tuple is present.
 	Contains(rel string, tup value.Tuple) bool
 	// ContainsKey reports whether any row with the given primary-key
-	// string (as produced by Schema.keyOf) is present.
-	ContainsKey(rel string, key string) bool
+	// bytes (as produced by Schema.appendKeyOf) is present. The key is
+	// passed as bytes so callers can build it in a stack buffer without
+	// materializing a string per probe.
+	ContainsKey(rel string, key []byte) bool
 }
 
 // DB is an in-memory relational database: a catalog of keyed, hash-indexed
@@ -191,14 +193,15 @@ func (db *DB) Contains(rel string, tup value.Tuple) bool {
 }
 
 // ContainsKey implements Source.
-func (db *DB) ContainsKey(rel string, key string) bool {
+func (db *DB) ContainsKey(rel string, key []byte) bool {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	t, ok := db.tables[rel]
 	if !ok {
 		return false
 	}
-	_, present := t.rows[key]
+	// The map index expression converts without allocating.
+	_, present := t.pos[string(key)]
 	return present
 }
 

@@ -1,6 +1,7 @@
 package relstore
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/value"
@@ -12,15 +13,23 @@ import (
 // portion to an Overlay and evaluating the next body against it — this is
 // the "consistent grounding" of Definition 3.1 made operational.
 //
+// The delta is slice-backed: a chain-solver overlay holds the 1–2 facts of
+// one transaction's update portion, so linear probes over a small entry
+// slice beat a two-level map — and, unlike a map, they need no key-string
+// allocation per Insert/Delete (key bytes live in a reusable arena) and
+// iterate deterministically (insertion order).
+//
 // Overlays nest: the base of an Overlay may itself be an Overlay.
 type Overlay struct {
 	base Source
-	// added and deleted are keyed by relation, then by primary-key string.
-	// Both are nil until the first write: the chain solver speculatively
-	// creates overlays per candidate grounding and most are rejected
-	// before (or while) touching them, so eager allocation is pure waste.
-	added   map[string]map[string]value.Tuple
-	deleted map[string]map[string]value.Tuple
+	// adds and dels are the delta entries in insertion order. Their key
+	// bytes live in the keys arena (offsets, so arena growth is safe).
+	// All three are nil until the first write: the chain solver
+	// speculatively creates overlays per candidate grounding and most are
+	// rejected before (or while) touching them.
+	adds []deltaEntry
+	dels []deltaEntry
+	keys []byte
 
 	// Scan plumbing: base-scan callbacks must skip tombstoned rows and
 	// remember whether the consumer stopped. A closure per scan would
@@ -29,29 +38,55 @@ type Overlay struct {
 	// restored around nested scans of the same overlay. Overlays are not
 	// safe for concurrent use.
 	scanF       func(value.Tuple) bool
-	scanDead    map[string]value.Tuple
+	scanRel     string
+	scanDead    bool // any tombstones for scanRel
 	scanKey     []int
 	scanStopped bool
 	filterFn    func(value.Tuple) bool
 }
 
-// NewOverlay returns an empty delta view over base. The delta maps are
-// allocated lazily on first write.
+// deltaEntry is one virtual insert or tombstone: the relation, the
+// primary-key bytes (an arena span), and the tuple.
+type deltaEntry struct {
+	rel      string
+	off, end int
+	tup      value.Tuple
+}
+
+// NewOverlay returns an empty delta view over base.
 func NewOverlay(base Source) *Overlay {
 	return &Overlay{base: base}
 }
 
 // Reset rebinds the overlay to base and clears the delta, retaining the
-// allocated maps. Pooled overlays (the chain solver keeps a free list)
-// are Reset instead of reallocated per candidate grounding.
+// allocated backing arrays. Pooled overlays (the chain solver keeps a
+// free list) are Reset instead of reallocated per candidate grounding.
 func (o *Overlay) Reset(base Source) {
 	o.base = base
-	for _, m := range o.added {
-		clear(m)
+	o.adds = o.adds[:0]
+	o.dels = o.dels[:0]
+	o.keys = o.keys[:0]
+}
+
+// entryKey returns the arena span of e's primary key.
+func (o *Overlay) entryKey(e *deltaEntry) []byte { return o.keys[e.off:e.end] }
+
+// findEntry returns the index in entries of the (rel, key) entry, or -1.
+func (o *Overlay) findEntry(entries []deltaEntry, rel string, key []byte) int {
+	for i := range entries {
+		e := &entries[i]
+		if e.rel == rel && bytes.Equal(o.keys[e.off:e.end], key) {
+			return i
+		}
 	}
-	for _, m := range o.deleted {
-		clear(m)
-	}
+	return -1
+}
+
+// appendEntry records (rel, key, tup), copying the key into the arena.
+func (o *Overlay) appendEntry(entries []deltaEntry, rel string, key []byte, tup value.Tuple) []deltaEntry {
+	off := len(o.keys)
+	o.keys = append(o.keys, key...)
+	return append(entries, deltaEntry{rel: rel, off: off, end: len(o.keys), tup: tup})
 }
 
 // Insert records a virtual insert. It fails if the key is already present
@@ -67,48 +102,30 @@ func (o *Overlay) Insert(rel string, tup value.Tuple) error {
 		return fmt.Errorf("relstore: overlay %s: arity mismatch for %v", rel, tup)
 	}
 	var kb [64]byte
-	k := string(sch.appendKeyOf(kb[:0], tup))
-	if _, dead := o.deleted[rel][k]; dead {
+	k := sch.appendKeyOf(kb[:0], tup)
+	if o.findEntry(o.dels, rel, k) >= 0 {
 		// Reinsertion after delete: the tombstone stays — it still
 		// suppresses the base row, which may differ from tup in non-key
 		// columns — and the new tuple is recorded as an add.
-		if cur := o.added[rel][k]; cur != nil {
+		if o.findEntry(o.adds, rel, k) >= 0 {
 			return fmt.Errorf("relstore: overlay %s: duplicate key for %v", rel, tup)
 		}
-		o.add(rel, k, tup)
+		o.adds = o.appendEntry(o.adds, rel, k, tup)
 		return nil
 	}
-	if o.keyPresent(rel, k) {
+	if o.ContainsKey(rel, k) {
 		return fmt.Errorf("relstore: overlay %s: duplicate key for %v", rel, tup)
 	}
-	o.add(rel, k, tup)
+	o.adds = o.appendEntry(o.adds, rel, k, tup)
 	return nil
 }
 
-func (o *Overlay) add(rel, k string, tup value.Tuple) {
-	if o.added == nil {
-		o.added = make(map[string]map[string]value.Tuple)
-	}
-	m := o.added[rel]
-	if m == nil {
-		m = make(map[string]value.Tuple)
-		o.added[rel] = m
-	}
-	m[k] = tup
-}
-
-// keyPresent reports whether any live row with the given primary key
-// exists in the overlay view.
-func (o *Overlay) keyPresent(rel, k string) bool {
-	return o.ContainsKey(rel, k)
-}
-
 // ContainsKey implements Source.
-func (o *Overlay) ContainsKey(rel string, key string) bool {
-	if _, ok := o.added[rel][key]; ok {
+func (o *Overlay) ContainsKey(rel string, key []byte) bool {
+	if o.findEntry(o.adds, rel, key) >= 0 {
 		return true
 	}
-	if _, dead := o.deleted[rel][key]; dead {
+	if o.findEntry(o.dels, rel, key) >= 0 {
 		return false
 	}
 	return o.base.ContainsKey(rel, key)
@@ -122,29 +139,22 @@ func (o *Overlay) Delete(rel string, tup value.Tuple) error {
 		return fmt.Errorf("relstore: overlay delete from unknown relation %s", rel)
 	}
 	var kb [64]byte
-	k := string(sch.appendKeyOf(kb[:0], tup))
-	if cur, ok := o.added[rel][k]; ok {
-		if !cur.Equal(tup) {
-			return fmt.Errorf("relstore: overlay %s: delete %v does not match %v", rel, tup, cur)
+	k := sch.appendKeyOf(kb[:0], tup)
+	if i := o.findEntry(o.adds, rel, k); i >= 0 {
+		if !o.adds[i].tup.Equal(tup) {
+			return fmt.Errorf("relstore: overlay %s: delete %v does not match %v", rel, tup, o.adds[i].tup)
 		}
-		delete(o.added[rel], k)
+		// Ordered removal keeps the remaining adds in insertion order.
+		o.adds = append(o.adds[:i], o.adds[i+1:]...)
 		return nil
 	}
-	if _, dead := o.deleted[rel][k]; dead {
+	if o.findEntry(o.dels, rel, k) >= 0 {
 		return fmt.Errorf("relstore: overlay %s: double delete of %v", rel, tup)
 	}
 	if !o.base.Contains(rel, tup) {
 		return fmt.Errorf("relstore: overlay %s: delete of absent tuple %v", rel, tup)
 	}
-	if o.deleted == nil {
-		o.deleted = make(map[string]map[string]value.Tuple)
-	}
-	m := o.deleted[rel]
-	if m == nil {
-		m = make(map[string]value.Tuple)
-		o.deleted[rel] = m
-	}
-	m[k] = tup
+	o.dels = o.appendEntry(o.dels, rel, k, tup)
 	return nil
 }
 
@@ -168,47 +178,20 @@ func (o *Overlay) ApplyFacts(inserts, deletes []GroundFact) error {
 // Clone returns an independent copy of the delta (sharing the base).
 func (o *Overlay) Clone() *Overlay {
 	c := NewOverlay(o.base)
-	for rel, m := range o.added {
-		if len(m) == 0 {
-			continue
-		}
-		if c.added == nil {
-			c.added = make(map[string]map[string]value.Tuple, len(o.added))
-		}
-		cm := make(map[string]value.Tuple, len(m))
-		for k, t := range m {
-			cm[k] = t
-		}
-		c.added[rel] = cm
-	}
-	for rel, m := range o.deleted {
-		if len(m) == 0 {
-			continue
-		}
-		if c.deleted == nil {
-			c.deleted = make(map[string]map[string]value.Tuple, len(o.deleted))
-		}
-		cm := make(map[string]value.Tuple, len(m))
-		for k, t := range m {
-			cm[k] = t
-		}
-		c.deleted[rel] = cm
-	}
+	c.adds = append([]deltaEntry(nil), o.adds...)
+	c.dels = append([]deltaEntry(nil), o.dels...)
+	c.keys = append([]byte(nil), o.keys...)
 	return c
 }
 
-// Facts returns the delta as insert and delete fact lists, for flushing an
-// accepted grounding into the base DB.
+// Facts returns the delta as insert and delete fact lists, in insertion
+// order, for flushing an accepted grounding into the base DB.
 func (o *Overlay) Facts() (inserts, deletes []GroundFact) {
-	for rel, m := range o.added {
-		for _, t := range m {
-			inserts = append(inserts, GroundFact{Rel: rel, Tuple: t.Clone()})
-		}
+	for i := range o.adds {
+		inserts = append(inserts, GroundFact{Rel: o.adds[i].rel, Tuple: o.adds[i].tup.Clone()})
 	}
-	for rel, m := range o.deleted {
-		for _, t := range m {
-			deletes = append(deletes, GroundFact{Rel: rel, Tuple: t.Clone()})
-		}
+	for i := range o.dels {
+		deletes = append(deletes, GroundFact{Rel: o.dels[i].rel, Tuple: o.dels[i].tup.Clone()})
 	}
 	return inserts, deletes
 }
@@ -216,16 +199,27 @@ func (o *Overlay) Facts() (inserts, deletes []GroundFact) {
 // SchemaOf implements Source.
 func (o *Overlay) SchemaOf(rel string) (Schema, bool) { return o.base.SchemaOf(rel) }
 
+// countRel counts delta entries for rel.
+func countRel(entries []deltaEntry, rel string) int {
+	n := 0
+	for i := range entries {
+		if entries[i].rel == rel {
+			n++
+		}
+	}
+	return n
+}
+
 // Len implements Source.
 func (o *Overlay) Len(rel string) int {
-	return o.base.Len(rel) + len(o.added[rel]) - len(o.deleted[rel])
+	return o.base.Len(rel) + countRel(o.adds, rel) - countRel(o.dels, rel)
 }
 
 // filterTuple is the shared base-scan callback; see the field comment.
 func (o *Overlay) filterTuple(t value.Tuple) bool {
-	if o.scanDead != nil {
+	if o.scanDead {
 		var kb [64]byte
-		if _, d := o.scanDead[string(t.AppendKey(kb[:0], o.scanKey))]; d {
+		if o.findEntry(o.dels, o.scanRel, t.AppendKey(kb[:0], o.scanKey)) >= 0 {
 			return true
 		}
 	}
@@ -240,59 +234,59 @@ func (o *Overlay) filterTuple(t value.Tuple) bool {
 // state, which endScan restores (scans nest when a query enumerates one
 // atom while scanning another against the same overlay). The relation's
 // schema is returned so callers need not look it up again.
-func (o *Overlay) beginScan(rel string, f func(value.Tuple) bool) (prevF func(value.Tuple) bool, prevDead map[string]value.Tuple, prevKey []int, prevStopped bool, sch Schema, ok bool) {
+func (o *Overlay) beginScan(rel string, f func(value.Tuple) bool) (prevF func(value.Tuple) bool, prevRel string, prevKey []int, prevStopped bool, sch Schema, ok bool) {
 	sch, schOK := o.base.SchemaOf(rel)
 	if !schOK {
-		return nil, nil, nil, false, Schema{}, false
+		return nil, "", nil, false, Schema{}, false
 	}
 	if o.filterFn == nil {
 		o.filterFn = o.filterTuple
 	}
-	dead := o.deleted[rel]
-	if len(dead) == 0 {
-		dead = nil // pooled overlays retain cleared maps; skip the filter
-	}
-	prevF, prevDead, prevKey, prevStopped = o.scanF, o.scanDead, o.scanKey, o.scanStopped
-	o.scanF, o.scanDead, o.scanKey, o.scanStopped = f, dead, sch.Key, false
-	return prevF, prevDead, prevKey, prevStopped, sch, true
+	prevF, prevRel, prevKey, prevStopped = o.scanF, o.scanRel, o.scanKey, o.scanStopped
+	o.scanF, o.scanRel, o.scanKey, o.scanStopped = f, rel, sch.Key, false
+	o.scanDead = countRel(o.dels, rel) > 0
+	return prevF, prevRel, prevKey, prevStopped, sch, true
 }
 
-func (o *Overlay) endScan(prevF func(value.Tuple) bool, prevDead map[string]value.Tuple, prevKey []int, prevStopped bool) (stopped bool) {
+func (o *Overlay) endScan(prevF func(value.Tuple) bool, prevRel string, prevKey []int, prevStopped bool) (stopped bool) {
 	stopped = o.scanStopped
-	o.scanF, o.scanDead, o.scanKey, o.scanStopped = prevF, prevDead, prevKey, prevStopped
+	o.scanF, o.scanRel, o.scanKey, o.scanStopped = prevF, prevRel, prevKey, prevStopped
+	o.scanDead = prevRel != "" && countRel(o.dels, prevRel) > 0
 	return stopped
 }
 
 // Scan implements Source: base rows minus tombstones, plus added rows.
 func (o *Overlay) Scan(rel string, f func(value.Tuple) bool) {
-	pf, pd, pk, ps, _, ok := o.beginScan(rel, f)
+	pf, pr, pk, ps, _, ok := o.beginScan(rel, f)
 	if !ok {
 		return
 	}
 	o.base.Scan(rel, o.filterFn)
-	if o.endScan(pf, pd, pk, ps) {
+	if o.endScan(pf, pr, pk, ps) {
 		return
 	}
-	for _, t := range o.added[rel] {
-		if !f(t) {
-			return
+	for i := range o.adds {
+		if o.adds[i].rel == rel {
+			if !f(o.adds[i].tup) {
+				return
+			}
 		}
 	}
 }
 
 // IndexScan implements Source.
 func (o *Overlay) IndexScan(rel string, col int, v value.Value, f func(value.Tuple) bool) {
-	pf, pd, pk, ps, _, ok := o.beginScan(rel, f)
+	pf, pr, pk, ps, _, ok := o.beginScan(rel, f)
 	if !ok {
 		return
 	}
 	o.base.IndexScan(rel, col, v, o.filterFn)
-	if o.endScan(pf, pd, pk, ps) {
+	if o.endScan(pf, pr, pk, ps) {
 		return
 	}
-	for _, t := range o.added[rel] {
-		if t[col] == v {
-			if !f(t) {
+	for i := range o.adds {
+		if o.adds[i].rel == rel && o.adds[i].tup[col] == v {
+			if !f(o.adds[i].tup) {
 				return
 			}
 		}
@@ -303,8 +297,8 @@ func (o *Overlay) IndexScan(rel string, col int, v value.Value, f func(value.Tup
 // only for join planning: tombstones are not subtracted (they are few).
 func (o *Overlay) IndexCount(rel string, col int, v value.Value) int {
 	n := o.base.IndexCount(rel, col, v)
-	for _, t := range o.added[rel] {
-		if t[col] == v {
+	for i := range o.adds {
+		if o.adds[i].rel == rel && o.adds[i].tup[col] == v {
 			n++
 		}
 	}
@@ -313,23 +307,26 @@ func (o *Overlay) IndexCount(rel string, col int, v value.Value) int {
 
 // CompositeScan implements Source.
 func (o *Overlay) CompositeScan(rel string, ix int, key string, f func(value.Tuple) bool) {
-	pf, pd, pk, ps, sch, ok := o.beginScan(rel, f)
+	pf, pr, pk, ps, sch, ok := o.beginScan(rel, f)
 	if !ok {
 		return
 	}
 	if ix >= len(sch.Indexes) {
-		o.endScan(pf, pd, pk, ps)
+		o.endScan(pf, pr, pk, ps)
 		return
 	}
 	cols := sch.Indexes[ix]
 	o.base.CompositeScan(rel, ix, key, o.filterFn)
-	if o.endScan(pf, pd, pk, ps) {
+	if o.endScan(pf, pr, pk, ps) {
 		return
 	}
-	for _, t := range o.added[rel] {
+	for i := range o.adds {
+		if o.adds[i].rel != rel {
+			continue
+		}
 		var kb [64]byte
-		if string(t.AppendKey(kb[:0], cols)) == key {
-			if !f(t) {
+		if string(o.adds[i].tup.AppendKey(kb[:0], cols)) == key {
+			if !f(o.adds[i].tup) {
 				return
 			}
 		}
@@ -344,9 +341,12 @@ func (o *Overlay) CompositeCount(rel string, ix int, key string) int {
 		return n
 	}
 	cols := sch.Indexes[ix]
-	for _, t := range o.added[rel] {
+	for i := range o.adds {
+		if o.adds[i].rel != rel {
+			continue
+		}
 		var kb [64]byte
-		if string(t.AppendKey(kb[:0], cols)) == key {
+		if string(o.adds[i].tup.AppendKey(kb[:0], cols)) == key {
 			n++
 		}
 	}
@@ -361,10 +361,10 @@ func (o *Overlay) Contains(rel string, tup value.Tuple) bool {
 	}
 	var kb [64]byte
 	k := sch.appendKeyOf(kb[:0], tup)
-	if cur, ok := o.added[rel][string(k)]; ok {
-		return cur.Equal(tup)
+	if i := o.findEntry(o.adds, rel, k); i >= 0 {
+		return o.adds[i].tup.Equal(tup)
 	}
-	if _, dead := o.deleted[rel][string(k)]; dead {
+	if o.findEntry(o.dels, rel, k) >= 0 {
 		return false
 	}
 	return o.base.Contains(rel, tup)

@@ -49,9 +49,9 @@ func (db *DB) EncodeSnapshot(w io.Writer) error {
 			writeIntSlice(bw, ix)
 		}
 		writeUvarint(bw, uint64(len(t.rows)))
-		for _, row := range t.rows {
+		for i := range t.rows {
 			var buf []byte
-			for _, v := range row {
+			for _, v := range t.rows[i].tup {
 				buf = v.AppendBinary(buf)
 			}
 			writeUvarint(bw, uint64(len(buf)))

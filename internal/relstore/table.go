@@ -6,32 +6,80 @@ import (
 	"repro/internal/value"
 )
 
-// table is the physical storage of one relation: a primary hash index from
-// key string to tuple, plus one secondary hash index per column mapping a
-// column value to the set of row keys carrying it.
+// table is the physical storage of one relation: insertion-ordered rows
+// (so scans enumerate candidates deterministically instead of in Go map
+// order — grounding choice and the IS baseline's seat choice both follow
+// scan order, and experiment runs must be reproducible), a primary hash
+// index from key string to row position, plus one ordered secondary hash
+// index per column mapping a column value to the set of row keys carrying
+// it.
 type table struct {
 	schema Schema
-	rows   map[string]value.Tuple
+	// rows holds the live tuples with their primary keys, insertion-
+	// ordered; deleteTuple swap-removes, so the order is a deterministic
+	// function of the operation history (never of map iteration).
+	rows []rowEntry
+	// pos maps a primary-key string to the tuple's position in rows.
+	pos map[string]int
 	// index[c] maps the binary key of the value in column c to the primary
 	// keys of rows holding it.
-	index []map[string]map[string]struct{}
+	index []map[string]*keySet
 	// comp[i] is the composite index for schema.Indexes[i], mapping the
 	// projection key of the indexed columns to row keys.
-	comp []map[string]map[string]struct{}
+	comp []map[string]*keySet
 }
+
+type rowEntry struct {
+	key string
+	tup value.Tuple
+}
+
+// keySet is an insertion-ordered set of row keys with O(1) add and
+// swap-remove. Iterating keys is deterministic given the operation
+// history, unlike ranging over a map.
+type keySet struct {
+	pos  map[string]int
+	keys []string
+}
+
+func newKeySet() *keySet { return &keySet{pos: make(map[string]int)} }
+
+func (s *keySet) add(k string) {
+	if _, ok := s.pos[k]; ok {
+		return
+	}
+	s.pos[k] = len(s.keys)
+	s.keys = append(s.keys, k)
+}
+
+func (s *keySet) remove(k string) {
+	i, ok := s.pos[k]
+	if !ok {
+		return
+	}
+	last := len(s.keys) - 1
+	if i != last {
+		s.keys[i] = s.keys[last]
+		s.pos[s.keys[i]] = i
+	}
+	s.keys = s.keys[:last]
+	delete(s.pos, k)
+}
+
+func (s *keySet) len() int { return len(s.keys) }
 
 func newTable(s Schema) *table {
 	t := &table{
 		schema: s,
-		rows:   make(map[string]value.Tuple),
-		index:  make([]map[string]map[string]struct{}, s.Arity()),
-		comp:   make([]map[string]map[string]struct{}, len(s.Indexes)),
+		pos:    make(map[string]int),
+		index:  make([]map[string]*keySet, s.Arity()),
+		comp:   make([]map[string]*keySet, len(s.Indexes)),
 	}
 	for i := range t.index {
-		t.index[i] = make(map[string]map[string]struct{})
+		t.index[i] = make(map[string]*keySet)
 	}
 	for i := range t.comp {
-		t.comp[i] = make(map[string]map[string]struct{})
+		t.comp[i] = make(map[string]*keySet)
 	}
 	return t
 }
@@ -42,11 +90,12 @@ func (t *table) insert(tup value.Tuple) error {
 			t.schema.Name, len(tup), t.schema.Arity())
 	}
 	k := t.schema.keyOf(tup)
-	if _, exists := t.rows[k]; exists {
+	if _, exists := t.pos[k]; exists {
 		return fmt.Errorf("relstore: %s: duplicate key for %v", t.schema.Name, tup)
 	}
 	tup = tup.Clone()
-	t.rows[k] = tup
+	t.pos[k] = len(t.rows)
+	t.rows = append(t.rows, rowEntry{key: k, tup: tup})
 	// Bucket keys are only materialized as strings when a bucket is first
 	// created; existing buckets are found via the stack buffer.
 	var kb [64]byte
@@ -54,19 +103,19 @@ func (t *table) insert(tup value.Tuple) error {
 		ck := v.AppendBinary(kb[:0])
 		set := t.index[c][string(ck)]
 		if set == nil {
-			set = make(map[string]struct{})
+			set = newKeySet()
 			t.index[c][string(ck)] = set
 		}
-		set[k] = struct{}{}
+		set.add(k)
 	}
 	for i, cols := range t.schema.Indexes {
 		ck := tup.AppendKey(kb[:0], cols)
 		set := t.comp[i][string(ck)]
 		if set == nil {
-			set = make(map[string]struct{})
+			set = newKeySet()
 			t.comp[i][string(ck)] = set
 		}
-		set[k] = struct{}{}
+		set.add(k)
 	}
 	return nil
 }
@@ -75,21 +124,29 @@ func (t *table) insert(tup value.Tuple) error {
 // must also match, mirroring DELETE of a specific row.
 func (t *table) deleteTuple(tup value.Tuple) error {
 	k := t.schema.keyOf(tup)
-	cur, ok := t.rows[k]
+	i, ok := t.pos[k]
 	if !ok {
 		return fmt.Errorf("relstore: %s: delete of absent tuple %v", t.schema.Name, tup)
 	}
+	cur := t.rows[i].tup
 	if !cur.Equal(tup) {
 		return fmt.Errorf("relstore: %s: delete of %v does not match stored %v",
 			t.schema.Name, tup, cur)
 	}
-	delete(t.rows, k)
+	last := len(t.rows) - 1
+	if i != last {
+		t.rows[i] = t.rows[last]
+		t.pos[t.rows[i].key] = i
+	}
+	t.rows[last] = rowEntry{}
+	t.rows = t.rows[:last]
+	delete(t.pos, k)
 	var kb [64]byte
 	for c, v := range cur {
 		ck := v.AppendBinary(kb[:0])
 		if set := t.index[c][string(ck)]; set != nil {
-			delete(set, k)
-			if len(set) == 0 {
+			set.remove(k)
+			if set.len() == 0 {
 				delete(t.index[c], string(ck))
 			}
 		}
@@ -97,8 +154,8 @@ func (t *table) deleteTuple(tup value.Tuple) error {
 	for i, cols := range t.schema.Indexes {
 		ck := cur.AppendKey(kb[:0], cols)
 		if set := t.comp[i][string(ck)]; set != nil {
-			delete(set, k)
-			if len(set) == 0 {
+			set.remove(k)
+			if set.len() == 0 {
 				delete(t.comp[i], string(ck))
 			}
 		}
@@ -110,13 +167,13 @@ func (t *table) contains(tup value.Tuple) bool {
 	// Containment probes run once per fully-ground candidate atom in the
 	// query evaluator; the stack buffer keeps them allocation-free.
 	var kb [64]byte
-	cur, ok := t.rows[string(tup.AppendKey(kb[:0], t.schema.Key))]
-	return ok && cur.Equal(tup)
+	i, ok := t.pos[string(tup.AppendKey(kb[:0], t.schema.Key))]
+	return ok && t.rows[i].tup.Equal(tup)
 }
 
 func (t *table) scan(f func(value.Tuple) bool) {
-	for _, tup := range t.rows {
-		if !f(tup) {
+	for i := range t.rows {
+		if !f(t.rows[i].tup) {
 			return
 		}
 	}
@@ -125,8 +182,11 @@ func (t *table) scan(f func(value.Tuple) bool) {
 func (t *table) indexScan(col int, v value.Value, f func(value.Tuple) bool) {
 	var kb [64]byte
 	set := t.index[col][string(v.AppendBinary(kb[:0]))]
-	for k := range set {
-		if !f(t.rows[k]) {
+	if set == nil {
+		return
+	}
+	for _, k := range set.keys {
+		if !f(t.rows[t.pos[k]].tup) {
 			return
 		}
 	}
@@ -136,26 +196,36 @@ func (t *table) indexScan(col int, v value.Value, f func(value.Tuple) bool) {
 // column per remaining atom at every join level, so it must not allocate.
 func (t *table) indexCount(col int, v value.Value) int {
 	var kb [64]byte
-	return len(t.index[col][string(v.AppendBinary(kb[:0]))])
+	if set := t.index[col][string(v.AppendBinary(kb[:0]))]; set != nil {
+		return set.len()
+	}
+	return 0
 }
 
 func (t *table) compScan(ix int, key string, f func(value.Tuple) bool) {
-	for k := range t.comp[ix][key] {
-		if !f(t.rows[k]) {
+	set := t.comp[ix][key]
+	if set == nil {
+		return
+	}
+	for _, k := range set.keys {
+		if !f(t.rows[t.pos[k]].tup) {
 			return
 		}
 	}
 }
 
 func (t *table) compCount(ix int, key string) int {
-	return len(t.comp[ix][key])
+	if set := t.comp[ix][key]; set != nil {
+		return set.len()
+	}
+	return 0
 }
 
 func (t *table) clone() *table {
 	c := newTable(t.schema)
-	for _, tup := range t.rows {
+	for i := range t.rows {
 		// insert cannot fail when copying a consistent table.
-		if err := c.insert(tup); err != nil {
+		if err := c.insert(t.rows[i].tup); err != nil {
 			panic("relstore: clone: " + err.Error())
 		}
 	}

@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool bounds the engine's grounding parallelism: Map fans a batch of
+// tasks out to at most Workers concurrent goroutines, with the bound
+// shared across concurrent Map calls (a global semaphore, not a per-call
+// one), so a server dispatching many clients cannot oversubscribe the
+// machine. A Pool has no background goroutines and needs no Close.
+type Pool struct {
+	workers int
+	sem     chan struct{}
+}
+
+// NewPool returns a pool of the given width. workers == 0 means
+// GOMAXPROCS (use the machine); workers < 0 is clamped to 1 (fully
+// serial — every Map runs inline on the caller's goroutine).
+func NewPool(workers int) *Pool {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the configured parallelism bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs f(0) … f(n-1), at most Workers at a time — the bound holds
+// across concurrent Map calls, including the inline path — and returns
+// the first error (all tasks run to completion regardless; there is no
+// cancellation). With a single worker — or a single task — tasks run
+// inline on the caller's goroutine, so serial configurations behave
+// exactly like a plain loop (still one semaphore slot per task, so many
+// callers each collapsing one partition cannot oversubscribe the
+// machine).
+//
+// Tasks must follow the shard rule in the package comment: never
+// block-acquire a Shard from inside a task. Blocking on a slot while
+// HOLDING shards (as the inline path may) is safe precisely because
+// slot holders never block on shards: every held slot drains.
+func (p *Pool) Map(n int, f func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p.workers == 1 || n == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			p.sem <- struct{}{}
+			err := f(i)
+			<-p.sem
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for i := 0; i < n; i++ {
+		p.sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				<-p.sem
+				wg.Done()
+			}()
+			if err := f(i); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return first
+}

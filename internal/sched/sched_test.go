@@ -1,0 +1,161 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLockOrderedDedupsAndSorts(t *testing.T) {
+	a, b, c := NewShard(3), NewShard(1), NewShard(2)
+	locked := LockOrdered([]*Shard{a, b, a, c, b})
+	if len(locked) != 3 {
+		t.Fatalf("locked %d shards, want 3", len(locked))
+	}
+	for i := 1; i < len(locked); i++ {
+		if locked[i-1].ID() >= locked[i].ID() {
+			t.Fatalf("lock order not ascending: %d before %d", locked[i-1].ID(), locked[i].ID())
+		}
+	}
+	// All actually held: TryLock must fail.
+	for _, s := range locked {
+		if s.TryLock() {
+			t.Fatalf("shard %d not held after LockOrdered", s.ID())
+		}
+	}
+	UnlockAll(locked)
+	for _, s := range locked {
+		if !s.TryLock() {
+			t.Fatalf("shard %d still held after UnlockAll", s.ID())
+		}
+		s.Unlock()
+	}
+}
+
+func TestLockOrderedNoDeadlockUnderContention(t *testing.T) {
+	shards := make([]*Shard, 8)
+	for i := range shards {
+		shards[i] = NewShard(int64(i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				// Overlapping subsets in clashing textual orders.
+				set := []*Shard{shards[(g+iter)%8], shards[(g*3+iter)%8], shards[(iter*5+g)%8]}
+				locked := LockOrdered(set)
+				UnlockAll(locked)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestShardRetire(t *testing.T) {
+	s := NewShard(7)
+	s.Lock()
+	if !s.Alive() {
+		t.Fatal("fresh shard not alive")
+	}
+	s.Retire()
+	if s.Alive() {
+		t.Fatal("retired shard still alive")
+	}
+	s.Unlock()
+}
+
+func TestPoolMapRunsAllAndBounds(t *testing.T) {
+	p := NewPool(4)
+	var running, peak, total atomic.Int64
+	err := p.Map(100, func(i int) error {
+		cur := running.Add(1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		total.Add(1)
+		running.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", total.Load())
+	}
+	if peak.Load() > 4 {
+		t.Fatalf("observed %d concurrent tasks, bound is 4", peak.Load())
+	}
+}
+
+func TestPoolMapReturnsFirstErrorButRunsAll(t *testing.T) {
+	p := NewPool(2)
+	boom := errors.New("boom")
+	var total atomic.Int64
+	err := p.Map(10, func(i int) error {
+		total.Add(1)
+		if i%2 == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if total.Load() != 10 {
+		t.Fatalf("ran %d tasks, want 10 (no cancellation)", total.Load())
+	}
+}
+
+func TestPoolSerialRunsInline(t *testing.T) {
+	p := NewPool(-1)
+	if p.Workers() != 1 {
+		t.Fatalf("workers = %d, want 1", p.Workers())
+	}
+	order := make([]int, 0, 5)
+	if err := p.Map(5, func(i int) error {
+		order = append(order, i) // safe only if inline
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial pool ran out of order: %v", order)
+		}
+	}
+}
+
+func TestPoolSharedBoundAcrossConcurrentMaps(t *testing.T) {
+	p := NewPool(3)
+	var running, peak atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Map(20, func(int) error {
+				cur := running.Add(1)
+				for {
+					old := peak.Load()
+					if cur <= old || peak.CompareAndSwap(old, cur) {
+						break
+					}
+				}
+				running.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	// Each Map's dispatching goroutine also runs nothing itself; the
+	// global semaphore caps combined concurrency at 3.
+	if peak.Load() > 3 {
+		t.Fatalf("observed %d concurrent tasks across Maps, bound is 3", peak.Load())
+	}
+}

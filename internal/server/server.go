@@ -8,6 +8,14 @@
 // line. See Request and Response for the schema. The protocol is
 // deliberately plain so that non-Go clients can speak it with any JSON
 // library.
+//
+// Requests from different connections dispatch concurrently: the engine
+// is sharded by partition (each Submit/Ground/Read/Write acquires only
+// the partitions it touches), the coordinator's registry has its own
+// lock, and GroundAll and read collapse fan out over the engine's worker
+// pool (quantumdb.Options.Workers, the -workers flag on qdbd). Within
+// one connection, requests are processed in order — the JSON-lines
+// protocol has no request IDs, so responses must match request order.
 package server
 
 import (
@@ -15,7 +23,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
-	"sync"
 
 	quantumdb "repro"
 )
@@ -61,11 +68,10 @@ type Response struct {
 }
 
 // Server serves one quantum database to many connections. Engine calls
-// are already serialized by the QDB's internal lock; the coordinator's
-// registry gets its own.
+// synchronize internally per partition; the coordinator is safe for
+// concurrent use, so no server-level lock serializes dispatch.
 type Server struct {
 	db *quantumdb.DB
-	mu sync.Mutex // guards co
 	co *quantumdb.Coordinator
 }
 
@@ -129,9 +135,7 @@ func (s *Server) dispatch(req Request) Response {
 		}
 		return Response{OK: true, ID: id, Pending: s.db.Pending()}
 	case "etxn":
-		s.mu.Lock()
 		id, err := s.co.Submit(req.Txn, req.Tag, req.Partner)
-		s.mu.Unlock()
 		if err != nil {
 			return fail(err)
 		}

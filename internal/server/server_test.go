@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -152,8 +153,6 @@ func TestServerConcurrentClients(t *testing.T) {
 	if err := c0.Exec("+Available(1, '2A'), +Available(1, '2B'), +Available(1, '2C')"); err != nil {
 		t.Fatal(err)
 	}
-	addr := "" // reconstruct below via extra dials on the same server
-	_ = addr
 	var wg sync.WaitGroup
 	errs := make(chan error, 6)
 	for i := 0; i < 6; i++ {
@@ -181,5 +180,109 @@ func TestServerConcurrentClients(t *testing.T) {
 	rows, err := c0.Query("Bookings(n, 1, s)")
 	if err != nil || len(rows) != 6 {
 		t.Fatalf("bookings = %d err=%v", len(rows), err)
+	}
+}
+
+// startServerAddr is startServer exposing the listen address so tests can
+// open several independent connections.
+func startServerAddr(t *testing.T) (string, *quantumdb.DB) {
+	t.Helper()
+	db, err := quantumdb.Open(quantumdb.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go New(db).Serve(l)
+	return l.Addr().String(), db
+}
+
+// TestServerParallelConnections drives the server from many independent
+// TCP connections at once — mixed submits, entangled submits, reads, and
+// writes across several flights (= partitions) — and checks the final
+// state. Requests from different connections dispatch concurrently on the
+// sharded engine; run with -race.
+func TestServerParallelConnections(t *testing.T) {
+	addr, db := startServerAddr(t)
+	c0, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c0.Close() })
+	seatSchema(t, c0)
+	// Three more flights so clients spread over independent partitions.
+	for f := 2; f <= 4; f++ {
+		facts := fmt.Sprintf("+Available(%d, '1A'), +Available(%d, '1B'), +Available(%d, '1C')", f, f, f)
+		if err := c0.Exec(facts); err != nil {
+			t.Fatal(err)
+		}
+		adj := fmt.Sprintf("+Adjacent(%d, '1A', '1B'), +Adjacent(%d, '1B', '1A'), +Adjacent(%d, '1B', '1C'), +Adjacent(%d, '1C', '1B')", f, f, f, f)
+		if err := c0.Exec(adj); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients*4)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			f := i%4 + 1
+			user := fmt.Sprintf("p%d", i)
+			txn := fmt.Sprintf("-Available(%d, s), +Bookings('%s', %d, s) :-1 Available(%d, s)", f, user, f, f)
+			if i%2 == 0 {
+				if _, err := c.Submit(txn); err != nil {
+					errCh <- err
+					return
+				}
+			} else {
+				partner := fmt.Sprintf("p%d", i-1)
+				etxn := fmt.Sprintf(
+					"-Available(%d, s), +Bookings('%s', %d, s) :-1 Available(%d, s), ?Bookings('%s', %d, m), ?Adjacent(%d, s, m)",
+					f, user, f, f, partner, f, f)
+				if _, err := c.SubmitEntangled(etxn, user, partner); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			// Interleave reads (collapsing) and previews on the same flight.
+			if _, err := c.Query(fmt.Sprintf("Bookings('%s', %d, s)", user, f)); err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := c.Preview(fmt.Sprintf("Bookings(n, %d, s)", f)); err != nil {
+				errCh <- err
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c0.GroundAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.Pending(); n != 0 {
+		t.Fatalf("pending = %d", n)
+	}
+	rows, err := c0.Query("Bookings(n, f, s)")
+	if err != nil || len(rows) != clients {
+		t.Fatalf("bookings = %d err=%v, want %d", len(rows), err, clients)
 	}
 }

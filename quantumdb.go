@@ -61,6 +61,44 @@
 // and watch allocs/op on BenchmarkFig7, the grounding-heavy workload
 // (the trail-based engine landed at less than half the allocs/op of the
 // map-based evaluator with a ~20% ns/op improvement).
+//
+// # Concurrency
+//
+// A DB is safe for concurrent use. The engine is sharded by partition
+// (internal/sched): partitions — groups of pending transactions whose
+// atoms can unify — are mutually independent by construction (§4), so
+// each partition has its own lock and every operation acquires only the
+// partitions it touches. What runs in parallel:
+//
+//   - GroundAll drains independent partitions concurrently on a bounded
+//     worker pool; so do the read-collapse phase of Query (when a read
+//     forces several partitions to ground) and the validation solves of
+//     a blind write that touches several partitions.
+//   - Submissions, groundings, reads, and writes on DISJOINT partitions
+//     never contend beyond brief registry/bookkeeping sections.
+//
+// What serializes:
+//
+//   - Admissions (Submit and recovery re-admission) and blind writes
+//     hold a single admission lock while they resolve which partitions
+//     a transaction overlaps, because they can create or merge
+//     partitions. The k-bound eviction a Submit triggers runs after the
+//     admission lock is released, holding only the target partition.
+//   - Operations on the SAME partition serialize on its lock; store
+//     mutations are short exclusive sections against a read gate that
+//     keeps Query results cut at a single store state.
+//
+// Options.Workers picks the pool width: 0 (default) uses GOMAXPROCS,
+// 1 makes every multi-partition operation run inline (serial), larger
+// values bound parallel grounding explicitly. cmd/qdbd exposes it as
+// -workers. With Workers > 1 the choice among equally-valid groundings
+// can depend on scheduling; every outcome is a consistent world, and
+// per-partition results remain deterministic for serial runs (store
+// iteration is insertion-ordered, never Go map order).
+//
+// Stats reports the scheduler's behaviour: ParallelSolves counts
+// partition tasks executed on the pool, LockWaits counts stale lock
+// acquisitions and skips, PartitionMerges counts admission-time merges.
 package quantumdb
 
 import (
