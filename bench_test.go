@@ -14,6 +14,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/relstore"
+	"repro/internal/txn"
+	"repro/internal/value"
 	"repro/internal/workload"
 )
 
@@ -94,6 +96,112 @@ func BenchmarkFig9(b *testing.B) {
 		}
 		res.RenderFig9(io.Discard)
 	}
+}
+
+// tupleOf builds a value.Tuple from ints and strings, for benchmark
+// seeding.
+func tupleOf(vs ...any) value.Tuple {
+	t := make(value.Tuple, len(vs))
+	for i, v := range vs {
+		switch x := v.(type) {
+		case int:
+			t[i] = value.NewInt(int64(x))
+		case string:
+			t[i] = value.NewString(x)
+		default:
+			panic("tupleOf: unsupported type")
+		}
+	}
+	return t
+}
+
+// BenchmarkRepeatedAdmission is the cross-solve caching headline: a full
+// partition receives the same (rejected) booking over and over. The
+// first rejection pays a full composed-body unsatisfiability proof;
+// every later one is answered from the negative solve cache keyed by
+// (transaction content, store epochs) — watch allocs/op collapse between
+// the cache=off and cache=on variants. The acceptance bar (>=2x fewer
+// allocs on the second-and-later solve of an unchanged partition) is
+// asserted in internal/core's TestCacheHitPathAllocs; this benchmark
+// reports the numbers.
+func BenchmarkRepeatedAdmission(b *testing.B) {
+	const seats = 6
+	run := func(opt core.Options) func(*testing.B) {
+		return func(b *testing.B) {
+			db := relstore.NewDB()
+			db.MustCreateTable(relstore.Schema{Name: "Available", Columns: []string{"fno", "sno"}})
+			db.MustCreateTable(relstore.Schema{Name: "Bookings", Columns: []string{"name", "fno", "sno"}, Key: []int{1, 2}})
+			for i := 0; i < seats; i++ {
+				db.MustInsert("Available", tupleOf(1, fmt.Sprintf("s%d", i)))
+			}
+			q, err := core.New(db, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer q.Close()
+			mk := func(user string) *txn.T {
+				return txn.MustParse(fmt.Sprintf(
+					"-Available(1, s), +Bookings('%s', 1, s) :-1 Available(1, s)", user))
+			}
+			for i := 0; i < seats; i++ {
+				if _, err := q.Submit(mk(fmt.Sprintf("u%d", i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			late := mk("late")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Submit(late); err == nil {
+					b.Fatal("over-full flight accepted a booking")
+				}
+			}
+		}
+	}
+	b.Run("cache=on", run(core.Options{}))
+	b.Run("cache=off", run(core.Options{DisableCache: true}))
+}
+
+// BenchmarkGroundReplay measures collapse of an unchanged partition: with
+// the cross-solve solution cache, GroundAll replays the admission-time
+// groundings (zero chain solves); without it, every grounding re-solves
+// the remaining chain.
+func BenchmarkGroundReplay(b *testing.B) {
+	const seats = 6
+	run := func(opt core.Options) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := relstore.NewDB()
+				db.MustCreateTable(relstore.Schema{Name: "Available", Columns: []string{"fno", "sno"}})
+				db.MustCreateTable(relstore.Schema{Name: "Bookings", Columns: []string{"name", "fno", "sno"}, Key: []int{1, 2}})
+				for s := 0; s < seats; s++ {
+					db.MustInsert("Available", tupleOf(1, fmt.Sprintf("s%d", s)))
+				}
+				q, err := core.New(db, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for s := 0; s < seats; s++ {
+					tx := txn.MustParse(fmt.Sprintf(
+						"-Available(1, s), +Bookings('u%d', 1, s) :-1 Available(1, s)", s))
+					if _, err := q.Submit(tx); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				if err := q.GroundAll(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				q.Close()
+				b.StartTimer()
+			}
+		}
+	}
+	b.Run("cache=on", run(core.Options{}))
+	b.Run("cache=off", run(core.Options{DisableCache: true}))
 }
 
 // BenchmarkGroundAllScaling measures partition-parallel grounding: N

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/hash"
+	"repro/internal/relstore"
+	"repro/internal/txn"
+)
+
+// This file implements the cross-solve solution-caching layer (the §4
+// amortization argument taken further): chain-solve outcomes are keyed
+// by (transaction-view content hash, store-epoch fingerprint) so that a
+// repeated satisfiability question against an unchanged store is a cache
+// probe, not a solve. Three mechanisms compose:
+//
+//   - Per-partition solution replay: each partition carries a cached
+//     consistent grounding (partition.cached) stamped with the epoch
+//     fingerprint of its relevant relations (partition.cachedEpoch).
+//     Grounding the partition head replays the cached grounding directly
+//     — zero solver work — when the fingerprint still matches (see
+//     QDB.replayHead in ground.go).
+//   - Negative solve cache (rejectCache): unsatisfiable solve instances
+//     (rejected admissions, rejected blind writes, failed reorder
+//     attempts) are remembered; resubmitting the same question against
+//     unchanged relations is answered by probe. Keys are content hashes
+//     (txn.T.ContentKey), invariant under variable renaming, so a fresh
+//     rename-apart of the same transaction text still hits.
+//   - Cross-solve prepared queries (formula.PrepCache, owned by the QDB
+//     and threaded through ChainOptions.Prep).
+//
+// Soundness of the epoch fingerprint: relstore epochs are monotone and
+// bumped on every committed mutation, with no other mutation path into a
+// table, so fingerprint equality proves the solve's relevant relations
+// are bit-identical to when the entry was recorded — a cached outcome
+// can never be stale. The converse is conservative: an epoch bump by a
+// write that did not actually affect this solve (another partition
+// touching the same table) invalidates spuriously and costs one
+// re-solve, never correctness.
+
+// storeTrusted reports whether every mutation the store has ever seen
+// came from this engine (QDB.knownEpoch still matches the store epoch).
+// While true, the engine's own cache maintenance — refresh on write,
+// realignment on grounding, non-unifiability across partitions — is
+// authoritative and cached solutions need no fingerprint check; the
+// first out-of-band mutation breaks equality permanently (epochs are
+// monotone) and demotes every cache decision to fingerprint comparison.
+// Caller must hold storeMu (either side) so the two counters are read
+// coherently.
+func (q *QDB) storeTrusted() bool { return q.db.Epoch() == q.knownEpoch }
+
+// noteEngineWrite advances the expected epoch for a non-empty batch the
+// engine just applied. Caller holds storeMu exclusively (the same
+// section as the Apply), matching relstore's one-bump-per-batch rule.
+func (q *QDB) noteEngineWrite(inserts, deletes []relstore.GroundFact) {
+	if len(inserts)+len(deletes) > 0 {
+		q.knownEpoch++
+	}
+}
+
+// epochSnap captures the paired epoch counters for gap detection.
+type epochSnap struct{ store, known uint64 }
+
+// epochSnapshot records the current (store epoch, expected epoch) pair.
+// Caller holds storeMu (either side).
+func (q *QDB) epochSnapshot() epochSnap {
+	return epochSnap{store: q.db.Epoch(), known: q.knownEpoch}
+}
+
+// gapClean reports whether every store mutation since the snapshot was
+// an engine write: the store-epoch delta equals the engine's own
+// write-count delta. Solve-then-apply paths release the read gate
+// between solving and applying; a solution solved before the gap may
+// only be STAMPED fresh if the gap was clean — an out-of-band write in
+// the gap would otherwise be absorbed into the new fingerprint and the
+// staleness laundered permanently. Caller holds storeMu exclusively.
+func (q *QDB) gapClean(s epochSnap) bool {
+	return q.db.Epoch()-s.store == q.knownEpoch-s.known
+}
+
+// epochFingerprint hashes the current epochs of every relation the given
+// transaction views mention (body and update atoms — update relations
+// matter because groundings are checked for key collisions against
+// them). Iteration order is first-occurrence, which is deterministic for
+// a fixed view sequence, so equal view sequences at equal store states
+// produce equal fingerprints.
+func (q *QDB) epochFingerprint(ts []*txn.T) uint64 {
+	h := uint64(hash.Offset64)
+	var rels []string
+	seen := func(rel string) bool {
+		for _, r := range rels {
+			if r == rel {
+				return true
+			}
+		}
+		return false
+	}
+	add := func(rel string) {
+		if seen(rel) {
+			return
+		}
+		rels = append(rels, rel)
+		h = hash.String(h, rel)
+		h = hash.Mix(h, q.db.TableEpoch(rel))
+	}
+	for _, t := range ts {
+		for _, b := range t.Body {
+			add(b.Atom.Rel)
+		}
+		for _, u := range t.Update {
+			add(u.Atom.Rel)
+		}
+	}
+	return h
+}
+
+// solveKey identifies a chain-solve instance up to variable renaming:
+// the content keys of the solver views in order, the optional-handling
+// flags, and an optional delta hash (for solves over the store plus a
+// hypothetical write).
+func solveKey(views []*txn.T, maximize bool, sample int, delta uint64) uint64 {
+	h := uint64(hash.Offset64)
+	for _, v := range views {
+		h = hash.Mix(h, v.ContentKey())
+	}
+	if maximize {
+		h = hash.Mix(h, 1)
+	}
+	h = hash.Mix(h, uint64(sample))
+	h = hash.Mix(h, delta)
+	return h
+}
+
+// deltaKey hashes a blind write's fact batch, for keying validation
+// solves that run over the store plus the hypothetical write.
+func deltaKey(inserts, deletes []relstore.GroundFact) uint64 {
+	h := uint64(hash.Offset64)
+	hashFacts := func(sign uint64, fs []relstore.GroundFact) {
+		h = hash.Mix(h, sign)
+		for _, f := range fs {
+			h = hash.String(h, f.Rel)
+			for _, v := range f.Tuple {
+				h = hash.String(h, v.Quoted())
+			}
+		}
+	}
+	hashFacts('+', inserts)
+	hashFacts('-', deletes)
+	return h
+}
+
+// rejectCacheCap bounds the negative cache; on overflow the whole map is
+// dropped (entries are one re-solve away from being rediscovered, so a
+// crude reset beats per-entry accounting on this path).
+const rejectCacheCap = 4096
+
+// rejectCache memoizes unsatisfiable solve instances. An entry maps a
+// solve key to the epoch fingerprint current when unsatisfiability was
+// proven; the entry answers a probe only while the fingerprint still
+// matches, so invalidation is by comparison and writes need no explicit
+// hook. Internally locked: admissions probe it under admitMu, but
+// grounding paths (trySolveAndApply) probe it under only their
+// partition's shard.
+type rejectCache struct {
+	mu sync.Mutex
+	m  map[uint64]uint64
+}
+
+// hit reports whether the instance keyed by key was proven unsatisfiable
+// at the given epoch fingerprint.
+func (rc *rejectCache) hit(key, fingerprint uint64) bool {
+	rc.mu.Lock()
+	fp, ok := rc.m[key]
+	rc.mu.Unlock()
+	return ok && fp == fingerprint
+}
+
+// add records an unsatisfiability proof.
+func (rc *rejectCache) add(key, fingerprint uint64) {
+	rc.mu.Lock()
+	if rc.m == nil || len(rc.m) >= rejectCacheCap {
+		rc.m = make(map[uint64]uint64)
+	}
+	rc.m[key] = fingerprint
+	rc.mu.Unlock()
+}

@@ -116,9 +116,13 @@ func (q *QDB) GroundAll() error {
 }
 
 // groundLocked collapses p.txns[idx]. Caller holds p's shard. Semantic
-// mode moves the target to the front of the pending order when the
-// reordered chain stays satisfiable; otherwise (and always under Strict)
-// the prefix up to and including the target is grounded in arrival order.
+// mode first tries to move the target to the front of the pending order,
+// grounding only it, when the reordered chain stays satisfiable. The
+// prefix path (always used under Strict, and as the semantic fallback)
+// grounds the prefix up to and including the target in arrival order —
+// replaying the partition's cached solution head by head where it is
+// fresh (a cache probe per head, no solve; see replayHead) and solving
+// only the remaining suffix.
 func (q *QDB) groundLocked(p *partition, idx int) error {
 	if q.opt.Mode == Semantic && idx > 0 {
 		ok, err := q.trySolveAndApply(p, moveToFront(idx, len(p.txns)), semanticSolver(p, idx), 1)
@@ -130,6 +134,29 @@ func (q *QDB) groundLocked(p *partition, idx int) error {
 			return nil
 		}
 		q.stats.semanticFallbacks.Add(1)
+	}
+	// Prefix grounding proceeds head-first, so drain replayable heads
+	// before solving: each replay is exactly the grounding the strict
+	// chain would assign that head, and only the suffix the cache cannot
+	// cover (optional atoms, staleness, chooser sampling) pays a solve.
+	for idx > 0 {
+		done, err := q.replayHead(p)
+		if err != nil {
+			return err
+		}
+		if !done {
+			break
+		}
+		idx--
+	}
+	if idx == 0 {
+		done, err := q.replayHead(p)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
 	}
 	// Strict path: ground arrival-order prefix 0..idx.
 	order := identityOrder(len(p.txns))
@@ -149,6 +176,90 @@ func (q *QDB) groundLocked(p *partition, idx int) error {
 		return ErrInvariantBroken
 	}
 	return nil
+}
+
+// replayHead grounds p.txns[0] by replaying the partition's cached
+// consistent grounding instead of solving: the cached solution was
+// computed over the store state fingerprinted in p.cachedEpoch, and the
+// relstore epochs prove that state unchanged, so its head grounding is
+// still consistent and can execute directly. This is the cross-solve
+// solution cache's hit path — a GroundAll drain or k-bound eviction of
+// an unchanged partition performs zero solver work after admission.
+//
+// Replay declines (returns false, letting the solve paths run) when the
+// head has optional atoms (grounding maximizes them; the cached solution
+// was solved over stripped views), when a chooser wants candidates to
+// pick from, when the cache is disabled or unaligned, or when the epoch
+// fingerprint mismatches — the store changed in a way the cache was not
+// told about, counted in SolutionStale. Caller holds p's shard.
+func (q *QDB) replayHead(p *partition) (bool, error) {
+	if q.opt.DisableCache || q.opt.sample() > 1 {
+		return false, nil
+	}
+	if len(p.txns) == 0 || len(p.cached) != len(p.txns) {
+		return false, nil
+	}
+	if len(p.txns[0].OptionalAtoms()) > 0 {
+		return false, nil
+	}
+	// Validity check and apply share one exclusive section, so no store
+	// mutation can slip between "fingerprint matches" and "grounding
+	// executed": an engine-only store needs no fingerprint comparison,
+	// otherwise the stamp must match the current epochs of the
+	// partition's relations.
+	q.storeMu.Lock()
+	if !q.storeTrusted() && q.epochFingerprint(p.txns) != p.cachedEpoch {
+		q.storeMu.Unlock()
+		q.stats.solutionStale.Add(1)
+		return false, nil
+	}
+	g := p.cached[0]
+	if err := q.db.Apply(g.Inserts, g.Deletes); err != nil {
+		// The fingerprint matched but the grounding no longer applies:
+		// a mutation raced us out-of-band. Drop the cache and fall back
+		// to a fresh solve; Apply is atomic, so the store is unchanged.
+		q.storeMu.Unlock()
+		q.stats.solutionStale.Add(1)
+		p.cached, p.cachedEpoch = nil, 0
+		return false, nil
+	}
+	q.noteEngineWrite(g.Inserts, g.Deletes)
+	if err := q.logFacts(g.Inserts, g.Deletes); err != nil {
+		q.storeMu.Unlock()
+		return false, err
+	}
+	if err := q.logGrounded(g.Txn.ID); err != nil {
+		q.storeMu.Unlock()
+		return false, err
+	}
+	// Restamp while still holding the store gate: the post-apply epochs
+	// are frozen here, so a mutation racing the restamp cannot be
+	// absorbed into the new fingerprint (it would be missed forever; a
+	// too-early fingerprint is merely conservative).
+	stamp := q.epochFingerprint(p.txns[1:])
+	q.storeMu.Unlock()
+	q.stats.grounded.Add(1)
+	q.stats.solutionReplays.Add(1)
+
+	head := p.txns[0]
+	q.mu.Lock()
+	delete(q.byTxn, head.ID)
+	q.idx.remove(head, p.id())
+	q.mu.Unlock()
+	q.prep.Evict(head)
+	p.txns = p.txns[1:]
+	// The tail was solved over the store state that now includes the
+	// replayed head's updates (chain property), so it remains the
+	// partition's cached solution.
+	p.cached = p.cached[1:]
+	p.cachedEpoch = stamp
+	if len(p.txns) == 0 {
+		q.mu.Lock()
+		delete(q.parts, p.id())
+		q.mu.Unlock()
+		p.shard.Retire()
+	}
+	return true, nil
 }
 
 // semanticSolver builds the solver view for a move-to-front grounding of
@@ -211,6 +322,22 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 		err  error
 	)
 	q.storeMu.RLock()
+	// Negative probe: a solver-view sequence (up to renaming) proven
+	// unsatisfiable at these store epochs fails again without solving —
+	// this answers repeated failed reorder and coordination attempts by
+	// cache probe. The read gate freezes the epochs, so the fingerprint
+	// and the solve observe the same state.
+	useNeg := !q.opt.DisableCache
+	var negKey, negFP uint64
+	if useNeg {
+		negKey = solveKey(solver, maximize, sample, 0)
+		negFP = q.epochFingerprint(solver)
+		if q.rejects.hit(negKey, negFP) {
+			q.storeMu.RUnlock()
+			q.stats.negHits.Add(1)
+			return false, nil
+		}
+	}
 	if sample > 1 {
 		// Candidates must differ in the grounding of the collapse target
 		// (the chain head) for the chooser to have a real choice.
@@ -223,6 +350,9 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 		return false, err
 	}
 	if len(sols) == 0 {
+		if useNeg {
+			q.rejects.add(negKey, negFP)
+		}
 		q.storeMu.RUnlock()
 		return false, nil
 	}
@@ -237,11 +367,35 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 			pick = 0
 		}
 	}
+	// The solution was computed against the store as of this snapshot;
+	// the apply section below re-checks that the gap between releasing
+	// the read gate here and re-acquiring it exclusively saw engine
+	// writes only before stamping the cached tail fresh.
+	snap := q.epochSnapshot()
 	q.storeMu.RUnlock()
 	sol := sols[pick]
 
+	// Partition split computed up front so the cache restamp can happen
+	// under the store gate: keep positions not in order[:groundCount].
+	grounded := make(map[int]bool, groundCount)
+	for _, pos := range order[:groundCount] {
+		grounded[pos] = true
+	}
+	var rest []*txn.T
+	var removed []*txn.T
+	for i, t := range p.txns {
+		if grounded[i] {
+			removed = append(removed, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+
 	// Execute the chosen prefix against the store. WAL appends happen
-	// inside the same storeMu section so log order matches apply order.
+	// inside the same storeMu section so log order matches apply order;
+	// the restamp fingerprint is taken there too, over the frozen
+	// post-apply epochs (a mutation racing a post-unlock restamp would
+	// be absorbed into the stamp and missed forever).
 	q.storeMu.Lock()
 	for i := 0; i < groundCount; i++ {
 		g := sol.Groundings[i]
@@ -249,6 +403,7 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 			q.storeMu.Unlock()
 			return false, fmt.Errorf("core: executing grounding of txn %d: %w", g.Txn.ID, err)
 		}
+		q.noteEngineWrite(g.Inserts, g.Deletes)
 		if err := q.logFacts(g.Inserts, g.Deletes); err != nil {
 			q.storeMu.Unlock()
 			return false, err
@@ -258,25 +413,30 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 			return false, err
 		}
 	}
+	var stamp uint64
+	if !q.opt.DisableCache {
+		if q.gapClean(snap) {
+			stamp = q.epochFingerprint(rest)
+		} else {
+			// An out-of-band write landed between solve and apply; the
+			// tail was solved without it. Leave the stamp poisoned (zero
+			// is never a computed fingerprint) so the next grounding
+			// re-solves instead of replaying.
+			q.stats.solutionStale.Add(1)
+		}
+	}
 	q.storeMu.Unlock()
 	q.stats.grounded.Add(int64(groundCount))
 
-	// Rebuild the partition: keep positions not in order[:groundCount].
-	grounded := make(map[int]bool, groundCount)
-	for _, pos := range order[:groundCount] {
-		grounded[pos] = true
-	}
-	var rest []*txn.T
 	q.mu.Lock()
-	for i, t := range p.txns {
-		if grounded[i] {
-			delete(q.byTxn, t.ID)
-			q.idx.remove(t, p.id())
-		} else {
-			rest = append(rest, t)
-		}
+	for _, t := range removed {
+		delete(q.byTxn, t.ID)
+		q.idx.remove(t, p.id())
 	}
 	q.mu.Unlock()
+	for _, t := range removed {
+		q.prep.Evict(t)
+	}
 	p.txns = rest
 	if q.opt.DisableCache {
 		p.cached = nil
@@ -287,6 +447,7 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 		// used here (identity or move-to-front) the tail is already in
 		// partition order.
 		p.cached = append([]formula.Grounding(nil), sol.Groundings[groundCount:]...)
+		p.cachedEpoch = stamp
 	}
 	if len(p.txns) == 0 {
 		q.mu.Lock()
@@ -497,25 +658,45 @@ func (q *QDB) Write(inserts, deletes []relstore.GroundFact) error {
 		}
 	}
 
+	dk := deltaKey(inserts, deletes)
 	refreshed := make([][]formula.Grounding, len(affected))
+	snaps := make([]epochSnap, len(affected))
 	err = q.pool.Map(len(affected), func(i int) error {
 		p := affected[i] // pre-locked; task takes no shard
 		q.stats.parallelSolves.Add(1)
 		// Overlays are single-goroutine; each validation builds its own.
 		q.storeMu.RLock()
 		defer q.storeMu.RUnlock()
+		views := stripAll(p.txns)
+		// Negative probe: this write was already proven to empty this
+		// partition's possible worlds at these epochs — re-reject by
+		// probe (a retried rejected write costs no solves).
+		useNeg := !q.opt.DisableCache
+		var negKey, negFP uint64
+		if useNeg {
+			negKey = solveKey(views, false, 1, dk)
+			negFP = q.epochFingerprint(views)
+			if q.rejects.hit(negKey, negFP) {
+				q.stats.negHits.Add(1)
+				return ErrWriteRejected
+			}
+		}
 		ov := relstore.NewOverlay(q.db)
 		if err := ov.ApplyFacts(inserts, deletes); err != nil {
 			return fmt.Errorf("core: invalid write: %w", err)
 		}
-		sol, ok, err := formula.SolveChain(ov, stripAll(p.txns), q.chainOpts(false))
+		sol, ok, err := formula.SolveChain(ov, views, q.chainOpts(false))
 		if err != nil {
 			return err
 		}
 		if !ok {
+			if useNeg {
+				q.rejects.add(negKey, negFP)
+			}
 			return ErrWriteRejected
 		}
 		refreshed[i] = sol.Groundings
+		snaps[i] = q.epochSnapshot() // still under this task's read gate
 		return nil
 	})
 	if err != nil {
@@ -533,15 +714,35 @@ func (q *QDB) Write(inserts, deletes []relstore.GroundFact) error {
 		unlockPartitions(cands)
 		return fmt.Errorf("core: applying write: %w", err)
 	}
+	q.noteEngineWrite(inserts, deletes)
 	if err := q.logFacts(inserts, deletes); err != nil {
 		q.storeMu.Unlock()
 		unlockPartitions(cands)
 		return err
 	}
+	// Stamps are taken under the store gate (post-apply epochs frozen),
+	// and only for partitions whose validate-to-apply gap saw engine
+	// writes alone; see trySolveAndApply for why anything else would
+	// launder an out-of-band write into a fresh stamp.
+	var stamps []uint64
+	if !q.opt.DisableCache {
+		stamps = make([]uint64, len(affected))
+		for i, p := range affected {
+			if q.gapClean(snaps[i]) {
+				stamps[i] = q.epochFingerprint(p.txns)
+			} else {
+				q.stats.solutionStale.Add(1)
+			}
+		}
+	}
 	q.storeMu.Unlock()
 	if !q.opt.DisableCache {
 		for i, p := range affected {
+			// Refreshed solutions were validated over the store plus this
+			// write, which is now the store; the stamp lets grounding
+			// replay them.
 			p.cached = refreshed[i]
+			p.cachedEpoch = stamps[i]
 		}
 	}
 	unlockPartitions(cands)

@@ -4,6 +4,13 @@
 // grounding exists for every pending transaction (Definition 3.1), and
 // collapses uncertainty on reads, on explicit grounding requests, on
 // entangled-partner arrival, and when the per-partition k-bound is hit.
+//
+// Chain-solve results are cached across operations (the §4 amortization
+// argument taken further): each partition's cached solution replays at
+// grounding time, unsatisfiable solve instances answer repeats by
+// probe, and compiled bodies persist in a QDB-level prepared-query
+// cache — all invalidated by relstore epoch fingerprints rather than
+// per-write hooks. See cache.go and ARCHITECTURE.md.
 package core
 
 import (
@@ -59,9 +66,12 @@ type Options struct {
 	K int
 	// Mode is the serializability discipline for out-of-order grounding.
 	Mode Mode
-	// DisableCache turns off the solution cache, forcing a full
-	// composed-body solve on every admission (ablation: the paper argues
-	// the cache amortizes satisfiability checks).
+	// DisableCache turns off the whole caching layer — the per-partition
+	// solution cache (admission extension and grounding replay), the
+	// negative solve cache, and the cross-solve prepared-query cache —
+	// forcing a full composed-body solve on every admission, grounding,
+	// and write validation (ablation: the paper argues the cache
+	// amortizes satisfiability checks).
 	DisableCache bool
 	// DisablePartitioning maintains one global composed body instead of
 	// independent per-partition bodies (ablation: §4-5 credit partitioning

@@ -70,6 +70,23 @@ type QDB struct {
 	byTxn    map[int64]*partition
 	idx      *partIndex
 
+	// prep is the cross-solve compiled-body cache (threaded to the chain
+	// solver via chainOpts); rejects memoizes unsatisfiable solve
+	// instances. Both are epoch-invalidated; see cache.go.
+	prep    *formula.PrepCache
+	rejects rejectCache
+	// knownEpoch is the store epoch the engine expects from its own
+	// writes alone: set to db.Epoch() at construction and incremented
+	// under storeMu exclusive for every non-empty batch the engine
+	// applies. While db.Epoch() still equals it, no out-of-band mutation
+	// has ever occurred, so the engine's own cache maintenance is
+	// authoritative and per-partition fingerprint checks can be skipped
+	// (storeTrusted in cache.go); after a divergence — which is permanent,
+	// epochs are monotone — every cache decision falls back to
+	// fingerprint comparison. Guarded by storeMu (written under the
+	// exclusive side, read under either).
+	knownEpoch uint64
+
 	log   *wal.Log // immutable after New; internally synchronized
 	stats counters
 }
@@ -87,6 +104,12 @@ type partition struct {
 	// aligned with txns, valid over the current extensional store. nil
 	// only when the cache is disabled.
 	cached []formula.Grounding
+	// cachedEpoch is the epoch fingerprint (cache.go) of the partition's
+	// relevant relations at the moment cached was installed. Grounding
+	// replays the cached head without solving only while the fingerprint
+	// still matches, so a store mutated behind the engine's back can
+	// never be served a stale grounding.
+	cachedEpoch uint64
 }
 
 func (p *partition) id() int64 { return p.shard.ID() }
@@ -103,7 +126,11 @@ func New(db *relstore.DB, opt Options) (*QDB, error) {
 		parts:  make(map[int64]*partition),
 		byTxn:  make(map[int64]*partition),
 		idx:    newPartIndex(),
+		prep:   formula.NewPrepCache(),
 	}
+	// Rows seeded before the QDB takes ownership are the baseline, not
+	// out-of-band writes.
+	q.knownEpoch = db.Epoch()
 	if opt.WALPath != "" {
 		l, err := wal.Open(opt.WALPath)
 		if err != nil {
@@ -128,8 +155,14 @@ func (q *QDB) Close() error {
 // breaks the pending-transaction invariant.
 func (q *QDB) Store() *relstore.DB { return q.db }
 
-// Stats returns a copy of the counters.
-func (q *QDB) Stats() Stats { return q.stats.snapshot() }
+// Stats returns a copy of the counters, folding in the prepared-query
+// cache's own counts.
+func (q *QDB) Stats() Stats {
+	s := q.stats.snapshot()
+	h, m := q.prep.Counters()
+	s.PrepCacheHits, s.PrepCacheMisses = int(h), int(m)
+	return s
+}
 
 // Workers reports the scheduler's parallelism bound.
 func (q *QDB) Workers() int { return q.pool.Workers() }
@@ -217,12 +250,47 @@ func (q *QDB) Submit(t *txn.T) (int64, error) {
 	// Admission solves run under the store's read gate: no store writer
 	// may queue mid-solve (the evaluator re-enters relstore read locks;
 	// see trySolveAndApply), and groundings of independent partitions
-	// cannot invalidate this partition's solution anyway.
+	// cannot invalidate this partition's solution anyway. Holding the
+	// gate also freezes the store epochs, so the negative-cache key and
+	// the solve see the same state.
 	var cached []formula.Grounding
+	var views []*txn.T
+	var negKey, negFP, stamp uint64
 	q.storeMu.RLock()
-	if !q.opt.DisableCache && allCached(overlapping) {
+	if !q.opt.DisableCache {
+		// Negative probe: the same composed-body question (up to variable
+		// renaming — ContentKey normalizes the fresh rename-apart) proven
+		// unsatisfiable against these relations at these epochs rejects
+		// by cache probe, skipping both solve paths.
+		views = stripAll(merged)
+		negKey = solveKey(views, false, 1, 0)
+		negFP = q.epochFingerprint(views)
+		// The cache stamp covers the raw transactions; without optional
+		// atoms the stripped views ARE the raw transactions (memoized
+		// identity), so the fingerprint just computed is reusable.
+		stamp = negFP
+		for i := range merged {
+			if views[i] != merged[i] {
+				stamp = q.epochFingerprint(merged)
+				break
+			}
+		}
+		if q.rejects.hit(negKey, negFP) {
+			q.storeMu.RUnlock()
+			unlockPartitions(overlapping)
+			q.admitMu.Unlock()
+			q.stats.rejected.Add(1)
+			q.stats.negHits.Add(1)
+			q.prep.Evict(admitted)
+			return 0, fmt.Errorf("%w: txn %q", ErrRejected, t.String())
+		}
+	}
+	if !q.opt.DisableCache && allCached(overlapping) && q.cachesFresh(overlapping) {
 		// Fast path: extend the combined cached solution with a grounding
-		// for just the new transaction.
+		// for just the new transaction. Freshness is mandatory: extending
+		// a stale cached solution and re-stamping it at current epochs
+		// would launder a grounding the store no longer supports past the
+		// replay check.
 		combined := combinedGroundings(overlapping)
 		ov := relstore.NewOverlay(q.db)
 		if applyGroundings(ov, combined) == nil {
@@ -231,6 +299,7 @@ func (q *QDB) Submit(t *txn.T) (int64, error) {
 				q.storeMu.RUnlock()
 				unlockPartitions(overlapping)
 				q.admitMu.Unlock()
+				q.prep.Evict(admitted)
 				return 0, err
 			}
 			if ok {
@@ -242,18 +311,26 @@ func (q *QDB) Submit(t *txn.T) (int64, error) {
 	if cached == nil {
 		// Slow path: full composed-body satisfiability check.
 		q.stats.cacheMisses.Add(1)
-		sol, ok, err := formula.SolveChain(q.db, stripAll(merged), q.chainOpts(false))
+		if views == nil {
+			views = stripAll(merged)
+		}
+		sol, ok, err := formula.SolveChain(q.db, views, q.chainOpts(false))
 		if err != nil {
 			q.storeMu.RUnlock()
 			unlockPartitions(overlapping)
 			q.admitMu.Unlock()
+			q.prep.Evict(admitted)
 			return 0, err
 		}
 		if !ok {
+			if !q.opt.DisableCache {
+				q.rejects.add(negKey, negFP)
+			}
 			q.storeMu.RUnlock()
 			unlockPartitions(overlapping)
 			q.admitMu.Unlock()
 			q.stats.rejected.Add(1)
+			q.prep.Evict(admitted)
 			return 0, fmt.Errorf("%w: txn %q", ErrRejected, t.String())
 		}
 		cached = sol.Groundings
@@ -267,6 +344,7 @@ func (q *QDB) Submit(t *txn.T) (int64, error) {
 		p.cached = nil
 	} else {
 		p.cached = cached
+		p.cachedEpoch = stamp
 	}
 	q.mu.Lock()
 	q.nextID = id + 1
@@ -297,14 +375,19 @@ func (q *QDB) Submit(t *txn.T) (int64, error) {
 }
 
 // chainOpts builds solver options; maximize toggles optional-atom subset
-// search.
+// search. The cross-solve prepared-query cache rides along unless the
+// caching ablation is on.
 func (q *QDB) chainOpts(maximize bool) formula.ChainOptions {
-	return formula.ChainOptions{
+	opts := formula.ChainOptions{
 		Planner:           q.opt.Planner,
 		MaximizeOptionals: maximize,
 		MaxSteps:          q.opt.MaxSolverSteps,
 		StepCounter:       &q.stats.solverSteps,
 	}
+	if !q.opt.DisableCache {
+		opts.Prep = q.prep
+	}
+	return opts
 }
 
 // lockOverlapping locks and returns the live partitions sharing a
@@ -424,6 +507,31 @@ func mergedTxns(ps []*partition, extra *txn.T) []*txn.T {
 func allCached(ps []*partition) bool {
 	for _, p := range ps {
 		if p.cached == nil && len(p.txns) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// cachesFresh reports whether every partition's cached solution is still
+// valid over the current store: trivially yes while the store has seen
+// only engine writes (storeTrusted — the engine refreshes affected
+// caches at every write point, and unaffected partitions' solutions
+// survive by non-unifiability), otherwise by comparing each partition's
+// epoch-fingerprint stamp. Callers hold the store's read gate (epochs
+// frozen) and the partitions' shards. A stale partition (the store was
+// mutated out-of-band) is counted and sends the admission down the
+// full-solve path, which re-solves and restamps.
+func (q *QDB) cachesFresh(ps []*partition) bool {
+	if q.storeTrusted() {
+		return true
+	}
+	for _, p := range ps {
+		if len(p.txns) == 0 {
+			continue
+		}
+		if q.epochFingerprint(p.txns) != p.cachedEpoch {
+			q.stats.solutionStale.Add(1)
 			return false
 		}
 	}
@@ -597,17 +705,11 @@ func (q *QDB) candidateSnapshot(atoms []logic.Atom) []*partition {
 	return out
 }
 
-// strip returns a copy of t without optional atoms: the admission
-// invariant of §2 covers only non-optional atoms.
-func strip(t *txn.T) *txn.T {
-	c := &txn.T{ID: t.ID, Tag: t.Tag, PartnerTag: t.PartnerTag, Update: t.Update}
-	for _, b := range t.Body {
-		if !b.Optional {
-			c.Body = append(c.Body, b)
-		}
-	}
-	return c
-}
+// strip returns the view of t without optional atoms: the admission
+// invariant of §2 covers only non-optional atoms. The view is memoized
+// on t (txn.T.Stripped) so its pointer is stable across solves — the
+// anchor for the cross-solve prepared-query cache.
+func strip(t *txn.T) *txn.T { return t.Stripped() }
 
 func stripAll(ts []*txn.T) []*txn.T {
 	out := make([]*txn.T, len(ts))
@@ -617,12 +719,7 @@ func stripAll(ts []*txn.T) []*txn.T {
 	return out
 }
 
-// harden returns a copy of t with optional atoms promoted to hard ones;
-// used for coordinated pair grounding (§5.1 forward constraints).
-func harden(t *txn.T) *txn.T {
-	c := &txn.T{ID: t.ID, Tag: t.Tag, PartnerTag: t.PartnerTag, Update: t.Update}
-	for _, b := range t.Body {
-		c.Body = append(c.Body, txn.BodyAtom{Atom: b.Atom})
-	}
-	return c
-}
+// harden returns the view of t with optional atoms promoted to hard
+// ones; used for coordinated pair grounding (§5.1 forward constraints).
+// Memoized like strip.
+func harden(t *txn.T) *txn.T { return t.Hardened() }

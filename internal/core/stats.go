@@ -24,6 +24,23 @@ type Stats struct {
 	// solution; CacheMisses counts full composed-body solves.
 	CacheHits   int
 	CacheMisses int
+	// SolutionReplays counts groundings served by replaying the
+	// partition's cached solution against an epoch-unchanged store — a
+	// cache probe, zero solver work. SolutionStale counts replay
+	// attempts declined because the epoch fingerprint mismatched (the
+	// cross-solve cache's observed invalidations).
+	SolutionReplays int
+	SolutionStale   int
+	// NegativeCacheHits counts unsatisfiability answers served from the
+	// negative solve cache: rejected re-admissions, re-rejected writes,
+	// and repeated failed reorder/coordination attempts that skipped the
+	// solver entirely.
+	NegativeCacheHits int
+	// PrepCacheHits/PrepCacheMisses count cross-solve reuse of compiled
+	// body queries (the QDB-level prepared-query cache; per-solve reuse
+	// is not counted).
+	PrepCacheHits   int
+	PrepCacheMisses int
 	// SemanticReorders counts successful move-to-front groundings;
 	// SemanticFallbacks counts the times move-to-front was unsatisfiable
 	// and the strict prefix path ran instead.
@@ -66,6 +83,7 @@ type counters struct {
 	submitted, accepted, rejected, grounded      atomic.Int64
 	forcedByK, forcedByRead                      atomic.Int64
 	cacheHits, cacheMisses                       atomic.Int64
+	solutionReplays, solutionStale, negHits      atomic.Int64
 	semanticReorders, semanticFallbacks          atomic.Int64
 	reads, writesAccepted, writesRejected        atomic.Int64
 	maxPending, maxPartitionPending, maxComposed atomic.Int64
@@ -87,6 +105,9 @@ func (c *counters) snapshot() Stats {
 		ForcedByRead:        int(c.forcedByRead.Load()),
 		CacheHits:           int(c.cacheHits.Load()),
 		CacheMisses:         int(c.cacheMisses.Load()),
+		SolutionReplays:     int(c.solutionReplays.Load()),
+		SolutionStale:       int(c.solutionStale.Load()),
+		NegativeCacheHits:   int(c.negHits.Load()),
 		SemanticReorders:    int(c.semanticReorders.Load()),
 		SemanticFallbacks:   int(c.semanticFallbacks.Load()),
 		Reads:               int(c.reads.Load()),

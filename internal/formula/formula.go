@@ -16,6 +16,13 @@
 // The quantum database uses SolveChain in production and the composed
 // formula for exposition and cross-checking; the test suite asserts they
 // agree.
+//
+// SolveChain compiles each transaction body to a relstore.Prepared before
+// evaluating it; with ChainOptions.Prep set to a PrepCache, those
+// compilations survive across solves (keyed by the memoized transaction
+// views, invalidated when a transaction leaves the system), eliminating
+// the per-operation compile cost of repeated admission checks and
+// groundings.
 package formula
 
 import (

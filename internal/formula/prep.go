@@ -1,0 +1,97 @@
+package formula
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relstore"
+	"repro/internal/txn"
+)
+
+// PrepCache is a cross-solve cache of compiled body queries, keyed by
+// (transaction view pointer, optional-subset mask). The chain solver
+// compiles each transaction body per solve; hoisting the compiled
+// relstore.Prepared here makes prepared queries survive across
+// operations, so a transaction admitted once is never recompiled for the
+// admission checks, groundings, and write validations that follow —
+// the remaining per-operation compile cost of the §4 amortization
+// argument.
+//
+// Keys are view POINTERS, which is why it works: the engine memoizes the
+// strip/harden views of every admitted transaction (txn.T.Stripped,
+// txn.T.Hardened), so the same body is always presented under the same
+// pointer. The map itself is synchronized (solves of independent
+// partitions share one cache), but a cached *relstore.Prepared is NOT
+// safe for concurrent evaluation; reuse is sound because a transaction
+// belongs to exactly one partition and every solve involving it runs
+// under that partition's shard lock (or under the admission lock before
+// the transaction is installed), so two solves never evaluate the same
+// view concurrently.
+//
+// Entries are evicted when their transaction leaves the system
+// (grounded, merged away at rejection); the cache is therefore bounded
+// by the number of pending transactions times their optional-subset
+// masks.
+type PrepCache struct {
+	mu sync.RWMutex
+	m  map[*txn.T]map[uint64]*relstore.Prepared
+
+	hits, misses atomic.Int64
+}
+
+// NewPrepCache returns an empty cache.
+func NewPrepCache() *PrepCache {
+	return &PrepCache{m: make(map[*txn.T]map[uint64]*relstore.Prepared)}
+}
+
+// lookup returns the compiled query for (view, mask), if cached. Hit and
+// miss counts are recorded here: the chain solver consults the shared
+// cache once per (view, mask) per solve (it keeps a per-solve L1), so
+// the counters measure cross-solve reuse, not per-candidate traffic.
+func (pc *PrepCache) lookup(view *txn.T, mask uint64) (*relstore.Prepared, bool) {
+	pc.mu.RLock()
+	p, ok := pc.m[view][mask]
+	pc.mu.RUnlock()
+	if ok {
+		pc.hits.Add(1)
+	} else {
+		pc.misses.Add(1)
+	}
+	return p, ok
+}
+
+// store records a freshly compiled query for (view, mask).
+func (pc *PrepCache) store(view *txn.T, mask uint64, p *relstore.Prepared) {
+	pc.mu.Lock()
+	inner := pc.m[view]
+	if inner == nil {
+		inner = make(map[uint64]*relstore.Prepared, 1)
+		pc.m[view] = inner
+	}
+	inner[mask] = p
+	pc.mu.Unlock()
+}
+
+// Evict drops every compiled query of the transaction's materialized
+// views. Call it when the transaction leaves the system (grounded, or
+// rejected at admission).
+func (pc *PrepCache) Evict(t *txn.T) {
+	views := t.MemoizedViews()
+	pc.mu.Lock()
+	for _, v := range views {
+		delete(pc.m, v)
+	}
+	pc.mu.Unlock()
+}
+
+// Len reports the number of views with at least one cached compilation.
+func (pc *PrepCache) Len() int {
+	pc.mu.RLock()
+	defer pc.mu.RUnlock()
+	return len(pc.m)
+}
+
+// Counters returns the cumulative cross-solve hit and miss counts.
+func (pc *PrepCache) Counters() (hits, misses int64) {
+	return pc.hits.Load(), pc.misses.Load()
+}

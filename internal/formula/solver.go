@@ -78,6 +78,11 @@ type ChainOptions struct {
 	// atomic: independent partitions solve concurrently and may share a
 	// counter.
 	StepCounter *int64
+	// Prep, when non-nil, is a cross-solve cache of compiled bodies: the
+	// solver consults it before compiling a transaction view and stores
+	// fresh compilations into it, so prepared queries survive across
+	// solves. See PrepCache for the sharing and synchronization contract.
+	Prep *PrepCache
 	// skipFirst, when set, rejects candidate groundings of the first
 	// transaction (used by SolveChainVaryingFirst to enumerate distinct
 	// collapses of the grounding target).
@@ -204,9 +209,12 @@ type chainSolver struct {
 
 // preparedFor returns the compiled body query for transaction i under the
 // given optional-subset mask, compiling on first use. atoms is invoked
-// only on a cache miss. Reuse is safe because the chain recursion only
-// ever nests evaluations of strictly later transactions inside an
-// evaluation of transaction i.
+// only on a full cache miss. Reuse is safe because the chain recursion
+// only ever nests evaluations of strictly later transactions inside an
+// evaluation of transaction i. The per-solve map is an L1 over the
+// optional cross-solve cache (opt.Prep): the shared cache is consulted
+// once per (view, mask) per solve, the L1 absorbs the per-candidate
+// traffic.
 func (c *chainSolver) preparedFor(i int, mask uint64, atoms func() []logic.Atom) *relstore.Prepared {
 	key := uint64(i)<<32 | mask
 	if p, ok := c.prep[key]; ok {
@@ -215,8 +223,17 @@ func (c *chainSolver) preparedFor(i int, mask uint64, atoms func() []logic.Atom)
 	if c.prep == nil {
 		c.prep = make(map[uint64]*relstore.Prepared)
 	}
+	if c.opt.Prep != nil {
+		if p, ok := c.opt.Prep.lookup(c.ts[i], mask); ok {
+			c.prep[key] = p
+			return p
+		}
+	}
 	p := relstore.Query{Atoms: atoms(), Planner: c.opt.Planner}.Compile()
 	c.prep[key] = p
+	if c.opt.Prep != nil {
+		c.opt.Prep.store(c.ts[i], mask, p)
+	}
 	return p
 }
 

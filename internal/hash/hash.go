@@ -1,0 +1,28 @@
+// Package hash provides the FNV-1a mixing primitives shared by the
+// engine's cache keys: transaction content keys (internal/txn) and the
+// solve/epoch fingerprints of the cross-solve caches (internal/core).
+// Keeping one copy keeps the domains' mixing rules from silently
+// diverging.
+package hash
+
+// FNV-1a constants.
+const (
+	Offset64 = 14695981039346656037
+	Prime64  = 1099511628211
+)
+
+// Mix folds one 64-bit value into the hash.
+func Mix(h, v uint64) uint64 { return (h ^ v) * Prime64 }
+
+// Byte folds one byte into the hash.
+func Byte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * Prime64 }
+
+// String folds a string into the hash, appending a 0xff terminator so
+// adjacent strings cannot alias across their boundary ("ab"+"c" vs
+// "a"+"bc").
+func String(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = Byte(h, s[i])
+	}
+	return Byte(h, 0xff)
+}

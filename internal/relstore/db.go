@@ -40,9 +40,17 @@ type Source interface {
 
 // DB is an in-memory relational database: a catalog of keyed, hash-indexed
 // tables. All exported methods are safe for concurrent use.
+//
+// The database maintains monotone epoch counters — one per table plus a
+// store-wide one — bumped on every committed mutation. Epochs never
+// decrease and never reset within a DB instance, so an unchanged epoch
+// proves unchanged content: the quantum layer keys its cross-solve
+// solution caches on them (Epoch, TableEpoch) and invalidates by
+// comparison instead of by explicit hooks on every write path.
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*table
+	epoch  uint64
 }
 
 // NewDB returns an empty database.
@@ -93,7 +101,11 @@ func (db *DB) Insert(rel string, tup value.Tuple) error {
 	if !ok {
 		return fmt.Errorf("relstore: unknown relation %s", rel)
 	}
-	return t.insert(tup)
+	if err := t.insert(tup); err != nil {
+		return err
+	}
+	db.epoch++
+	return nil
 }
 
 // Delete removes the exact tuple; deleting an absent tuple is an error.
@@ -104,7 +116,34 @@ func (db *DB) Delete(rel string, tup value.Tuple) error {
 	if !ok {
 		return fmt.Errorf("relstore: unknown relation %s", rel)
 	}
-	return t.deleteTuple(tup)
+	if err := t.deleteTuple(tup); err != nil {
+		return err
+	}
+	db.epoch++
+	return nil
+}
+
+// Epoch returns the store-wide mutation counter: it increases on every
+// committed Insert, Delete, and non-empty Apply, and never decreases or
+// resets within a DB instance. Equal epochs witness an unchanged store.
+func (db *DB) Epoch() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.epoch
+}
+
+// TableEpoch returns the named relation's mutation counter (0 for an
+// unknown relation). Per-table epochs let caches over a subset of the
+// catalog survive writes to unrelated relations: a cache entry whose
+// relevant tables all report unchanged epochs is still valid.
+func (db *DB) TableEpoch(rel string) uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[rel]
+	if !ok {
+		return 0
+	}
+	return t.epoch
 }
 
 // MustInsert is Insert that panics on error; for setup code.
@@ -233,6 +272,7 @@ func (db *DB) Clone() *DB {
 	for n, t := range db.tables {
 		c.tables[n] = t.clone()
 	}
+	c.epoch = db.epoch
 	return c
 }
 
@@ -241,6 +281,12 @@ func (db *DB) Clone() *DB {
 func (db *DB) Apply(inserts, deletes []GroundFact) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if len(inserts)+len(deletes) > 0 {
+		// Bumped even when the batch rolls back: the compensating table
+		// operations bump the per-table epochs anyway, and over-counting
+		// only costs caches a spurious revalidation.
+		db.epoch++
+	}
 	var done []func()
 	undo := func() {
 		for i := len(done) - 1; i >= 0; i-- {

@@ -1,0 +1,118 @@
+package relstore
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func epochDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	db.MustCreateTable(Schema{Name: "A", Columns: []string{"x"}})
+	db.MustCreateTable(Schema{Name: "B", Columns: []string{"x"}})
+	return db
+}
+
+func TestEpochBumpsOnMutation(t *testing.T) {
+	db := epochDB(t)
+	if db.Epoch() != 0 {
+		t.Fatalf("fresh store epoch = %d, want 0", db.Epoch())
+	}
+	db.MustInsert("A", value.Tuple{value.NewInt(1)})
+	if db.Epoch() != 1 || db.TableEpoch("A") != 1 || db.TableEpoch("B") != 0 {
+		t.Fatalf("after insert: epoch=%d A=%d B=%d", db.Epoch(), db.TableEpoch("A"), db.TableEpoch("B"))
+	}
+	if err := db.Delete("A", value.Tuple{value.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Epoch() != 2 || db.TableEpoch("A") != 2 {
+		t.Fatalf("after delete: epoch=%d A=%d", db.Epoch(), db.TableEpoch("A"))
+	}
+	// The content is back to empty, but the epoch must not regress: equal
+	// epochs promise equal content, not the other way around.
+	if db.TableEpoch("A") == 0 {
+		t.Fatal("epoch regressed to the empty-table value")
+	}
+}
+
+func TestEpochFailedMutationsLeaveContentEpochConsistent(t *testing.T) {
+	db := epochDB(t)
+	db.MustInsert("A", value.Tuple{value.NewInt(1)})
+	before := db.TableEpoch("A")
+	// Failed operations must not make an unchanged table look changed in
+	// a way that breaks monotonicity; bumping is allowed (conservative),
+	// regressing is not.
+	if err := db.Insert("A", value.Tuple{value.NewInt(1)}); err == nil {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if err := db.Delete("A", value.Tuple{value.NewInt(9)}); err == nil {
+		t.Fatal("absent delete succeeded")
+	}
+	if db.TableEpoch("A") < before {
+		t.Fatalf("epoch regressed: %d < %d", db.TableEpoch("A"), before)
+	}
+}
+
+func TestEpochApplyRollbackStillBumps(t *testing.T) {
+	db := epochDB(t)
+	db.MustInsert("A", value.Tuple{value.NewInt(1)})
+	a, b := db.TableEpoch("A"), db.TableEpoch("B")
+	// Batch deletes A(1) then fails inserting a duplicate; the rollback
+	// reinserts A(1). Content is unchanged, so the epoch may only grow.
+	err := db.Apply(
+		[]GroundFact{{Rel: "A", Tuple: value.Tuple{value.NewInt(1)}}},
+		[]GroundFact{{Rel: "A", Tuple: value.Tuple{value.NewInt(1)}}, {Rel: "B", Tuple: value.Tuple{value.NewInt(7)}}},
+	)
+	if err == nil {
+		t.Fatal("expected batch failure")
+	}
+	if !db.Contains("A", value.Tuple{value.NewInt(1)}) {
+		t.Fatal("rollback lost the original row")
+	}
+	if db.TableEpoch("A") < a || db.TableEpoch("B") < b {
+		t.Fatalf("epochs regressed: A %d->%d, B %d->%d", a, db.TableEpoch("A"), b, db.TableEpoch("B"))
+	}
+}
+
+func TestEpochApplyBumpsPerTable(t *testing.T) {
+	db := epochDB(t)
+	err := db.Apply([]GroundFact{
+		{Rel: "A", Tuple: value.Tuple{value.NewInt(1)}},
+		{Rel: "A", Tuple: value.Tuple{value.NewInt(2)}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.TableEpoch("A") == 0 {
+		t.Fatal("A epoch did not move")
+	}
+	if db.TableEpoch("B") != 0 {
+		t.Fatalf("B epoch moved to %d on a write that never touched B", db.TableEpoch("B"))
+	}
+	if db.Epoch() == 0 {
+		t.Fatal("store epoch did not move")
+	}
+}
+
+func TestEpochCloneCarriesEpochs(t *testing.T) {
+	db := epochDB(t)
+	db.MustInsert("A", value.Tuple{value.NewInt(1)})
+	db.MustInsert("A", value.Tuple{value.NewInt(2)})
+	c := db.Clone()
+	if c.Epoch() != db.Epoch() || c.TableEpoch("A") != db.TableEpoch("A") {
+		t.Fatalf("clone epochs diverge: store %d vs %d, A %d vs %d",
+			c.Epoch(), db.Epoch(), c.TableEpoch("A"), db.TableEpoch("A"))
+	}
+	c.MustInsert("B", value.Tuple{value.NewInt(3)})
+	if db.TableEpoch("B") != 0 {
+		t.Fatal("mutating the clone bumped the original's epoch")
+	}
+}
+
+func TestEpochUnknownRelation(t *testing.T) {
+	db := epochDB(t)
+	if db.TableEpoch("Nope") != 0 {
+		t.Fatal("unknown relation must report epoch 0")
+	}
+}

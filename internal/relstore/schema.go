@@ -4,6 +4,12 @@
 // LIMIT-1 mode (FindOne) that serves as the satisfiability oracle of the
 // quantum database — the role MySQL's LIMIT 1 queries play in the paper's
 // prototype.
+//
+// The store also maintains monotone epoch counters, per table and
+// store-wide (DB.Epoch, DB.TableEpoch), bumped on every committed
+// mutation. Epoch equality proves unchanged content, which is the
+// invalidation primitive behind the quantum layer's cross-solve solution
+// and prepared-query caches.
 package relstore
 
 import (

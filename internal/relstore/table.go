@@ -27,6 +27,12 @@ type table struct {
 	// comp[i] is the composite index for schema.Indexes[i], mapping the
 	// projection key of the indexed columns to row keys.
 	comp []map[string]*keySet
+	// epoch counts committed mutations of this relation (inserts and
+	// deletes, including the compensating operations of a rolled-back
+	// Apply — over-counting only invalidates caches spuriously, never
+	// misses a change). Cross-solve caches key their entries on it: an
+	// unchanged epoch proves the relation's content is unchanged.
+	epoch uint64
 }
 
 type rowEntry struct {
@@ -117,6 +123,7 @@ func (t *table) insert(tup value.Tuple) error {
 		}
 		set.add(k)
 	}
+	t.epoch++
 	return nil
 }
 
@@ -160,6 +167,7 @@ func (t *table) deleteTuple(tup value.Tuple) error {
 			}
 		}
 	}
+	t.epoch++
 	return nil
 }
 
@@ -229,5 +237,6 @@ func (t *table) clone() *table {
 			panic("relstore: clone: " + err.Error())
 		}
 	}
+	c.epoch = t.epoch
 	return c
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/hash"
 	"repro/internal/logic"
 )
 
@@ -61,6 +62,19 @@ type T struct {
 	// transaction coordinating with the transaction(s) tagged PartnerTag
 	// (§5.1); the entanglement policy grounds both when partners meet.
 	PartnerTag string
+
+	// View memoization. The engine derives solver views of a transaction
+	// — Stripped (optional atoms removed) and Hardened (optional atoms
+	// promoted) — once per transaction and reuses the same *T afterwards,
+	// so caches keyed by view pointer (the cross-solve prepared-query
+	// cache) stay stable across solves. The memos are lazily computed and
+	// NOT internally synchronized: callers must hold the lock of the
+	// partition owning the transaction (or have exclusive access, as
+	// during admission), which the engine's lock order already guarantees.
+	stripped *T
+	hardened *T
+	ckey     uint64
+	ckeyOK   bool
 }
 
 // HardAtoms returns the non-optional body atoms.
@@ -83,6 +97,128 @@ func (t *T) OptionalAtoms() []logic.Atom {
 		}
 	}
 	return out
+}
+
+// Stripped returns a view of t without optional atoms: the admission
+// invariant of §2 covers only non-optional atoms. When t has no optional
+// atoms the view is t itself; otherwise the copy is memoized, so repeated
+// calls return the same pointer (see the memoization note on T).
+func (t *T) Stripped() *T {
+	if t.stripped != nil {
+		return t.stripped
+	}
+	hasOpt := false
+	for _, b := range t.Body {
+		if b.Optional {
+			hasOpt = true
+			break
+		}
+	}
+	if !hasOpt {
+		t.stripped = t
+		return t
+	}
+	c := &T{ID: t.ID, Tag: t.Tag, PartnerTag: t.PartnerTag, Update: t.Update}
+	for _, b := range t.Body {
+		if !b.Optional {
+			c.Body = append(c.Body, b)
+		}
+	}
+	t.stripped = c
+	return c
+}
+
+// Hardened returns a view of t with optional atoms promoted to hard ones,
+// used for coordinated pair grounding (§5.1 forward constraints). Like
+// Stripped, the view is t itself when t has no optional atoms, and is
+// memoized otherwise.
+func (t *T) Hardened() *T {
+	if t.hardened != nil {
+		return t.hardened
+	}
+	hasOpt := false
+	for _, b := range t.Body {
+		if b.Optional {
+			hasOpt = true
+			break
+		}
+	}
+	if !hasOpt {
+		t.hardened = t
+		return t
+	}
+	c := &T{ID: t.ID, Tag: t.Tag, PartnerTag: t.PartnerTag, Update: t.Update}
+	for _, b := range t.Body {
+		c.Body = append(c.Body, BodyAtom{Atom: b.Atom})
+	}
+	t.hardened = c
+	return c
+}
+
+// MemoizedViews returns the distinct view pointers materialized for t so
+// far (t itself plus any computed Stripped/Hardened copies), without
+// forcing computation. Caches keyed by view pointer evict these when the
+// transaction leaves the system.
+func (t *T) MemoizedViews() []*T {
+	out := []*T{t}
+	if t.stripped != nil && t.stripped != t {
+		out = append(out, t.stripped)
+	}
+	if t.hardened != nil && t.hardened != t {
+		out = append(out, t.hardened)
+	}
+	return out
+}
+
+// ContentKey returns a structural hash of the transaction that is
+// invariant under variable renaming: variables hash as their index of
+// first occurrence, so two renamed-apart copies of the same transaction
+// text produce equal keys. The quantum database uses it to recognize
+// repeated satisfiability questions (e.g. resubmission of a rejected
+// transaction) across distinct transaction IDs. The key is memoized; see
+// the synchronization note on T.
+func (t *T) ContentKey() uint64 {
+	if t.ckeyOK {
+		return t.ckey
+	}
+	h := uint64(hash.Offset64)
+	idx := make(map[string]int)
+	hashAtom := func(a logic.Atom) {
+		h = hash.String(h, a.Rel)
+		for _, arg := range a.Args {
+			if arg.IsVar() {
+				n, ok := idx[arg.Name()]
+				if !ok {
+					n = len(idx)
+					idx[arg.Name()] = n
+				}
+				h = hash.Byte(h, 'v')
+				h = hash.Mix(h, uint64(n))
+			} else {
+				h = hash.Byte(h, 'c')
+				h = hash.String(h, arg.Value().Quoted())
+			}
+		}
+	}
+	for _, b := range t.Body {
+		if b.Optional {
+			h = hash.Byte(h, '?')
+		} else {
+			h = hash.Byte(h, '.')
+		}
+		hashAtom(b.Atom)
+	}
+	h = hash.Byte(h, '|')
+	for _, u := range t.Update {
+		if u.Insert {
+			h = hash.Byte(h, '+')
+		} else {
+			h = hash.Byte(h, '-')
+		}
+		hashAtom(u.Atom)
+	}
+	t.ckey, t.ckeyOK = h, true
+	return h
 }
 
 // Vars returns the variable names of the whole transaction in order of

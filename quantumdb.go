@@ -47,6 +47,17 @@
 //   - Store and overlay scans build index and tombstone keys in on-stack
 //     buffers, and planner cardinality probes (IndexCount) do not
 //     allocate at all.
+//   - Solve results survive across operations: compiled bodies live in a
+//     database-level prepared-query cache keyed by stable transaction
+//     views, each partition's cached solution replays at grounding time
+//     (an unchanged partition collapses with zero solver work), and
+//     rejected admissions and writes are re-rejected by cache probe.
+//     All three caches are invalidated by store epoch counters — a
+//     fingerprint mismatch proves the relevant relations changed and
+//     forces a fresh solve, so a stale grounding can never be served.
+//     Stats reports SolutionReplays, SolutionStale, NegativeCacheHits
+//     and PrepCacheHits/Misses; Options.DisableCache turns the layer
+//     off for ablations.
 //
 // Two join planners are available (relstore.PlanDynamic, the default
 // greedy re-planning mode, and relstore.PlanStatic, a naive fixed order)
