@@ -8,6 +8,7 @@ package quantumdb
 import (
 	"fmt"
 	"io"
+	"strings"
 	"testing"
 	"time"
 
@@ -329,4 +330,33 @@ func BenchmarkAblationSearchDepth(b *testing.B) {
 	}
 	b.Run("planner=dynamic", run(relstore.PlanDynamic))
 	b.Run("planner=static", run(relstore.PlanStatic))
+}
+
+// BenchmarkParallelSubmit measures admission throughput under a
+// concurrent submit storm on disjoint partitions, swept over worker
+// counts — the optimistic-admission headline. Watch submit/s rise with
+// workers (solves overlap outside the admission lock); the serial
+// variant is the ablation baseline at the widest pool. The shapes come
+// from bench.SubmitShapes, shared with the CI trajectory artifact
+// (qdbbench -json), so the two series stay comparable.
+func BenchmarkParallelSubmit(b *testing.B) {
+	run := func(c bench.SubmitConfig) func(*testing.B) {
+		return func(b *testing.B) {
+			var elapsed time.Duration
+			var submitted int
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunParallelSubmit(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed += r.Elapsed
+				submitted += r.Submitted
+			}
+			b.ReportMetric(elapsed.Seconds()/float64(b.N), "storm-s/op")
+			b.ReportMetric(float64(submitted)/elapsed.Seconds(), "submit/s")
+		}
+	}
+	for _, s := range bench.SubmitShapes() {
+		b.Run(strings.TrimPrefix(s.Name, "BenchmarkParallelSubmit/"), run(s.Cfg))
+	}
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// Benchmark-trajectory emission: `qdbbench -json DIR` writes
+// BENCH_fig7.json and BENCH_submit.json — machine-readable ns/op,
+// allocs/op, and domain throughput for the two headline workloads
+// (grounding-heavy Fig7 and the parallel-admission submit storm). CI
+// uploads them as artifacts on every run, so the performance trajectory
+// of the repository is a downloadable series instead of numbers buried
+// in logs. The shapes match the in-repo benchmarks (bench_test.go), not
+// paper scale: trajectories need comparability run-to-run more than
+// absolute magnitude.
+
+// benchPoint is one measured configuration.
+type benchPoint struct {
+	Name        string         `json:"name"`
+	NsPerOp     int64          `json:"ns_per_op"`
+	AllocsPerOp int64          `json:"allocs_per_op"`
+	BytesPerOp  int64          `json:"bytes_per_op"`
+	Runs        int            `json:"runs"`
+	Throughput  float64        `json:"throughput,omitempty"` // domain ops/s (submits/s for the storm)
+	Counters    map[string]int `json:"counters,omitempty"`
+}
+
+// benchFile is one BENCH_*.json document.
+type benchFile struct {
+	Workload  string       `json:"workload"`
+	Generated string       `json:"generated"` // RFC3339
+	Points    []benchPoint `json:"points"`
+}
+
+// emitTrajectory writes both trajectory files into dir.
+func emitTrajectory(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := emitFig7(dir); err != nil {
+		return err
+	}
+	return emitSubmit(dir)
+}
+
+func emitFig7(dir string) error {
+	cfg := bench.Fig7Config{
+		MinFlights: 2, MaxFlights: 6, FlightStep: 2,
+		RowsPerFlight: 10, Ks: []int{4, 8, 12}, Seed: 1,
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.RunFig7(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc := benchFile{
+		Workload:  "fig7",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Points: []benchPoint{{
+			Name:        "BenchmarkFig7",
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Runs:        res.N,
+		}},
+	}
+	return writeBenchFile(filepath.Join(dir, "BENCH_fig7.json"), doc)
+}
+
+func emitSubmit(dir string) error {
+	doc := benchFile{
+		Workload:  "parallel-submit",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+	// The canonical shape list lives in internal/bench (SubmitShapes) and
+	// is shared with BenchmarkParallelSubmit, so the emitted point names
+	// always measure exactly what the in-repo benchmark measures.
+	for _, s := range bench.SubmitShapes() {
+		var (
+			elapsed   time.Duration
+			submitted int
+			last      *bench.SubmitResult
+		)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunParallelSubmit(s.Cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed += r.Elapsed
+				submitted += r.Submitted
+				last = r
+			}
+		})
+		pt := benchPoint{
+			Name:        s.Name,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Runs:        res.N,
+		}
+		if elapsed > 0 {
+			pt.Throughput = float64(submitted) / elapsed.Seconds()
+		}
+		if last != nil {
+			pt.Counters = map[string]int{
+				"optimistic_admissions": last.Stats.OptimisticAdmissions,
+				"admission_conflicts":   last.Stats.AdmissionConflicts,
+				"admission_retries":     last.Stats.AdmissionRetries,
+				"serial_fallbacks":      last.Stats.SerialFallbacks,
+				"parallel_solves":       last.Stats.ParallelSolves,
+			}
+		}
+		doc.Points = append(doc.Points, pt)
+	}
+	return writeBenchFile(filepath.Join(dir, "BENCH_submit.json"), doc)
+}
+
+func writeBenchFile(path string, doc benchFile) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}

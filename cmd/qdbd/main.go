@@ -30,9 +30,11 @@ func main() {
 	k := flag.Int("k", 0, "per-partition pending bound (0 = paper default 61)")
 	strict := flag.Bool("strict", false, "strict (classical) serializability instead of semantic")
 	workers := flag.Int("workers", 0, "scheduler worker pool size for parallel partition grounding (0 = GOMAXPROCS, 1 = serial)")
+	serialAdmission := flag.Bool("serial-admission", false,
+		"hold the admission lock across each Submit's chain solve instead of admitting optimistically (ablation)")
 	flag.Parse()
 
-	opt := quantumdb.Options{WALPath: *wal, K: *k, Workers: *workers}
+	opt := quantumdb.Options{WALPath: *wal, K: *k, Workers: *workers, SerialAdmission: *serialAdmission}
 	if *strict {
 		opt.Mode = quantumdb.Strict
 	}
@@ -46,7 +48,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("qdbd listening on %s (wal=%q, k=%d, mode=%v, workers=%d)\n",
-		l.Addr(), *wal, *k, opt.Mode, db.Engine().Workers())
+	admission := "optimistic"
+	if *serialAdmission {
+		admission = "serial"
+	}
+	fmt.Printf("qdbd listening on %s (wal=%q, k=%d, mode=%v, workers=%d, admission=%s)\n",
+		l.Addr(), *wal, *k, opt.Mode, db.Engine().Workers(), admission)
 	log.Fatal(server.New(db).Serve(l))
 }

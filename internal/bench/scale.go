@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -136,4 +138,212 @@ func RenderScale(w io.Writer, rs []*ScaleResult) {
 		fmt.Fprintf(w, "%-10d%14s%14.0f%9.2fx\n",
 			r.Workers, r.Ground.Round(time.Microsecond), r.Throughput(), base/r.Ground.Seconds())
 	}
+}
+
+// SubmitConfig sizes the parallel-admission experiment: Clients
+// goroutines each fire TxnsPerClient bookings at the engine as fast as
+// they can. In the disjoint shape every client books its own flight —
+// partitions never overlap, so optimistic admission (solve outside the
+// admission lock) lets the submits run concurrently end to end. With
+// Overlap set, every client books flight 1 instead: admissions contend
+// on one partition, speculation conflicts, and the engine's bounded
+// retry + serial fallback carries the storm.
+type SubmitConfig struct {
+	// Clients is the number of submitting goroutines (one flight each in
+	// the disjoint shape).
+	Clients int
+	// TxnsPerClient is how many bookings each client submits.
+	TxnsPerClient int
+	// RowsPerFlight sizes each flight (3 seats per row).
+	RowsPerFlight int
+	// Workers is the scheduler pool width, which bounds concurrent
+	// speculative solves (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// Overlap aims every client at the same flight (conflict-heavy).
+	Overlap bool
+	// Serial runs the SerialAdmission ablation: admissions hold the lock
+	// across their solves, the pre-optimistic discipline.
+	Serial bool
+}
+
+// DefaultSubmit is the acceptance-bar shape: 8 clients, disjoint flights.
+func DefaultSubmit() SubmitConfig {
+	return SubmitConfig{Clients: 8, TxnsPerClient: 24, RowsPerFlight: 50}
+}
+
+// SubmitResult is one measured submit storm.
+type SubmitResult struct {
+	Config    SubmitConfig
+	Workers   int // resolved pool width
+	Elapsed   time.Duration
+	Submitted int
+	Accepted  int
+	Rejected  int
+	Stats     core.Stats
+}
+
+// Throughput reports admissions (accepted or rejected — both are full
+// engine decisions) per second of storm time.
+func (r *SubmitResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Submitted) / r.Elapsed.Seconds()
+}
+
+// RunParallelSubmit drives one submit storm and verifies the outcome is
+// a consistent world (every accepted booking grounds, nothing double-
+// booked is checked by the engine's key constraints).
+func RunParallelSubmit(cfg SubmitConfig) (*SubmitResult, error) {
+	flights := cfg.Clients
+	if cfg.Overlap {
+		flights = 1
+	}
+	world := workload.NewWorld(workload.Config{Flights: flights, RowsPerFlight: cfg.RowsPerFlight})
+	q, err := core.New(world.DB, core.Options{K: -1, Workers: cfg.Workers, SerialAdmission: cfg.Serial})
+	if err != nil {
+		return nil, err
+	}
+	defer q.Close()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		accepted int
+		rejected int
+	)
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			flight := c + 1
+			if cfg.Overlap {
+				flight = 1
+			}
+			oks, rejs := 0, 0
+			for i := 0; i < cfg.TxnsPerClient; i++ {
+				src := fmt.Sprintf(
+					"-Available(%d, s), +Bookings('c%d_%d', %d, s) :-1 Available(%d, s)",
+					flight, c, i, flight, flight)
+				t, err := txn.Parse(src)
+				if err == nil {
+					_, err = q.Submit(t)
+				}
+				switch {
+				case err == nil:
+					oks++
+				case errors.Is(err, core.ErrRejected):
+					rejs++ // flight full: a legal storm outcome
+				default:
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("submit client %d txn %d: %w", c, i, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			accepted += oks
+			rejected += rejs
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res := &SubmitResult{
+		Config:    cfg,
+		Workers:   q.Workers(),
+		Elapsed:   elapsed,
+		Submitted: accepted + rejected,
+		Accepted:  accepted,
+		Rejected:  rejected,
+	}
+	if err := q.GroundAll(); err != nil {
+		return nil, fmt.Errorf("submit storm: GroundAll: %w", err)
+	}
+	res.Stats = q.Stats()
+	if res.Stats.Grounded != accepted {
+		return nil, fmt.Errorf("submit storm: grounded %d of %d accepted", res.Stats.Grounded, accepted)
+	}
+	return res, nil
+}
+
+// RunSubmitSweep measures the same storm at each worker count.
+func RunSubmitSweep(cfg SubmitConfig, workers []int) ([]*SubmitResult, error) {
+	out := make([]*SubmitResult, 0, len(workers))
+	for _, w := range workers {
+		c := cfg
+		c.Workers = w
+		r, err := RunParallelSubmit(c)
+		if err != nil {
+			return nil, fmt.Errorf("workers=%d: %w", w, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RenderSubmit prints the sweep as a table with speedups over the first
+// (baseline) row.
+func RenderSubmit(w io.Writer, rs []*SubmitResult) {
+	if len(rs) == 0 {
+		return
+	}
+	cfg := rs[0].Config
+	shape := "disjoint flights"
+	if cfg.Overlap {
+		shape = "one contended flight"
+	}
+	fmt.Fprintf(w, "Parallel admission: %d clients × %d submits, %s\n",
+		cfg.Clients, cfg.TxnsPerClient, shape)
+	fmt.Fprintf(w, "%-10s%14s%14s%10s%12s%12s\n",
+		"workers", "storm", "submit/s", "speedup", "optimistic", "conflicts")
+	base := rs[0].Elapsed.Seconds()
+	for _, r := range rs {
+		fmt.Fprintf(w, "%-10d%14s%14.0f%9.2fx%12d%12d\n",
+			r.Workers, r.Elapsed.Round(time.Microsecond), r.Throughput(),
+			base/r.Elapsed.Seconds(), r.Stats.OptimisticAdmissions, r.Stats.AdmissionConflicts)
+	}
+}
+
+// SubmitShape names one measured submit-storm configuration. The
+// benchmark (BenchmarkParallelSubmit) and the CI trajectory emitter
+// (qdbbench -json) share this list, so the BENCH_submit.json series and
+// the in-repo benchmark always measure the same shapes under the same
+// point names — retuning one cannot silently fork the other.
+type SubmitShape struct {
+	Name string
+	Cfg  SubmitConfig
+}
+
+// SubmitShapes returns the canonical parallel-admission sweep: workers
+// 1/2/4/8 on disjoint flights, the serial-admission ablation at the
+// widest pool, and a conflict-heavy variant. The contended flight is
+// kept satisfiable (8×16 = 128 bookings on 150 seats): over-capacity
+// submissions to a long composed body pay the phase transition's
+// exponential unsatisfiability proof, which is the solver's known hard
+// regime, not an admission-concurrency story.
+func SubmitShapes() []SubmitShape {
+	var shapes []SubmitShape
+	for _, w := range []int{1, 2, 4, 8} {
+		c := DefaultSubmit()
+		c.Workers = w
+		shapes = append(shapes, SubmitShape{fmt.Sprintf("BenchmarkParallelSubmit/workers=%d", w), c})
+	}
+	serial := DefaultSubmit()
+	serial.Workers = 8
+	serial.Serial = true
+	shapes = append(shapes, SubmitShape{"BenchmarkParallelSubmit/workers=8/serial-admission", serial})
+	conflict := DefaultSubmit()
+	conflict.Workers = 8
+	conflict.Overlap = true
+	conflict.TxnsPerClient = 16
+	shapes = append(shapes, SubmitShape{"BenchmarkParallelSubmit/workers=8/conflict-heavy", conflict})
+	return shapes
 }

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/formula"
+	"repro/internal/relstore"
+	"repro/internal/txn"
+)
+
+// This file implements optimistic parallel admission: Submit runs its
+// chain solve — the dominant cost of the whole hot path — OUTSIDE the
+// admission lock, so concurrent clients whose transactions touch
+// disjoint partitions admit in parallel instead of serializing. The
+// protocol is snapshot / speculate / validate+install:
+//
+//  1. Snapshot: resolve the partitions the new transaction overlaps
+//     (without admitMu — lockCandidates validates set stability and the
+//     final say belongs to step 3) and record, per partition, the
+//     pending chain, the cached solution, its epoch stamp, and the
+//     partition's version counter; plus the database-wide partition-set
+//     version and admission sequence. The counters are read BEFORE the
+//     index walk and bumped by installers AFTER publication, so counter
+//     equality later proves the snapshot missed no install.
+//  2. Speculate: on the scheduler pool (bounding concurrent solves
+//     machine-wide), under the store's read gate, run the negative-cache
+//     probe, the solution-extension fast path, or the full composed-body
+//     solve over the snapshot chain — exactly the serial admission's
+//     decision procedure, against immutable inputs: *txn.T values are
+//     never mutated once published and partition slices are replaced,
+//     not written in place, so the snapshot needs no copies.
+//  3. Validate + install: re-enter admitMu, re-lock the overlap set, and
+//     check it is EXACTLY the snapshot (same partitions at the same
+//     versions — a new overlapping partition, a merge, a grounding, or a
+//     cache refresh all change it), then check the store: the epoch
+//     fingerprint of the relevant relations must equal the speculation's
+//     (bit-identical tables ⇒ the solve reproduces), OR every store
+//     mutation since must provably come from groundings of
+//     NON-overlapping partitions (storeTrusted, no blind writes, no
+//     admission installs), which cannot unify with the admission's atoms
+//     and so can neither create nor destroy its groundings. On success
+//     the outcome — accept or reject, both are user-visible decisions —
+//     is published under the lock like a serial admission's; on conflict
+//     the whole attempt retries, and after maxAdmitAttempts conflicts
+//     the call falls back to one serial admission, which cannot
+//     conflict. Stats: OptimisticAdmissions, AdmissionConflicts,
+//     AdmissionRetries, SerialFallbacks (conflicts = retries +
+//     fallbacks).
+//
+// The same key-collision caveat the sharded scheduler already accepts
+// applies here: "independent" partitions can still collide on update
+// keys of shared tables; Apply fails closed on such collisions, exactly
+// as it does for parallel grounding.
+
+// maxAdmitAttempts bounds optimistic tries per Submit; the attempt after
+// the last conflict runs serially under the admission lock, so a
+// contended partition degrades to the classic discipline instead of
+// livelocking.
+const maxAdmitAttempts = 3
+
+// admitSnap is the optimistic-admission snapshot of everything the
+// speculative solve depends on.
+type admitSnap struct {
+	partVersion uint64
+	admitSeq    uint64
+	parts       []partSnap
+	// merged is the would-be chain: the snapshot partitions' pending
+	// transactions plus the new one, ascending by ID.
+	merged []*txn.T
+}
+
+// partSnap freezes one overlapping partition. txns/cached alias the
+// partition's slices — safe because the engine replaces those slices on
+// every mutation (and bumps version) rather than writing them in place.
+type partSnap struct {
+	p           *partition
+	version     uint64
+	txns        []*txn.T
+	cached      []formula.Grounding
+	cachedEpoch uint64
+}
+
+// specOutcome is what a speculative solve learned, pending validation.
+type specOutcome struct {
+	ok      bool // chain satisfiable with the new transaction
+	fromNeg bool // unsatisfiability answered by negative-cache probe
+	// cached is the full chain solution aligned with snap.merged (accept
+	// only).
+	cached []formula.Grounding
+	// negKey/negFP key the negative cache should the rejection validate.
+	negKey, negFP uint64
+	// fp is the epoch fingerprint of merged's relations at solve time:
+	// the validation basis and, unchanged, the install stamp.
+	fp uint64
+	// writeSeq is the accepted-blind-write count at solve time, read
+	// under the same read gate as the solve's store view.
+	writeSeq uint64
+}
+
+// submitOptimistic drives the snapshot/speculate/validate loop for one
+// admission. orig is the caller's un-renamed transaction (for error
+// text); admitted carries the pre-assigned ID and renamed-apart
+// variables.
+func (q *QDB) submitOptimistic(orig, admitted *txn.T) (int64, error) {
+	for attempt := 0; ; attempt++ {
+		if attempt == maxAdmitAttempts {
+			q.stats.serialFallbacks.Add(1)
+			return q.submitSerial(orig, admitted)
+		}
+		snap := q.snapshotOverlap(admitted)
+		spec, err := q.speculate(snap, admitted)
+		if err != nil {
+			q.prep.Evict(admitted)
+			return 0, err
+		}
+		id, done, err := q.tryInstall(orig, admitted, snap, spec)
+		if done {
+			return id, err
+		}
+		q.stats.admissionConflicts.Add(1)
+		if attempt+1 < maxAdmitAttempts {
+			q.stats.admissionRetries.Add(1)
+		}
+	}
+}
+
+// snapshotOverlap resolves and freezes the partitions admitted overlaps.
+func (q *QDB) snapshotOverlap(admitted *txn.T) *admitSnap {
+	// Counters first, index second: installs publish to the index before
+	// bumping, so if the counters are still equal at validation, every
+	// install is either in this snapshot or did not happen.
+	partVersion := q.partVersion.Load()
+	admitSeq := q.admitSeq.Load()
+	// One pass over the index's candidates, without lockCandidates'
+	// stability validation: a candidate that appears mid-walk (a
+	// concurrent install) is exactly what revalidate exists to catch, so
+	// the snapshot may be cheerfully stale — it must only be internally
+	// consistent, which the shard locks give per partition.
+	ps := q.candidateSnapshot(atomsOf(admitted))
+	locked := ps[:0]
+	for _, p := range ps {
+		p.shard.Lock()
+		if !p.shard.Alive() {
+			p.shard.Unlock()
+			continue
+		}
+		if len(p.txns) == 0 || !overlaps(admitted, p) {
+			p.shard.Unlock()
+			continue
+		}
+		locked = append(locked, p)
+	}
+	snap := buildSnap(locked, admitted)
+	unlockPartitions(locked)
+	snap.partVersion, snap.admitSeq = partVersion, admitSeq
+	return snap
+}
+
+// buildSnap freezes an overlap set the caller has locked (live
+// partitions in the serial path, a moment-in-time set in the optimistic
+// one) and assembles the would-be chain. Counters are the caller's
+// concern: the serial path never validates, so it leaves them zero.
+func buildSnap(ps []*partition, admitted *txn.T) *admitSnap {
+	snap := &admitSnap{}
+	n := 0
+	for _, p := range ps {
+		snap.parts = append(snap.parts, partSnap{
+			p: p, version: p.version,
+			txns: p.txns, cached: p.cached, cachedEpoch: p.cachedEpoch,
+		})
+		n += len(p.txns)
+	}
+	snap.merged = make([]*txn.T, 0, n+1)
+	for _, s := range snap.parts {
+		snap.merged = append(snap.merged, s.txns...)
+	}
+	snap.merged = append(snap.merged, admitted)
+	sort.Slice(snap.merged, func(i, j int) bool { return snap.merged[i].ID < snap.merged[j].ID })
+	return snap
+}
+
+// decide is THE admission decision procedure, shared verbatim by the
+// serial and optimistic paths so their accept/reject semantics cannot
+// drift: negative-cache probe, cached-solution extension, full
+// composed-body solve, in that order, over the snapshot chain. It runs
+// under the store's read gate — no store writer may queue mid-solve (the
+// evaluator re-enters relstore read locks; see trySolveAndApply), and
+// the gate freezes the epochs, so the fingerprints recorded in out
+// describe precisely the store state the solve saw. It takes no shard
+// and no admission lock itself; the serial caller holds both, the
+// optimistic caller validates afterwards.
+func (q *QDB) decide(snap *admitSnap, admitted *txn.T, out *specOutcome) error {
+	q.storeMu.RLock()
+	defer q.storeMu.RUnlock()
+	out.writeSeq = q.writeSeq.Load()
+	views := stripAll(snap.merged)
+	if !q.opt.DisableCache {
+		// Negative probe: the same composed-body question (up to variable
+		// renaming — ContentKey normalizes the fresh rename-apart) proven
+		// unsatisfiable against these relations at these epochs rejects
+		// by cache probe, skipping both solve paths.
+		out.negKey = solveKey(views, false, 1, 0)
+		out.negFP = q.epochFingerprint(views)
+		// Without optional atoms the stripped views ARE the raw
+		// transactions (memoized identity) and negFP already covers
+		// every relevant relation.
+		out.fp = out.negFP
+		for i := range snap.merged {
+			if views[i] != snap.merged[i] {
+				out.fp = q.epochFingerprint(snap.merged)
+				break
+			}
+		}
+		if q.rejects.hit(out.negKey, out.negFP) {
+			out.fromNeg = true
+			return nil
+		}
+	} else {
+		out.fp = q.epochFingerprint(snap.merged)
+	}
+	if !q.opt.DisableCache && snap.allCached() && q.snapFresh(snap) &&
+		maxSnapID(snap) < admitted.ID {
+		// Fast path: extend the combined cached solution with a grounding
+		// for just the new transaction. Freshness is mandatory: extending
+		// a stale cached solution and re-stamping it at current epochs
+		// would launder a grounding the store no longer supports past the
+		// replay check. The ID guard keeps the extension aligned with the
+		// chain order: IDs are assigned before any admission lock, so an
+		// admission with a later ID can install first, and a solution
+		// extended at the END of the chain is only valid for a
+		// transaction that also sorts last.
+		combined := snap.combinedGroundings()
+		ov := relstore.NewOverlay(q.db)
+		if applyGroundings(ov, combined) == nil {
+			sol, ok, err := formula.SolveChain(ov, []*txn.T{strip(admitted)}, q.chainOpts(false))
+			if err != nil {
+				return err
+			}
+			if ok {
+				q.stats.cacheHits.Add(1)
+				out.ok = true
+				out.cached = append(combined, sol.Groundings[0])
+				return nil
+			}
+		}
+	}
+	// Slow path: full composed-body satisfiability check.
+	q.stats.cacheMisses.Add(1)
+	sol, ok, err := formula.SolveChain(q.db, views, q.chainOpts(false))
+	if err != nil {
+		return err
+	}
+	if ok {
+		out.ok = true
+		out.cached = sol.Groundings
+	}
+	return nil
+}
+
+// speculate runs decide over the snapshot on the scheduler pool (one
+// worker slot — concurrent speculations across clients are bounded
+// exactly like grounding tasks). It takes NO shard and holds NO
+// admission lock: conflicting state changes are caught by tryInstall,
+// never raced.
+func (q *QDB) speculate(snap *admitSnap, admitted *txn.T) (*specOutcome, error) {
+	out := &specOutcome{}
+	err := q.pool.Run(func() error {
+		q.stats.parallelSolves.Add(1)
+		return q.decide(snap, admitted, out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// tryInstall revalidates the snapshot under the admission lock and, when
+// it holds, publishes the speculation's outcome. done=false means the
+// snapshot went stale (a conflict) and nothing was published.
+func (q *QDB) tryInstall(orig, admitted *txn.T, snap *admitSnap, spec *specOutcome) (id int64, done bool, err error) {
+	q.admitMu.Lock()
+	locked, ok := q.revalidate(snap, admitted)
+	if !ok {
+		q.admitMu.Unlock()
+		return 0, false, nil
+	}
+	// Store check, under the read gate so the epochs are frozen. The
+	// fingerprint recomputation doubles as the install stamp: it
+	// describes exactly the store state the solution is valid over —
+	// either bit-identical to the solve's (fingerprint equality) or moved
+	// past it only by groundings of non-overlapping partitions, which
+	// cannot unify with any of merged's atoms and so preserve the
+	// solution (and the rejection proof) verbatim.
+	q.storeMu.RLock()
+	fpNow := q.epochFingerprint(snap.merged)
+	storeOK := fpNow == spec.fp ||
+		(q.storeTrusted() && q.writeSeq.Load() == spec.writeSeq &&
+			q.admitSeq.Load() == snap.admitSeq)
+	q.storeMu.RUnlock()
+	if !storeOK {
+		unlockPartitions(locked)
+		q.admitMu.Unlock()
+		return 0, false, nil
+	}
+	q.stats.optimisticAdmissions.Add(1)
+
+	if !spec.ok {
+		// Validated rejection: user-visible, so it needed the same
+		// validation as an accept — the question was proven unsatisfiable
+		// against the still-current partition chain and store.
+		return 0, true, q.rejectLocked(orig, admitted, locked, spec)
+	}
+	id, err = q.acceptLocked(admitted, locked, snap.merged, spec.cached, fpNow)
+	return id, true, err
+}
+
+// rejectLocked publishes a decided rejection: record the
+// unsatisfiability proof, count the outcome, release the overlap set AND
+// the admission lock (both callers hold them), and build the error.
+func (q *QDB) rejectLocked(orig, admitted *txn.T, locked []*partition, out *specOutcome) error {
+	if !q.opt.DisableCache && !out.fromNeg {
+		q.rejects.add(out.negKey, out.negFP)
+	}
+	if out.fromNeg {
+		q.stats.negHits.Add(1)
+	}
+	unlockPartitions(locked)
+	q.admitMu.Unlock()
+	q.stats.rejected.Add(1)
+	q.prep.Evict(admitted)
+	return fmt.Errorf("%w: txn %q", ErrRejected, orig.String())
+}
+
+// acceptLocked publishes a decided accept: merge the overlap set,
+// install the chain and solution, log the pending record, release the
+// admission lock (the caller holds it), and run the k-bound eviction
+// with only the surviving partition locked.
+func (q *QDB) acceptLocked(admitted *txn.T, locked []*partition, merged []*txn.T, cached []formula.Grounding, stamp uint64) (int64, error) {
+	p := q.mergeLocked(locked)
+	q.installLocked(p, admitted, merged, cached, stamp)
+	if err := q.logPending(admitted); err != nil {
+		p.shard.Unlock()
+		q.admitMu.Unlock()
+		return 0, err
+	}
+	q.admitMu.Unlock()
+	return admitted.ID, q.enforceK(p)
+}
+
+// revalidate re-locks the partitions overlapping admitted under admitMu
+// and reports whether they are exactly the snapshot's, at the snapshot's
+// versions. Fast path: admitMu excludes installs, so if no install (or
+// create/merge/retire) has happened since the snapshot — partVersion
+// unchanged — no partition can have gained atoms, and locking the
+// snapshot set and checking versions suffices. Otherwise the overlap set
+// is resolved from scratch and compared. On success the returned
+// partitions are locked (ascending ID); on failure everything is
+// released.
+func (q *QDB) revalidate(snap *admitSnap, admitted *txn.T) ([]*partition, bool) {
+	if q.partVersion.Load() == snap.partVersion {
+		locked := make([]*partition, 0, len(snap.parts))
+		for _, s := range snap.parts {
+			s.p.shard.Lock()
+			locked = append(locked, s.p)
+			if !s.p.shard.Alive() || s.p.version != s.version {
+				unlockPartitions(locked)
+				return nil, false
+			}
+		}
+		return locked, true
+	}
+	locked := q.lockOverlapping(admitted)
+	if len(locked) == len(snap.parts) {
+		ok := true
+		for i, s := range snap.parts {
+			if locked[i] != s.p || s.p.version != s.version {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return locked, true
+		}
+	}
+	unlockPartitions(locked)
+	return nil, false
+}
+
+// allCached reports whether every snapshot partition carries a cached
+// solution (mirrors allCached over live partitions).
+func (s *admitSnap) allCached() bool {
+	for _, ps := range s.parts {
+		if ps.cached == nil && len(ps.txns) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// combinedGroundings merges the snapshot partitions' cached groundings
+// in transaction-ID order (mirrors combinedGroundings).
+func (s *admitSnap) combinedGroundings() []formula.Grounding {
+	var all []formula.Grounding
+	for _, ps := range s.parts {
+		all = append(all, ps.cached...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Txn.ID < all[j].Txn.ID })
+	return all
+}
+
+// snapFresh is cachesFresh over snapshot state: every snapshot
+// partition's cached solution must still be valid over the current
+// store. Caller holds the store's read gate.
+func (q *QDB) snapFresh(snap *admitSnap) bool {
+	if q.storeTrusted() {
+		return true
+	}
+	for _, ps := range snap.parts {
+		if len(ps.txns) == 0 {
+			continue
+		}
+		if q.epochFingerprint(ps.txns) != ps.cachedEpoch {
+			q.stats.solutionStale.Add(1)
+			return false
+		}
+	}
+	return true
+}
+
+// maxSnapID returns the largest pending transaction ID in the snapshot,
+// or 0.
+func maxSnapID(snap *admitSnap) int64 {
+	var max int64
+	for _, ps := range snap.parts {
+		if n := len(ps.txns); n > 0 && ps.txns[n-1].ID > max {
+			max = ps.txns[n-1].ID // txns ascend by ID
+		}
+	}
+	return max
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"log"
 	"sync"
 
 	"repro/internal/hash"
@@ -47,7 +48,29 @@ import (
 // monotone) and demotes every cache decision to fingerprint comparison.
 // Caller must hold storeMu (either side) so the two counters are read
 // coherently.
-func (q *QDB) storeTrusted() bool { return q.db.Epoch() == q.knownEpoch }
+func (q *QDB) storeTrusted() bool {
+	if q.db.Epoch() == q.knownEpoch {
+		return true
+	}
+	q.noteTrustDemotion()
+	return false
+}
+
+// noteTrustDemotion counts and logs the first observed trusted-store
+// demotion. The demotion itself is implicit and permanent (the epoch
+// counters can never re-converge); what this adds is visibility — a
+// deployment whose cache hit rate degraded can see that an out-of-band
+// store write is why (Stats.TrustDemotions, and one log line). A future
+// re-trust/resync protocol (ROADMAP) would revalidate caches and re-arm
+// knownEpoch instead.
+func (q *QDB) noteTrustDemotion() {
+	if q.demoted.CompareAndSwap(false, true) {
+		q.stats.trustDemotions.Add(1)
+		log.Printf("core: out-of-band store write detected (store epoch %d, engine expected %d): "+
+			"trusted-store fast path demoted permanently; cache decisions now need epoch-fingerprint checks",
+			q.db.Epoch(), q.knownEpoch)
+	}
+}
 
 // noteEngineWrite advances the expected epoch for a non-empty batch the
 // engine just applied. Caller holds storeMu exclusively (the same
@@ -86,32 +109,33 @@ func (q *QDB) gapClean(s epochSnap) bool {
 // produce equal fingerprints.
 func (q *QDB) epochFingerprint(ts []*txn.T) uint64 {
 	h := uint64(hash.Offset64)
-	var rels []string
-	seen := func(rel string) bool {
-		for _, r := range rels {
-			if r == rel {
-				return true
-			}
-		}
-		return false
-	}
-	add := func(rel string) {
-		if seen(rel) {
-			return
-		}
-		rels = append(rels, rel)
-		h = hash.String(h, rel)
-		h = hash.Mix(h, q.db.TableEpoch(rel))
-	}
+	// First-occurrence dedup over a stack buffer: admissions fingerprint
+	// several times per call (negative key, stamp, validation), so this
+	// path stays allocation-free for realistic relation counts.
+	var relsBuf [16]string
+	rels := relsBuf[:0]
 	for _, t := range ts {
 		for _, b := range t.Body {
-			add(b.Atom.Rel)
+			h, rels = q.fingerprintRel(h, rels, b.Atom.Rel)
 		}
 		for _, u := range t.Update {
-			add(u.Atom.Rel)
+			h, rels = q.fingerprintRel(h, rels, u.Atom.Rel)
 		}
 	}
 	return h
+}
+
+// fingerprintRel folds rel's table epoch into h unless already seen.
+func (q *QDB) fingerprintRel(h uint64, rels []string, rel string) (uint64, []string) {
+	for _, r := range rels {
+		if r == rel {
+			return h, rels
+		}
+	}
+	rels = append(rels, rel)
+	h = hash.String(h, rel)
+	h = hash.Mix(h, q.db.TableEpoch(rel))
+	return h, rels
 }
 
 // solveKey identifies a chain-solve instance up to variable renaming:

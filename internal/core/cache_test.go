@@ -126,45 +126,57 @@ func TestStrictPrefixGroundingReplays(t *testing.T) {
 // (store mutated out-of-band), the extension must NOT inherit it and
 // restamp it at current epochs — that would launder an invalidated
 // grounding past the replay check. The fast path must decline and the
-// slow path must re-solve against the real store.
+// slow path must re-solve against the real store. The scenario runs
+// under both admission disciplines: the optimistic path extends from a
+// partition SNAPSHOT and validates before install, and its freshness and
+// stamping rules must be exactly as strict as the serial path's.
 func TestFastPathDoesNotLaunderStaleCache(t *testing.T) {
-	db := relstore.NewDB()
-	db.MustCreateTable(relstore.Schema{Name: "Available", Columns: []string{"fno", "sno"}})
-	db.MustCreateTable(relstore.Schema{Name: "Cheap", Columns: []string{"sno"}})
-	db.MustCreateTable(relstore.Schema{Name: "Bookings", Columns: []string{"name", "fno", "sno"}, Key: []int{1, 2}})
-	for _, s := range []string{"a", "b", "c"} {
-		db.MustInsert("Available", tup(1, s))
-		db.MustInsert("Cheap", tup(s))
+	for _, serial := range []bool{false, true} {
+		t.Run(fmt.Sprintf("serialAdmission=%v", serial), func(t *testing.T) {
+			db := relstore.NewDB()
+			db.MustCreateTable(relstore.Schema{Name: "Available", Columns: []string{"fno", "sno"}})
+			db.MustCreateTable(relstore.Schema{Name: "Cheap", Columns: []string{"sno"}})
+			db.MustCreateTable(relstore.Schema{Name: "Bookings", Columns: []string{"name", "fno", "sno"}, Key: []int{1, 2}})
+			for _, s := range []string{"a", "b", "c"} {
+				db.MustInsert("Available", tup(1, s))
+				db.MustInsert("Cheap", tup(s))
+			}
+			q := mustQDB(t, db, Options{SerialAdmission: serial})
+			mk := func(name string) *txn.T {
+				return txn.MustParse(fmt.Sprintf(
+					"-Available(1, s), +Bookings('%s', 1, s) :-1 Available(1, s), Cheap(s)", name))
+			}
+			if _, err := q.Submit(mk("M")); err != nil { // cached grounding picks 'a'
+				t.Fatal(err)
+			}
+			// Out-of-band: invalidate the cached choice without touching what
+			// the cached grounding applies to.
+			if err := db.Delete("Cheap", tup("a")); err != nil {
+				t.Fatal(err)
+			}
+			// Overlapping admission: the fast path would extend M's stale cache.
+			if _, err := q.Submit(mk("N")); err != nil {
+				t.Fatal(err)
+			}
+			if s := q.Stats(); s.SolutionStale == 0 {
+				t.Fatal("fast path never noticed the stale cache")
+			}
+			if !serial {
+				if s := q.Stats(); s.TrustDemotions != 1 {
+					t.Fatalf("TrustDemotions = %d after an out-of-band delete, want 1", s.TrustDemotions)
+				}
+			}
+			if err := q.GroundAll(); err != nil {
+				t.Fatal(err)
+			}
+			db.Scan("Bookings", func(tp value.Tuple) bool {
+				if tp[2].Quoted() == "'a'" {
+					t.Fatalf("%v booked seat 'a', whose Cheap row was deleted before admission of N", tp[0])
+				}
+				return true
+			})
+		})
 	}
-	q := mustQDB(t, db, Options{})
-	mk := func(name string) *txn.T {
-		return txn.MustParse(fmt.Sprintf(
-			"-Available(1, s), +Bookings('%s', 1, s) :-1 Available(1, s), Cheap(s)", name))
-	}
-	if _, err := q.Submit(mk("M")); err != nil { // cached grounding picks 'a'
-		t.Fatal(err)
-	}
-	// Out-of-band: invalidate the cached choice without touching what
-	// the cached grounding applies to.
-	if err := db.Delete("Cheap", tup("a")); err != nil {
-		t.Fatal(err)
-	}
-	// Overlapping admission: the fast path would extend M's stale cache.
-	if _, err := q.Submit(mk("N")); err != nil {
-		t.Fatal(err)
-	}
-	if s := q.Stats(); s.SolutionStale == 0 {
-		t.Fatal("fast path never noticed the stale cache")
-	}
-	if err := q.GroundAll(); err != nil {
-		t.Fatal(err)
-	}
-	db.Scan("Bookings", func(tp value.Tuple) bool {
-		if tp[2].Quoted() == "'a'" {
-			t.Fatalf("%v booked seat 'a', whose Cheap row was deleted before admission of N", tp[0])
-		}
-		return true
-	})
 }
 
 // TestNegativeCacheRejectsRepeatedSubmissions: a rejected admission

@@ -221,6 +221,7 @@ func (q *QDB) replayHead(p *partition) (bool, error) {
 		q.storeMu.Unlock()
 		q.stats.solutionStale.Add(1)
 		p.cached, p.cachedEpoch = nil, 0
+		p.version++
 		return false, nil
 	}
 	q.noteEngineWrite(g.Inserts, g.Deletes)
@@ -253,11 +254,13 @@ func (q *QDB) replayHead(p *partition) (bool, error) {
 	// partition's cached solution.
 	p.cached = p.cached[1:]
 	p.cachedEpoch = stamp
+	p.version++
 	if len(p.txns) == 0 {
 		q.mu.Lock()
 		delete(q.parts, p.id())
 		q.mu.Unlock()
 		p.shard.Retire()
+		q.partVersion.Add(1)
 	}
 	return true, nil
 }
@@ -449,11 +452,13 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 		p.cached = append([]formula.Grounding(nil), sol.Groundings[groundCount:]...)
 		p.cachedEpoch = stamp
 	}
+	p.version++
 	if len(p.txns) == 0 {
 		q.mu.Lock()
 		delete(q.parts, p.id())
 		q.mu.Unlock()
 		p.shard.Retire()
+		q.partVersion.Add(1)
 	}
 	return true, nil
 }
@@ -715,6 +720,10 @@ func (q *QDB) Write(inserts, deletes []relstore.GroundFact) error {
 		return fmt.Errorf("core: applying write: %w", err)
 	}
 	q.noteEngineWrite(inserts, deletes)
+	// Blind writes are the one engine mutation optimistic admission can
+	// never attribute to a non-overlapping partition; the sequence number
+	// lets validations detect that one landed mid-speculation.
+	q.writeSeq.Add(1)
 	if err := q.logFacts(inserts, deletes); err != nil {
 		q.storeMu.Unlock()
 		unlockPartitions(cands)
@@ -736,14 +745,17 @@ func (q *QDB) Write(inserts, deletes []relstore.GroundFact) error {
 		}
 	}
 	q.storeMu.Unlock()
-	if !q.opt.DisableCache {
-		for i, p := range affected {
+	for i, p := range affected {
+		if !q.opt.DisableCache {
 			// Refreshed solutions were validated over the store plus this
 			// write, which is now the store; the stamp lets grounding
 			// replay them.
 			p.cached = refreshed[i]
 			p.cachedEpoch = stamps[i]
 		}
+		// Either way the partition's solve-relevant state moved: any
+		// in-flight admission speculation over it must conflict.
+		p.version++
 	}
 	unlockPartitions(cands)
 	q.stats.writesAccepted.Add(1)

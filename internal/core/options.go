@@ -77,6 +77,16 @@ type Options struct {
 	// independent per-partition bodies (ablation: §4-5 credit partitioning
 	// for scalability).
 	DisablePartitioning bool
+	// SerialAdmission turns off optimistic parallel admission: every
+	// Submit holds the admission lock across its whole chain solve (the
+	// pre-optimistic discipline) instead of solving speculatively against
+	// a partition-set snapshot and validating before install. The ablation
+	// counterpart of qdbd's -serial-admission flag. Optimistic admission
+	// is also bypassed automatically when DisablePartitioning is set (one
+	// global partition makes every pair of admissions conflict, so
+	// speculation could only waste solves) and per-call after repeated
+	// validation conflicts (Stats.SerialFallbacks).
+	SerialAdmission bool
 	// Planner is forwarded to the conjunctive-query evaluator.
 	Planner relstore.PlannerMode
 	// Chooser picks among sampled groundings at collapse time; nil means

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/formula"
 	"repro/internal/logic"
@@ -34,10 +35,16 @@ var ErrUnknownTxn = errors.New("core: unknown or already-grounded transaction")
 //
 //		admitMu → partition shards (ascending ID) → mu | storeMu
 //
-//	  - admitMu serializes changes to the partition SET: admission (which
-//	    can create and merge partitions), blind writes, and checkpoints.
-//	    While held, no partition appears or gains atoms, so an overlap
-//	    snapshot stays a sound superset without a retry loop.
+//	  - admitMu serializes changes to the partition SET: admission
+//	    installs (which can create and merge partitions), blind writes,
+//	    and checkpoints. While held, no partition appears or gains atoms,
+//	    so an overlap snapshot stays a sound superset without a retry
+//	    loop. Submit holds it only for the short validate-and-install
+//	    critical section by default — the chain solve runs BEFORE it,
+//	    against a versioned snapshot of the overlapping partitions, and
+//	    the snapshot is revalidated under the lock before anything is
+//	    published (optimistic admission, admit.go). SerialAdmission
+//	    restores the classic hold-across-the-solve discipline.
 //	  - each partition's shard guards its txns and cached groundings.
 //	    Cross-partition operations (merging admissions, entangled pairs
 //	    spanning partitions, GroundAll barriers) lock shards in canonical
@@ -87,6 +94,25 @@ type QDB struct {
 	// exclusive side, read under either).
 	knownEpoch uint64
 
+	// Optimistic-admission snapshot counters (see admit.go). partVersion
+	// versions the partition SET: bumped on every partition create, merge,
+	// retire, and admission install — always AFTER the registry and index
+	// reflect the change, so a snapshot that read the counter BEFORE
+	// walking the index observes every install the counter covers, and
+	// counter equality at validation proves the snapshot's overlap set is
+	// still the true one. admitSeq counts admission installs alone and
+	// writeSeq accepted blind writes (bumped under storeMu exclusive);
+	// together with storeTrusted they let a validation accept a snapshot
+	// whose relevant table epochs moved only by groundings of
+	// non-overlapping partitions, which cannot unify with the admission's
+	// atoms and so cannot invalidate its solve.
+	partVersion atomic.Uint64
+	admitSeq    atomic.Uint64
+	writeSeq    atomic.Uint64
+	// demoted latches the first observed trusted-store demotion so it is
+	// counted and logged exactly once (see noteTrustDemotion).
+	demoted atomic.Bool
+
 	log   *wal.Log // immutable after New; internally synchronized
 	stats counters
 }
@@ -110,6 +136,12 @@ type partition struct {
 	// still matches, so a store mutated behind the engine's back can
 	// never be served a stale grounding.
 	cachedEpoch uint64
+	// version counts mutations of txns/cached/cachedEpoch (written under
+	// shard). Optimistic admission snapshots it and re-checks it at
+	// install time: equality under the shard proves the partition's
+	// pending chain and cached solution are exactly what the speculative
+	// solve saw.
+	version uint64
 }
 
 func (p *partition) id() int64 { return p.shard.ID() }
@@ -227,118 +259,83 @@ func (q *QDB) isPending(id int64) bool {
 //
 // Submit implements §3.2.1 + §4: tentative partition merge, solution-cache
 // extension, full composed-body solve on cache miss, durable logging to
-// the pending-transactions table, and k-bound enforcement. Admissions
-// serialize on the admission lock (they can create or merge partitions);
-// the k-bound eviction at the end runs with only the target partition
-// locked, so evictions of different partitions proceed in parallel.
+// the pending-transactions table, and k-bound enforcement.
+//
+// By default the admission is OPTIMISTIC (admit.go): the chain solve —
+// the expensive part — runs outside the admission lock against a
+// snapshot of the overlapping partitions, and a short critical section
+// validates the snapshot and installs the result, retrying on conflict
+// with a serial fallback. Submits touching disjoint partitions therefore
+// admit concurrently. Options.SerialAdmission (and DisablePartitioning)
+// selects the serial discipline, which holds the admission lock across
+// the whole solve. Either way, the k-bound eviction at the end runs with
+// only the target partition locked, so evictions of different partitions
+// proceed in parallel.
 func (q *QDB) Submit(t *txn.T) (int64, error) {
 	if err := t.Validate(); err != nil {
 		return 0, err
 	}
 	q.stats.submitted.Add(1)
-	q.admitMu.Lock()
-
+	// The ID is assigned up front, before any admission lock: concurrent
+	// optimistic admissions each need their rename-apart variable suffix
+	// (and their identity in solver groundings) while solving in
+	// parallel. A rejected or errored admission burns its ID — gaps are
+	// fine, recovery resumes from max+1.
 	q.mu.Lock()
 	id := q.nextID
+	q.nextID++
 	q.mu.Unlock()
 	admitted := &txn.T{ID: id, Tag: t.Tag, PartnerTag: t.PartnerTag, Body: t.Body, Update: t.Update}
 	admitted = admitted.RenamedApart()
 
+	if q.optimisticEnabled() {
+		return q.submitOptimistic(t, admitted)
+	}
+	return q.submitSerial(t, admitted)
+}
+
+// optimisticEnabled reports whether Submit may speculate outside the
+// admission lock. With partitioning disabled every admission overlaps
+// the single global partition, so speculation could only ever conflict;
+// route it straight to the serial path.
+func (q *QDB) optimisticEnabled() bool {
+	return !q.opt.SerialAdmission && !q.opt.DisablePartitioning
+}
+
+// submitSerial admits under the classic discipline: the admission lock
+// is held from overlap resolution through install, so the solve sees a
+// partition set that cannot change underneath it. Used for the
+// SerialAdmission/DisablePartitioning ablations and as the bounded
+// fallback after repeated optimistic conflicts.
+func (q *QDB) submitSerial(t *txn.T, admitted *txn.T) (int64, error) {
+	q.admitMu.Lock()
 	overlapping := q.lockOverlapping(admitted)
-	merged := mergedTxns(overlapping, admitted)
+	// Same decision procedure as the optimistic path (decide, admit.go),
+	// just over the LIVE partitions with the admission lock held across
+	// the whole solve: the set cannot change underneath it, so no
+	// validation is needed and the fingerprint the solve records doubles
+	// directly as the install stamp.
+	snap := buildSnap(overlapping, admitted)
+	out := &specOutcome{}
+	if err := q.decide(snap, admitted, out); err != nil {
+		unlockPartitions(overlapping)
+		q.admitMu.Unlock()
+		q.prep.Evict(admitted)
+		return 0, err
+	}
+	if !out.ok {
+		return 0, q.rejectLocked(t, admitted, overlapping, out)
+	}
+	return q.acceptLocked(admitted, overlapping, snap.merged, out.cached, out.fp)
+}
 
-	// Admission solves run under the store's read gate: no store writer
-	// may queue mid-solve (the evaluator re-enters relstore read locks;
-	// see trySolveAndApply), and groundings of independent partitions
-	// cannot invalidate this partition's solution anyway. Holding the
-	// gate also freezes the store epochs, so the negative-cache key and
-	// the solve see the same state.
-	var cached []formula.Grounding
-	var views []*txn.T
-	var negKey, negFP, stamp uint64
-	q.storeMu.RLock()
-	if !q.opt.DisableCache {
-		// Negative probe: the same composed-body question (up to variable
-		// renaming — ContentKey normalizes the fresh rename-apart) proven
-		// unsatisfiable against these relations at these epochs rejects
-		// by cache probe, skipping both solve paths.
-		views = stripAll(merged)
-		negKey = solveKey(views, false, 1, 0)
-		negFP = q.epochFingerprint(views)
-		// The cache stamp covers the raw transactions; without optional
-		// atoms the stripped views ARE the raw transactions (memoized
-		// identity), so the fingerprint just computed is reusable.
-		stamp = negFP
-		for i := range merged {
-			if views[i] != merged[i] {
-				stamp = q.epochFingerprint(merged)
-				break
-			}
-		}
-		if q.rejects.hit(negKey, negFP) {
-			q.storeMu.RUnlock()
-			unlockPartitions(overlapping)
-			q.admitMu.Unlock()
-			q.stats.rejected.Add(1)
-			q.stats.negHits.Add(1)
-			q.prep.Evict(admitted)
-			return 0, fmt.Errorf("%w: txn %q", ErrRejected, t.String())
-		}
-	}
-	if !q.opt.DisableCache && allCached(overlapping) && q.cachesFresh(overlapping) {
-		// Fast path: extend the combined cached solution with a grounding
-		// for just the new transaction. Freshness is mandatory: extending
-		// a stale cached solution and re-stamping it at current epochs
-		// would launder a grounding the store no longer supports past the
-		// replay check.
-		combined := combinedGroundings(overlapping)
-		ov := relstore.NewOverlay(q.db)
-		if applyGroundings(ov, combined) == nil {
-			sol, ok, err := formula.SolveChain(ov, []*txn.T{strip(admitted)}, q.chainOpts(false))
-			if err != nil {
-				q.storeMu.RUnlock()
-				unlockPartitions(overlapping)
-				q.admitMu.Unlock()
-				q.prep.Evict(admitted)
-				return 0, err
-			}
-			if ok {
-				q.stats.cacheHits.Add(1)
-				cached = append(combined, sol.Groundings[0])
-			}
-		}
-	}
-	if cached == nil {
-		// Slow path: full composed-body satisfiability check.
-		q.stats.cacheMisses.Add(1)
-		if views == nil {
-			views = stripAll(merged)
-		}
-		sol, ok, err := formula.SolveChain(q.db, views, q.chainOpts(false))
-		if err != nil {
-			q.storeMu.RUnlock()
-			unlockPartitions(overlapping)
-			q.admitMu.Unlock()
-			q.prep.Evict(admitted)
-			return 0, err
-		}
-		if !ok {
-			if !q.opt.DisableCache {
-				q.rejects.add(negKey, negFP)
-			}
-			q.storeMu.RUnlock()
-			unlockPartitions(overlapping)
-			q.admitMu.Unlock()
-			q.stats.rejected.Add(1)
-			q.prep.Evict(admitted)
-			return 0, fmt.Errorf("%w: txn %q", ErrRejected, t.String())
-		}
-		cached = sol.Groundings
-	}
-	q.storeMu.RUnlock()
-
-	// Accept: commit the ID, merge partitions, install the new solution.
-	p := q.mergeLocked(overlapping)
+// installLocked publishes an accepted admission: the merged chain and
+// its cached solution go into p, the registry and overlap index learn
+// the new transaction, and the partition-set counters advance — LAST, so
+// snapshot readers that observe the old counter values are guaranteed to
+// have missed nothing (see the counter ordering note on QDB). Caller
+// holds admitMu and p's shard.
+func (q *QDB) installLocked(p *partition, admitted *txn.T, merged []*txn.T, cached []formula.Grounding, stamp uint64) {
 	p.txns = merged
 	if q.opt.DisableCache {
 		p.cached = nil
@@ -346,32 +343,31 @@ func (q *QDB) Submit(t *txn.T) (int64, error) {
 		p.cached = cached
 		p.cachedEpoch = stamp
 	}
+	p.version++
 	q.mu.Lock()
-	q.nextID = id + 1
-	q.byTxn[id] = p
+	q.byTxn[admitted.ID] = p
 	q.idx.add(admitted, p.id())
 	q.mu.Unlock()
+	q.admitSeq.Add(1)
+	q.partVersion.Add(1)
 	q.stats.accepted.Add(1)
 	q.noteHighWater(p)
-	if err := q.logPending(admitted); err != nil {
-		p.shard.Unlock()
-		q.admitMu.Unlock()
-		return 0, err
-	}
-	q.admitMu.Unlock()
+}
 
-	// Enforce the k-bound: force-ground oldest transactions while the
-	// partition is too large (§4). Only p is locked here, so evictions on
-	// independent partitions run concurrently.
+// enforceK force-grounds oldest transactions while p exceeds the
+// k-bound (§4), then releases p's shard. Only p is locked here, so
+// evictions on independent partitions run concurrently. Caller holds p's
+// shard (and nothing else).
+func (q *QDB) enforceK(p *partition) error {
 	for len(p.txns) > q.opt.k() {
 		q.stats.forcedByK.Add(1)
 		if err := q.groundLocked(p, 0); err != nil {
 			p.shard.Unlock()
-			return id, fmt.Errorf("core: k-bound forced grounding: %w", err)
+			return fmt.Errorf("core: k-bound forced grounding: %w", err)
 		}
 	}
 	p.shard.Unlock()
-	return id, nil
+	return nil
 }
 
 // chainOpts builds solver options; maximize toggles optional-atom subset
@@ -504,51 +500,6 @@ func mergedTxns(ps []*partition, extra *txn.T) []*txn.T {
 	return all
 }
 
-func allCached(ps []*partition) bool {
-	for _, p := range ps {
-		if p.cached == nil && len(p.txns) > 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// cachesFresh reports whether every partition's cached solution is still
-// valid over the current store: trivially yes while the store has seen
-// only engine writes (storeTrusted — the engine refreshes affected
-// caches at every write point, and unaffected partitions' solutions
-// survive by non-unifiability), otherwise by comparing each partition's
-// epoch-fingerprint stamp. Callers hold the store's read gate (epochs
-// frozen) and the partitions' shards. A stale partition (the store was
-// mutated out-of-band) is counted and sends the admission down the
-// full-solve path, which re-solves and restamps.
-func (q *QDB) cachesFresh(ps []*partition) bool {
-	if q.storeTrusted() {
-		return true
-	}
-	for _, p := range ps {
-		if len(p.txns) == 0 {
-			continue
-		}
-		if q.epochFingerprint(p.txns) != p.cachedEpoch {
-			q.stats.solutionStale.Add(1)
-			return false
-		}
-	}
-	return true
-}
-
-// combinedGroundings merges cached groundings of independent partitions in
-// transaction-ID order; independence makes any interleaving consistent.
-func combinedGroundings(ps []*partition) []formula.Grounding {
-	var all []formula.Grounding
-	for _, p := range ps {
-		all = append(all, p.cached...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Txn.ID < all[j].Txn.ID })
-	return all
-}
-
 // applyGroundings plays groundings onto the overlay in order.
 func applyGroundings(ov *relstore.Overlay, gs []formula.Grounding) error {
 	for _, g := range gs {
@@ -574,6 +525,7 @@ func (q *QDB) mergeLocked(ps []*partition) *partition {
 		q.mu.Lock()
 		q.parts[id] = p
 		q.mu.Unlock()
+		q.partVersion.Add(1)
 		return p
 	}
 	keep := ps[0]
@@ -590,9 +542,11 @@ func (q *QDB) mergeLocked(ps []*partition) *partition {
 		q.mu.Unlock()
 		for _, p := range ps[1:] {
 			p.txns, p.cached = nil, nil
+			p.version++
 			p.shard.Retire()
 			p.shard.Unlock()
 		}
+		q.partVersion.Add(1)
 	}
 	return keep
 }

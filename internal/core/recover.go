@@ -211,10 +211,13 @@ func (q *QDB) readmit(t *txn.T) error {
 		p.cached = sol.Groundings
 		p.cachedEpoch = stamp
 	}
+	p.version++
 	q.mu.Lock()
 	q.byTxn[t.ID] = p
 	q.idx.add(t, p.id())
 	q.mu.Unlock()
+	q.admitSeq.Add(1)
+	q.partVersion.Add(1)
 	q.noteHighWater(p)
 	p.shard.Unlock()
 	return nil

@@ -61,9 +61,28 @@ type Stats struct {
 	MaxComposedAtoms int
 	// PartitionMerges counts partition-merge events during admission.
 	PartitionMerges int
+	// OptimisticAdmissions counts Submit outcomes (accepted or rejected)
+	// decided by a speculative solve run outside the admission lock whose
+	// snapshot then validated. AdmissionConflicts counts snapshot
+	// validations that failed (the partition set or the relevant store
+	// epochs advanced past the snapshot); each conflict either re-runs the
+	// speculation (AdmissionRetries) or, once the per-call retry budget is
+	// exhausted, falls back to a fully-serial admission under the lock
+	// (SerialFallbacks) — so AdmissionConflicts equals AdmissionRetries +
+	// SerialFallbacks.
+	OptimisticAdmissions int
+	AdmissionConflicts   int
+	AdmissionRetries     int
+	SerialFallbacks      int
+	// TrustDemotions counts observations of the (permanent) trusted-store
+	// demotion: the first out-of-band store write makes the engine fall
+	// back from "my own cache maintenance is authoritative" to per-solve
+	// epoch-fingerprint checks, which degrades cache hit rates. 0 or 1 per
+	// database; also logged once so deployments can see why.
+	TrustDemotions int
 	// ParallelSolves counts partition tasks executed on the scheduler's
-	// worker pool: GroundAll partition drains, read-collapse tasks, and
-	// blind-write validation solves.
+	// worker pool: GroundAll partition drains, read-collapse tasks,
+	// blind-write validation solves, and speculative admission solves.
 	ParallelSolves int
 	// LockWaits counts lock-order waits: stale shard acquisitions (the
 	// partition merged, drained, or re-homed its transactions between
@@ -88,6 +107,9 @@ type counters struct {
 	reads, writesAccepted, writesRejected        atomic.Int64
 	maxPending, maxPartitionPending, maxComposed atomic.Int64
 	partitionMerges, parallelSolves, lockWaits   atomic.Int64
+	optimisticAdmissions, admissionConflicts     atomic.Int64
+	admissionRetries, serialFallbacks            atomic.Int64
+	trustDemotions                               atomic.Int64
 	// solverSteps is a plain int64 because its address is handed to the
 	// chain solver (formula.ChainOptions.StepCounter), which adds to it
 	// with sync/atomic.
@@ -97,29 +119,34 @@ type counters struct {
 // snapshot materializes the exported counter copy.
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Submitted:           int(c.submitted.Load()),
-		Accepted:            int(c.accepted.Load()),
-		Rejected:            int(c.rejected.Load()),
-		Grounded:            int(c.grounded.Load()),
-		ForcedByK:           int(c.forcedByK.Load()),
-		ForcedByRead:        int(c.forcedByRead.Load()),
-		CacheHits:           int(c.cacheHits.Load()),
-		CacheMisses:         int(c.cacheMisses.Load()),
-		SolutionReplays:     int(c.solutionReplays.Load()),
-		SolutionStale:       int(c.solutionStale.Load()),
-		NegativeCacheHits:   int(c.negHits.Load()),
-		SemanticReorders:    int(c.semanticReorders.Load()),
-		SemanticFallbacks:   int(c.semanticFallbacks.Load()),
-		Reads:               int(c.reads.Load()),
-		WritesAccepted:      int(c.writesAccepted.Load()),
-		WritesRejected:      int(c.writesRejected.Load()),
-		MaxPending:          int(c.maxPending.Load()),
-		MaxPartitionPending: int(c.maxPartitionPending.Load()),
-		MaxComposedAtoms:    int(c.maxComposed.Load()),
-		PartitionMerges:     int(c.partitionMerges.Load()),
-		ParallelSolves:      int(c.parallelSolves.Load()),
-		LockWaits:           int(c.lockWaits.Load()),
-		SolverSteps:         atomic.LoadInt64(&c.solverSteps),
+		Submitted:            int(c.submitted.Load()),
+		Accepted:             int(c.accepted.Load()),
+		Rejected:             int(c.rejected.Load()),
+		Grounded:             int(c.grounded.Load()),
+		ForcedByK:            int(c.forcedByK.Load()),
+		ForcedByRead:         int(c.forcedByRead.Load()),
+		CacheHits:            int(c.cacheHits.Load()),
+		CacheMisses:          int(c.cacheMisses.Load()),
+		SolutionReplays:      int(c.solutionReplays.Load()),
+		SolutionStale:        int(c.solutionStale.Load()),
+		NegativeCacheHits:    int(c.negHits.Load()),
+		SemanticReorders:     int(c.semanticReorders.Load()),
+		SemanticFallbacks:    int(c.semanticFallbacks.Load()),
+		Reads:                int(c.reads.Load()),
+		WritesAccepted:       int(c.writesAccepted.Load()),
+		WritesRejected:       int(c.writesRejected.Load()),
+		MaxPending:           int(c.maxPending.Load()),
+		MaxPartitionPending:  int(c.maxPartitionPending.Load()),
+		MaxComposedAtoms:     int(c.maxComposed.Load()),
+		PartitionMerges:      int(c.partitionMerges.Load()),
+		OptimisticAdmissions: int(c.optimisticAdmissions.Load()),
+		AdmissionConflicts:   int(c.admissionConflicts.Load()),
+		AdmissionRetries:     int(c.admissionRetries.Load()),
+		SerialFallbacks:      int(c.serialFallbacks.Load()),
+		TrustDemotions:       int(c.trustDemotions.Load()),
+		ParallelSolves:       int(c.parallelSolves.Load()),
+		LockWaits:            int(c.lockWaits.Load()),
+		SolverSteps:          atomic.LoadInt64(&c.solverSteps),
 	}
 }
 

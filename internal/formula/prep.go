@@ -22,54 +22,84 @@ import (
 // txn.T.Hardened), so the same body is always presented under the same
 // pointer. The map itself is synchronized (solves of independent
 // partitions share one cache), but a cached *relstore.Prepared is NOT
-// safe for concurrent evaluation; reuse is sound because a transaction
-// belongs to exactly one partition and every solve involving it runs
-// under that partition's shard lock (or under the admission lock before
-// the transaction is installed), so two solves never evaluate the same
-// view concurrently.
+// safe for concurrent evaluation — it owns the mutable binding
+// environment the evaluator backtracks over. Entries are therefore
+// CLAIMED for the duration of a solve: lookup hands an entry to at most
+// one solver at a time, a concurrent solve of the same view misses and
+// compiles its own copy (optimistic admission speculates over partition
+// snapshots without holding the shard, so same-view solves genuinely
+// can overlap), and the solver releases its claims when it finishes.
 //
 // Entries are evicted when their transaction leaves the system
-// (grounded, merged away at rejection); the cache is therefore bounded
-// by the number of pending transactions times their optional-subset
-// masks.
+// (grounded, merged away at rejection); the cache is bounded by the
+// number of pending transactions times their optional-subset masks,
+// plus a hard cap that clears everything if churn (e.g. a store racing
+// an eviction) ever accumulates stale views.
 type PrepCache struct {
 	mu sync.RWMutex
-	m  map[*txn.T]map[uint64]*relstore.Prepared
+	m  map[*txn.T]map[uint64]*prepEntry
 
 	hits, misses atomic.Int64
 }
 
+// prepEntry wraps one compiled query with its exclusive-use claim.
+type prepEntry struct {
+	p     *relstore.Prepared
+	inUse atomic.Bool
+}
+
+// release returns the entry to the cache's free state; the solver that
+// claimed it (via lookup or store) must call it exactly once, after its
+// last evaluation of the query.
+func (e *prepEntry) release() { e.inUse.Store(false) }
+
+// prepCacheCap bounds the number of cached views; on overflow the map is
+// dropped wholesale (entries are one compile away from rediscovery).
+const prepCacheCap = 4096
+
 // NewPrepCache returns an empty cache.
 func NewPrepCache() *PrepCache {
-	return &PrepCache{m: make(map[*txn.T]map[uint64]*relstore.Prepared)}
+	return &PrepCache{m: make(map[*txn.T]map[uint64]*prepEntry)}
 }
 
-// lookup returns the compiled query for (view, mask), if cached. Hit and
-// miss counts are recorded here: the chain solver consults the shared
-// cache once per (view, mask) per solve (it keeps a per-solve L1), so
-// the counters measure cross-solve reuse, not per-candidate traffic.
-func (pc *PrepCache) lookup(view *txn.T, mask uint64) (*relstore.Prepared, bool) {
+// lookup returns the compiled query for (view, mask), claiming it for
+// exclusive evaluation; ok=false when absent or currently claimed by
+// another solve. Hit and miss counts are recorded here: the chain solver
+// consults the shared cache once per (view, mask) per solve (it keeps a
+// per-solve L1), so the counters measure cross-solve reuse, not
+// per-candidate traffic (a claimed-by-another-solve entry counts as a
+// miss — the caller compiles).
+func (pc *PrepCache) lookup(view *txn.T, mask uint64) (*relstore.Prepared, *prepEntry, bool) {
 	pc.mu.RLock()
-	p, ok := pc.m[view][mask]
+	e := pc.m[view][mask]
 	pc.mu.RUnlock()
-	if ok {
+	if e != nil && e.inUse.CompareAndSwap(false, true) {
 		pc.hits.Add(1)
-	} else {
-		pc.misses.Add(1)
+		return e.p, e, true
 	}
-	return p, ok
+	pc.misses.Add(1)
+	return nil, nil, false
 }
 
-// store records a freshly compiled query for (view, mask).
-func (pc *PrepCache) store(view *txn.T, mask uint64, p *relstore.Prepared) {
+// store records a freshly compiled query for (view, mask) and returns
+// its entry, already claimed by the caller (release it after the solve).
+// A racing store for the same key overwrites; the loser's entry stays
+// valid for its holder and is dropped when released.
+func (pc *PrepCache) store(view *txn.T, mask uint64, p *relstore.Prepared) *prepEntry {
+	e := &prepEntry{p: p}
+	e.inUse.Store(true)
 	pc.mu.Lock()
 	inner := pc.m[view]
 	if inner == nil {
-		inner = make(map[uint64]*relstore.Prepared, 1)
+		if len(pc.m) >= prepCacheCap {
+			pc.m = make(map[*txn.T]map[uint64]*prepEntry)
+		}
+		inner = make(map[uint64]*prepEntry, 1)
 		pc.m[view] = inner
 	}
-	inner[mask] = p
+	inner[mask] = e
 	pc.mu.Unlock()
+	return e
 }
 
 // Evict drops every compiled query of the transaction's materialized

@@ -142,3 +142,30 @@ func TestPrepCacheMaximizeMasks(t *testing.T) {
 		t.Fatalf("second maximize solve recompiled: misses %d -> %d", missesAfterFirst, m)
 	}
 }
+
+// TestPrepCacheClaimExclusive: a claimed entry is invisible to a second
+// concurrent lookup (which must compile its own copy), and becomes
+// visible again once released — the property that makes concurrent
+// same-view solves (optimistic admission speculation) safe.
+func TestPrepCacheClaimExclusive(t *testing.T) {
+	pc := NewPrepCache()
+	tx := txn.MustParse("-A(x), +B(x) :-1 A(x)")
+	view := tx.Stripped()
+	e := pc.store(view, 0, relstore.Query{Atoms: view.HardAtoms()}.Compile())
+
+	if _, _, ok := pc.lookup(view, 0); ok {
+		t.Fatal("lookup handed out an entry still claimed by its creator")
+	}
+	e.release()
+	p2, e2, ok := pc.lookup(view, 0)
+	if !ok || p2 == nil {
+		t.Fatal("released entry did not become claimable")
+	}
+	if _, _, ok := pc.lookup(view, 0); ok {
+		t.Fatal("entry claimed twice concurrently")
+	}
+	e2.release()
+	if _, _, ok := pc.lookup(view, 0); !ok {
+		t.Fatal("second release did not restore claimability")
+	}
+}

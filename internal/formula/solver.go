@@ -205,6 +205,9 @@ type chainSolver struct {
 	// grounding of the earlier transactions, so without the cache the
 	// same body would be recompiled for every candidate.
 	prep map[uint64]*relstore.Prepared
+	// claimed are the cross-solve cache entries this solve holds
+	// exclusively (looked up or stored); released when run finishes.
+	claimed []*prepEntry
 }
 
 // preparedFor returns the compiled body query for transaction i under the
@@ -224,17 +227,27 @@ func (c *chainSolver) preparedFor(i int, mask uint64, atoms func() []logic.Atom)
 		c.prep = make(map[uint64]*relstore.Prepared)
 	}
 	if c.opt.Prep != nil {
-		if p, ok := c.opt.Prep.lookup(c.ts[i], mask); ok {
+		if p, e, ok := c.opt.Prep.lookup(c.ts[i], mask); ok {
 			c.prep[key] = p
+			c.claimed = append(c.claimed, e)
 			return p
 		}
 	}
 	p := relstore.Query{Atoms: atoms(), Planner: c.opt.Planner}.Compile()
 	c.prep[key] = p
 	if c.opt.Prep != nil {
-		c.opt.Prep.store(c.ts[i], mask, p)
+		c.claimed = append(c.claimed, c.opt.Prep.store(c.ts[i], mask, p))
 	}
 	return p
+}
+
+// releasePrepared returns every claimed cross-solve cache entry; no
+// evaluation of the claimed queries may follow.
+func (c *chainSolver) releasePrepared() {
+	for _, e := range c.claimed {
+		e.release()
+	}
+	c.claimed = nil
 }
 
 // overlayFor returns a cleared overlay over src, reusing the free list.
@@ -254,6 +267,7 @@ func (c *chainSolver) releaseOverlay(o *relstore.Overlay) {
 }
 
 func (c *chainSolver) run() ([]*ChainSolution, error) {
+	defer c.releasePrepared()
 	gs := make([]Grounding, 0, len(c.ts))
 	_, err := c.solveFrom(c.base, 0, &gs)
 	if c.opt.StepCounter != nil {

@@ -31,6 +31,24 @@ func NewPool(workers int) *Pool {
 // Workers returns the configured parallelism bound.
 func (p *Pool) Workers() int { return p.workers }
 
+// Run executes one task inline on the caller's goroutine, counting it
+// against the pool's global parallelism bound: the caller blocks until a
+// worker slot frees up, runs f, and releases the slot. Admission uses it
+// to run speculative chain solves outside the admission lock — many
+// clients may speculate at once, but never more than Workers solves run
+// concurrently machine-wide (the same semaphore Map draws from).
+//
+// The shard rule applies: f must not block-acquire a Shard. Blocking on
+// the slot while holding shards is safe for the same reason as Map's
+// inline path — slot holders never block on shards, so every held slot
+// drains.
+func (p *Pool) Run(f func() error) error {
+	p.sem <- struct{}{}
+	err := f()
+	<-p.sem
+	return err
+}
+
 // Map runs f(0) … f(n-1), at most Workers at a time — the bound holds
 // across concurrent Map calls, including the inline path — and returns
 // the first error (all tasks run to completion regardless; there is no

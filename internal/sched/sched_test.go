@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestLockOrderedDedupsAndSorts(t *testing.T) {
@@ -157,5 +158,47 @@ func TestPoolSharedBoundAcrossConcurrentMaps(t *testing.T) {
 	// global semaphore caps combined concurrency at 3.
 	if peak.Load() > 3 {
 		t.Fatalf("observed %d concurrent tasks across Maps, bound is 3", peak.Load())
+	}
+}
+
+// TestRunSharesPoolBound: Run draws from the same semaphore as Map, so
+// concurrent single-task Runs never exceed the pool's worker bound.
+func TestRunSharesPoolBound(t *testing.T) {
+	p := NewPool(2)
+	var cur, max atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Run(func() error {
+				n := cur.Add(1)
+				for {
+					m := max.Load()
+					if n <= m || max.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				cur.Add(-1)
+				return nil
+			})
+			if err != nil {
+				t.Errorf("Run: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := max.Load(); got > 2 {
+		t.Fatalf("Run admitted %d concurrent tasks past a 2-worker pool", got)
+	}
+}
+
+// TestRunPropagatesError: the task's error comes back to the caller.
+func TestRunPropagatesError(t *testing.T) {
+	p := NewPool(1)
+	want := errors.New("boom")
+	if err := p.Run(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("Run returned %v, want %v", err, want)
 	}
 }

@@ -11,11 +11,14 @@
 //
 // Requests from different connections dispatch concurrently: the engine
 // is sharded by partition (each Submit/Ground/Read/Write acquires only
-// the partitions it touches), the coordinator's registry has its own
-// lock, and GroundAll and read collapse fan out over the engine's worker
-// pool (quantumdb.Options.Workers, the -workers flag on qdbd). Within
-// one connection, requests are processed in order — the JSON-lines
-// protocol has no request IDs, so responses must match request order.
+// the partitions it touches), admissions are optimistic (each Submit's
+// chain solve runs outside the admission lock, so submits from many
+// connections overlap end to end unless qdbd runs -serial-admission),
+// the coordinator's registry has its own lock, and GroundAll and read
+// collapse fan out over the engine's worker pool
+// (quantumdb.Options.Workers, the -workers flag on qdbd). Within one
+// connection, requests are processed in order — the JSON-lines protocol
+// has no request IDs, so responses must match request order.
 package server
 
 import (

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/hash"
 	"repro/internal/logic"
@@ -67,14 +68,16 @@ type T struct {
 	// — Stripped (optional atoms removed) and Hardened (optional atoms
 	// promoted) — once per transaction and reuses the same *T afterwards,
 	// so caches keyed by view pointer (the cross-solve prepared-query
-	// cache) stay stable across solves. The memos are lazily computed and
-	// NOT internally synchronized: callers must hold the lock of the
-	// partition owning the transaction (or have exclusive access, as
-	// during admission), which the engine's lock order already guarantees.
-	stripped *T
-	hardened *T
-	ckey     uint64
-	ckeyOK   bool
+	// cache) stay stable across solves. The memos publish by
+	// compare-and-swap: optimistic admissions speculate over partition
+	// snapshots WITHOUT holding the owning partition's shard, so two
+	// goroutines may derive a view of the same transaction concurrently —
+	// both then observe the single published pointer (the loser's copy is
+	// discarded), keeping pointer-keyed caches stable.
+	stripped atomic.Pointer[T]
+	hardened atomic.Pointer[T]
+	ckey     atomic.Uint64
+	ckeyOK   atomic.Bool
 }
 
 // HardAtoms returns the non-optional body atoms.
@@ -104,8 +107,8 @@ func (t *T) OptionalAtoms() []logic.Atom {
 // atoms the view is t itself; otherwise the copy is memoized, so repeated
 // calls return the same pointer (see the memoization note on T).
 func (t *T) Stripped() *T {
-	if t.stripped != nil {
-		return t.stripped
+	if s := t.stripped.Load(); s != nil {
+		return s
 	}
 	hasOpt := false
 	for _, b := range t.Body {
@@ -115,7 +118,7 @@ func (t *T) Stripped() *T {
 		}
 	}
 	if !hasOpt {
-		t.stripped = t
+		t.stripped.CompareAndSwap(nil, t)
 		return t
 	}
 	c := &T{ID: t.ID, Tag: t.Tag, PartnerTag: t.PartnerTag, Update: t.Update}
@@ -124,8 +127,10 @@ func (t *T) Stripped() *T {
 			c.Body = append(c.Body, b)
 		}
 	}
-	t.stripped = c
-	return c
+	if t.stripped.CompareAndSwap(nil, c) {
+		return c
+	}
+	return t.stripped.Load()
 }
 
 // Hardened returns a view of t with optional atoms promoted to hard ones,
@@ -133,8 +138,8 @@ func (t *T) Stripped() *T {
 // Stripped, the view is t itself when t has no optional atoms, and is
 // memoized otherwise.
 func (t *T) Hardened() *T {
-	if t.hardened != nil {
-		return t.hardened
+	if h := t.hardened.Load(); h != nil {
+		return h
 	}
 	hasOpt := false
 	for _, b := range t.Body {
@@ -144,15 +149,17 @@ func (t *T) Hardened() *T {
 		}
 	}
 	if !hasOpt {
-		t.hardened = t
+		t.hardened.CompareAndSwap(nil, t)
 		return t
 	}
 	c := &T{ID: t.ID, Tag: t.Tag, PartnerTag: t.PartnerTag, Update: t.Update}
 	for _, b := range t.Body {
 		c.Body = append(c.Body, BodyAtom{Atom: b.Atom})
 	}
-	t.hardened = c
-	return c
+	if t.hardened.CompareAndSwap(nil, c) {
+		return c
+	}
+	return t.hardened.Load()
 }
 
 // MemoizedViews returns the distinct view pointers materialized for t so
@@ -161,11 +168,11 @@ func (t *T) Hardened() *T {
 // transaction leaves the system.
 func (t *T) MemoizedViews() []*T {
 	out := []*T{t}
-	if t.stripped != nil && t.stripped != t {
-		out = append(out, t.stripped)
+	if s := t.stripped.Load(); s != nil && s != t {
+		out = append(out, s)
 	}
-	if t.hardened != nil && t.hardened != t {
-		out = append(out, t.hardened)
+	if h := t.hardened.Load(); h != nil && h != t {
+		out = append(out, h)
 	}
 	return out
 }
@@ -178,8 +185,8 @@ func (t *T) MemoizedViews() []*T {
 // transaction) across distinct transaction IDs. The key is memoized; see
 // the synchronization note on T.
 func (t *T) ContentKey() uint64 {
-	if t.ckeyOK {
-		return t.ckey
+	if t.ckeyOK.Load() {
+		return t.ckey.Load()
 	}
 	h := uint64(hash.Offset64)
 	idx := make(map[string]int)
@@ -217,7 +224,11 @@ func (t *T) ContentKey() uint64 {
 		}
 		hashAtom(u.Atom)
 	}
-	t.ckey, t.ckeyOK = h, true
+	// Store the key before the flag: a reader that observes the flag set
+	// then sees a fully-written key. Racing computations produce the same
+	// h, so last-writer-wins is harmless.
+	t.ckey.Store(h)
+	t.ckeyOK.Store(true)
 	return h
 }
 

@@ -2,6 +2,7 @@ package txn
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/logic"
@@ -217,5 +218,42 @@ func TestParseQuery(t *testing.T) {
 	}
 	if _, err := ParseQuery("B(x) B(y)"); err == nil {
 		t.Error("missing comma accepted")
+	}
+}
+
+// TestConcurrentViewMemoization hammers the lazily-memoized views from
+// many goroutines (run under -race): all callers must agree on a single
+// published pointer per view — pointer-keyed caches depend on it — and
+// on the content key.
+func TestConcurrentViewMemoization(t *testing.T) {
+	tx := MustParse("-A(f, s), +B('m', f, s) :-1 A(f, s), ?C(s)")
+	const goros = 16
+	stripped := make([]*T, goros)
+	hardened := make([]*T, goros)
+	keys := make([]uint64, goros)
+	var wg sync.WaitGroup
+	for g := 0; g < goros; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stripped[g] = tx.Stripped()
+			hardened[g] = tx.Hardened()
+			keys[g] = tx.ContentKey()
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goros; g++ {
+		if stripped[g] != stripped[0] {
+			t.Fatalf("goroutine %d saw a different Stripped pointer", g)
+		}
+		if hardened[g] != hardened[0] {
+			t.Fatalf("goroutine %d saw a different Hardened pointer", g)
+		}
+		if keys[g] != keys[0] {
+			t.Fatalf("goroutine %d saw a different ContentKey", g)
+		}
+	}
+	if len(stripped[0].Body) != 1 || len(hardened[0].Body) != 2 {
+		t.Fatalf("view shapes wrong: stripped %d atoms, hardened %d", len(stripped[0].Body), len(hardened[0].Body))
 	}
 }

@@ -81,20 +81,36 @@
 // each partition has its own lock and every operation acquires only the
 // partitions it touches. What runs in parallel:
 //
+//   - Submissions admit OPTIMISTICALLY: the admission chain solve — the
+//     hot path's dominant cost — runs outside the admission lock,
+//     against a versioned snapshot of the partitions the transaction
+//     overlaps; a short critical section then validates the snapshot
+//     (same partitions at the same versions, relevant store epochs
+//     unmoved or provably moved only by non-overlapping groundings) and
+//     installs the outcome. Submits touching disjoint partitions
+//     therefore admit concurrently, end to end.
 //   - GroundAll drains independent partitions concurrently on a bounded
 //     worker pool; so do the read-collapse phase of Query (when a read
 //     forces several partitions to ground) and the validation solves of
-//     a blind write that touches several partitions.
-//   - Submissions, groundings, reads, and writes on DISJOINT partitions
-//     never contend beyond brief registry/bookkeeping sections.
+//     a blind write that touches several partitions. Speculative
+//     admission solves draw from the same pool, so total solve
+//     concurrency stays bounded machine-wide.
 //
 // What serializes:
 //
-//   - Admissions (Submit and recovery re-admission) and blind writes
-//     hold a single admission lock while they resolve which partitions
-//     a transaction overlaps, because they can create or merge
-//     partitions. The k-bound eviction a Submit triggers runs after the
-//     admission lock is released, holding only the target partition.
+//   - The validate-and-install step of every admission, and blind
+//     writes, hold a single admission lock — they can create or merge
+//     partitions — but only for bookkeeping, never across a solve
+//     (unless Options.SerialAdmission restores the classic discipline).
+//     When validation fails (the partition set or the relevant store
+//     state advanced mid-speculation) the admission retries, at most
+//     twice; after that it falls back to one serial admission under the
+//     lock, so contended partitions degrade to the pre-optimistic
+//     behaviour instead of livelocking. Stats reports the funnel:
+//     OptimisticAdmissions, AdmissionConflicts, AdmissionRetries,
+//     SerialFallbacks (conflicts = retries + fallbacks). The k-bound
+//     eviction a Submit triggers runs after the admission lock is
+//     released, holding only the target partition.
 //   - Operations on the SAME partition serialize on its lock; store
 //     mutations are short exclusive sections against a read gate that
 //     keeps Query results cut at a single store state.
@@ -108,8 +124,10 @@
 // iteration is insertion-ordered, never Go map order).
 //
 // Stats reports the scheduler's behaviour: ParallelSolves counts
-// partition tasks executed on the pool, LockWaits counts stale lock
-// acquisitions and skips, PartitionMerges counts admission-time merges.
+// partition tasks executed on the pool (including speculative admission
+// solves), LockWaits counts stale lock acquisitions and skips,
+// PartitionMerges counts admission-time merges. cmd/qdbd exposes the
+// serial-admission ablation as -serial-admission.
 package quantumdb
 
 import (
