@@ -360,3 +360,32 @@ func BenchmarkParallelSubmit(b *testing.B) {
 		b.Run(strings.TrimPrefix(s.Name, "BenchmarkParallelSubmit/"), run(s.Cfg))
 	}
 }
+
+// BenchmarkGroundWALSync measures durable grounding throughput — every
+// grounding batch fsynced before it applies (SyncWAL) — swept over WAL
+// segment counts. One segment is the pre-sharding baseline where all
+// partitions serialize on a single fsync stream; watch txn/s rise with
+// segments as disjoint partitions stop sharing a log. The shapes come
+// from bench.WALSyncShapes, shared with the CI trajectory artifact
+// (qdbbench -json, BENCH_wal.json), so the two series stay comparable.
+func BenchmarkGroundWALSync(b *testing.B) {
+	run := func(c bench.WALSyncConfig) func(*testing.B) {
+		return func(b *testing.B) {
+			var groundTime time.Duration
+			var grounded int
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunWALSync(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				groundTime += r.Ground
+				grounded += r.Grounded
+			}
+			b.ReportMetric(groundTime.Seconds()/float64(b.N), "groundall-s/op")
+			b.ReportMetric(float64(grounded)/groundTime.Seconds(), "txn/s")
+		}
+	}
+	for _, s := range bench.WALSyncShapes() {
+		b.Run(strings.TrimPrefix(s.Name, "BenchmarkGroundWALSync/"), run(s.Cfg))
+	}
+}

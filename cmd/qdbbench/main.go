@@ -20,10 +20,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|table2|fig8|fig9|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|table2|fig8|fig9|walsync|all")
 	quick := flag.Bool("quick", false, "run at reduced scale (seconds instead of minutes)")
 	seed := flag.Int64("seed", 1, "workload shuffle seed")
-	jsonDir := flag.String("json", "", "emit the benchmark trajectory (BENCH_fig7.json, BENCH_submit.json) into this directory and exit")
+	jsonDir := flag.String("json", "", "emit the benchmark trajectory (BENCH_fig7.json, BENCH_submit.json, BENCH_wal.json) into this directory and exit")
 	flag.Parse()
 
 	if *jsonDir != "" {
@@ -104,6 +104,17 @@ func main() {
 			res.RenderFig9(os.Stdout)
 			fmt.Println()
 		}
+	}
+
+	if want("walsync") {
+		cfg := bench.DefaultWALSync()
+		if *quick {
+			cfg.Partitions, cfg.TxnsPerPartition, cfg.RowsPerFlight = 4, 3, 10
+		}
+		rs, err := bench.RunWALSyncSweep(cfg, []int{1, 2, 4, 8})
+		fail(err)
+		bench.RenderWALSync(os.Stdout, rs)
+		fmt.Println()
 	}
 
 	if want("phase") {

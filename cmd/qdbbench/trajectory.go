@@ -47,7 +47,10 @@ func emitTrajectory(dir string) error {
 	if err := emitFig7(dir); err != nil {
 		return err
 	}
-	return emitSubmit(dir)
+	if err := emitSubmit(dir); err != nil {
+		return err
+	}
+	return emitWALSync(dir)
 }
 
 func emitFig7(dir string) error {
@@ -125,6 +128,60 @@ func emitSubmit(dir string) error {
 		doc.Points = append(doc.Points, pt)
 	}
 	return writeBenchFile(filepath.Join(dir, "BENCH_submit.json"), doc)
+}
+
+func emitWALSync(dir string) error {
+	doc := benchFile{
+		Workload:  "wal-sync-grounding",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+	// Shapes shared with BenchmarkGroundWALSync (bench.WALSyncShapes):
+	// durable grounding throughput swept over WAL segment counts, with the
+	// log's structural counters attached so the trajectory shows WHERE the
+	// batches landed, not just how fast.
+	for _, s := range bench.WALSyncShapes() {
+		var (
+			ground   time.Duration
+			grounded int
+			last     *bench.WALSyncResult
+		)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunWALSync(s.Cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ground += r.Ground
+				grounded += r.Grounded
+				last = r
+			}
+		})
+		pt := benchPoint{
+			Name:        s.Name,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Runs:        res.N,
+		}
+		if ground > 0 {
+			pt.Throughput = float64(grounded) / ground.Seconds()
+		}
+		if last != nil {
+			syncs := 0
+			for _, n := range last.Log.Syncs {
+				syncs += int(n)
+			}
+			pt.Counters = map[string]int{
+				"segments":        last.Log.Segments,
+				"active_segments": last.ActiveSegments(),
+				"fsyncs":          syncs,
+				"group_commits":   int(last.Log.GroupCommits),
+			}
+		}
+		doc.Points = append(doc.Points, pt)
+	}
+	return writeBenchFile(filepath.Join(dir, "BENCH_wal.json"), doc)
 }
 
 func writeBenchFile(path string, doc benchFile) error {

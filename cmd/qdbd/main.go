@@ -26,7 +26,11 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7683", "listen address")
-	wal := flag.String("wal", "", "write-ahead log path (durability off when empty)")
+	wal := flag.String("wal", "", "write-ahead log root path, segments at <path>.0.. (durability off when empty)")
+	walSegments := flag.Int("wal-segments", 1,
+		"number of partition-affine WAL segment files; groundings of partitions on different segments append and fsync independently")
+	syncWAL := flag.Bool("sync-wal", false,
+		"fsync every WAL batch before acknowledging it (group commit per segment); off, a machine crash may lose the unsynced tail")
 	k := flag.Int("k", 0, "per-partition pending bound (0 = paper default 61)")
 	strict := flag.Bool("strict", false, "strict (classical) serializability instead of semantic")
 	workers := flag.Int("workers", 0, "scheduler worker pool size for parallel partition grounding (0 = GOMAXPROCS, 1 = serial)")
@@ -34,7 +38,10 @@ func main() {
 		"hold the admission lock across each Submit's chain solve instead of admitting optimistically (ablation)")
 	flag.Parse()
 
-	opt := quantumdb.Options{WALPath: *wal, K: *k, Workers: *workers, SerialAdmission: *serialAdmission}
+	opt := quantumdb.Options{
+		WALPath: *wal, SyncWAL: *syncWAL, WALSegments: *walSegments,
+		K: *k, Workers: *workers, SerialAdmission: *serialAdmission,
+	}
 	if *strict {
 		opt.Mode = quantumdb.Strict
 	}
@@ -52,7 +59,11 @@ func main() {
 	if *serialAdmission {
 		admission = "serial"
 	}
-	fmt.Printf("qdbd listening on %s (wal=%q, k=%d, mode=%v, workers=%d, admission=%s)\n",
-		l.Addr(), *wal, *k, opt.Mode, db.Engine().Workers(), admission)
+	durability := "off"
+	if *wal != "" {
+		durability = fmt.Sprintf("%d segment(s), sync=%v", *walSegments, *syncWAL)
+	}
+	fmt.Printf("qdbd listening on %s (wal=%q [%s], k=%d, mode=%v, workers=%d, admission=%s)\n",
+		l.Addr(), *wal, durability, *k, opt.Mode, db.Engine().Workers(), admission)
 	log.Fatal(server.New(db).Serve(l))
 }

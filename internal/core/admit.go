@@ -332,18 +332,26 @@ func (q *QDB) rejectLocked(orig, admitted *txn.T, locked []*partition, out *spec
 	return fmt.Errorf("%w: txn %q", ErrRejected, orig.String())
 }
 
-// acceptLocked publishes a decided accept: merge the overlap set,
-// install the chain and solution, log the pending record, release the
+// acceptLocked publishes a decided accept: log the pending record
+// write-ahead (durable BEFORE the admission becomes visible — §4's
+// pending-transactions table discipline, so a log failure rejects
+// cleanly instead of leaving an admitted-but-unlogged transaction), then
+// merge the overlap set, install the chain and solution, release the
 // admission lock (the caller holds it), and run the k-bound eviction
 // with only the surviving partition locked.
 func (q *QDB) acceptLocked(admitted *txn.T, locked []*partition, merged []*txn.T, cached []formula.Grounding, stamp uint64) (int64, error) {
-	p := q.mergeLocked(locked)
-	q.installLocked(p, admitted, merged, cached, stamp)
-	if err := q.logPending(admitted); err != nil {
-		p.shard.Unlock()
+	var affinity int64
+	if len(locked) > 0 {
+		affinity = locked[0].id()
+	}
+	if err := q.logPending(affinity, admitted); err != nil {
+		unlockPartitions(locked)
 		q.admitMu.Unlock()
+		q.prep.Evict(admitted)
 		return 0, err
 	}
+	p := q.mergeLocked(locked)
+	q.installLocked(p, admitted, merged, cached, stamp)
 	q.admitMu.Unlock()
 	return admitted.ID, q.enforceK(p)
 }

@@ -13,8 +13,10 @@ import (
 
 // Checkpoint bounds recovery time: it writes the current extensional
 // store plus the pending-transactions table to path (atomically, via a
-// temp file rename) and truncates the WAL. A subsequent RecoverCheckpoint
-// loads the checkpoint and replays only the post-checkpoint log suffix.
+// temp file rename) and truncates every WAL segment consistently
+// (including stale segments left by a run with a larger WALSegments). A
+// subsequent RecoverCheckpoint loads the checkpoint and replays only the
+// post-checkpoint log suffix.
 //
 // Checkpoint layout: relstore snapshot, then uvarint nextID, then a
 // uvarint count of pending transactions followed by their

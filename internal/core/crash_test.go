@@ -1,0 +1,452 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/relstore"
+	"repro/internal/wal"
+)
+
+// Crash-injection durability suite. The harness runs a deterministic
+// operation script twice: once against a fault-free REFERENCE instance
+// (no WAL needed — it defines the state the crashed instance must
+// recover to) and once against a WAL-backed instance with a fault point
+// armed — fail after the Kth WAL append, after a batch's fsync, or
+// between a batch's sync and its store apply. The faulted instance is
+// then "crashed" (the log abandoned without flush, dropping every
+// unflushed byte exactly like a killed process) and recovered; the
+// recovered store and pending set must equal the reference.
+//
+// The between-sync-and-apply window is the one the write-ahead refactor
+// created on purpose: the batch is durable, the store untouched. Under
+// the old apply-before-log ordering that window was inverted — the store
+// was mutated first, so a fault before logging left the live store ahead
+// of the log and recovery DIVERGED (the transaction came back pending
+// with its effects missing). TestCrashBetweenSyncAndApplyRecoversCommitted
+// asserts the write-ahead invariant directly at the fault point (the
+// tombstone is on disk while the booking is not), which fails against
+// the old ordering, and then asserts recovery lands on the committed
+// reference state.
+
+var errInjectedCrash = errors.New("injected crash")
+
+// crashState is the comparable digest of an engine's user-visible state.
+type crashState struct {
+	bookings  string
+	available string
+	pending   string
+}
+
+func stateOf(q *QDB) crashState {
+	return crashState{
+		bookings:  tuplesSorted(q.Store(), "Bookings"),
+		available: tuplesSorted(q.Store(), "Available"),
+		pending:   fmt.Sprint(q.PendingIDs()),
+	}
+}
+
+func TestCrashBetweenSyncAndApplyRecoversCommitted(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "qdb.wal")
+	mk := func() *relstore.DB { return worldDB([]int{1, 2}, 6) }
+	opts := Options{WALPath: walPath, SyncWAL: true, WALSegments: 2}
+
+	// Reference: the same script with the grounding SUCCEEDING — the
+	// post-commit state the log must carry the crashed instance to.
+	ref, err := New(mk(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refA, _ := ref.Submit(book("A", 1))
+	refB, _ := ref.Submit(book("B", 1))
+	if _, err := ref.Submit(book("C", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Ground(refA); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Ground(refB); err != nil {
+		t.Fatal(err)
+	}
+	want := stateOf(ref)
+	ref.Close()
+
+	q, err := New(mk(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, err := q.Submit(book("A", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := q.Submit(book("B", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(book("C", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Ground(idA); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm the fault between WAL sync and store apply, and assert the
+	// write-ahead invariant at the fault point: the grounding's batch
+	// (facts + tombstone) is already durable, its effects are not yet in
+	// the store. Under apply-before-log ordering both assertions invert.
+	q.testCrashApply = func() error {
+		batches, err := wal.ReadAll(walPath)
+		if err != nil {
+			t.Fatalf("reading WAL at fault point: %v", err)
+		}
+		tombstones := 0
+		for _, b := range batches {
+			for _, r := range b.Records {
+				if r.Type == recGrounded {
+					tombstones++
+				}
+			}
+		}
+		if tombstones != 2 {
+			t.Errorf("at fault point: %d tombstones on disk, want 2 (A's and the in-flight B's)", tombstones)
+		}
+		if n := q.Store().Len("Bookings"); n != 1 {
+			t.Errorf("at fault point: %d bookings applied, want 1 (B's apply must not have happened yet)", n)
+		}
+		return errInjectedCrash
+	}
+	if err := q.Ground(idB); !errors.Is(err, errInjectedCrash) {
+		t.Fatalf("Ground(B) = %v, want injected crash", err)
+	}
+	q.testCrashApply = nil
+	// The live instance reports B still pending with its booking missing;
+	// the log says committed. Crash resolves the argument in the log's
+	// favour.
+	if n := q.Store().Len("Bookings"); n != 1 {
+		t.Fatalf("live store has %d bookings after failed apply, want 1", n)
+	}
+	q.log.Abandon()
+
+	r, err := Recover(mk(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := stateOf(r); got != want {
+		t.Errorf("recovered state diverges from committed reference:\n got %+v\nwant %+v", got, want)
+	}
+	// The recovered instance is fully operational: the invariant holds and
+	// the remaining pending transaction grounds.
+	if err := r.GroundAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Store().Len("Bookings"); n != 3 {
+		t.Fatalf("bookings after recovered GroundAll = %d, want 3", n)
+	}
+}
+
+// crashScript is the shared deterministic op sequence for the append/sync
+// fault sweeps: four admissions across two partitions, then groundings.
+// Each submit is one WAL batch (pending record) and each grounding is one
+// WAL batch (facts + tombstone), so "fail at the Kth append" walks every
+// commit-unit boundary of the script.
+func crashScript(q *QDB) error {
+	var ids []int64
+	for i, f := range []int{1, 2, 1, 2} {
+		id, err := q.Submit(book(fmt.Sprintf("u%d", i), f))
+		if err != nil {
+			return err
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if err := q.Ground(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refStateAfterOps replays the first n successful WAL-batch-producing
+// operations of crashScript on a fault-free instance and returns its
+// state. Batches 1-4 are the submits, 5-8 the groundings.
+func refStateAfterOps(t *testing.T, mk func() *relstore.DB, n int) crashState {
+	t.Helper()
+	q, err := New(mk(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	var ids []int64
+	ops := 0
+	for i, f := range []int{1, 2, 1, 2} {
+		if ops == n {
+			break
+		}
+		id, err := q.Submit(book(fmt.Sprintf("u%d", i), f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		ops++
+	}
+	for _, id := range ids {
+		if ops == n {
+			break
+		}
+		if err := q.Ground(id); err != nil {
+			t.Fatal(err)
+		}
+		ops++
+	}
+	return stateOf(q)
+}
+
+// TestCrashAfterKthAppend fails the Kth WAL append before it is flushed
+// or synced, for every K in the script: the batch is unacknowledged and
+// (after the crash drops the buffer) not durable, so recovery must land
+// exactly on the reference state of the K-1 operations that completed.
+func TestCrashAfterKthAppend(t *testing.T) {
+	mk := func() *relstore.DB { return worldDB([]int{1, 2}, 6) }
+	for k := 1; k <= 8; k++ {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			walPath := filepath.Join(t.TempDir(), "qdb.wal")
+			opts := Options{WALPath: walPath, SyncWAL: true, WALSegments: 2}
+			q, err := New(mk(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			appends := 0
+			q.log.Hooks.AfterAppend = func(seq uint64) error {
+				appends++
+				if appends == k {
+					return errInjectedCrash
+				}
+				return nil
+			}
+			if err := crashScript(q); !errors.Is(err, errInjectedCrash) {
+				t.Fatalf("script error = %v, want injected crash at append %d", err, k)
+			}
+			q.log.Abandon()
+
+			want := refStateAfterOps(t, mk, k-1)
+			r, err := Recover(mk(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if got := stateOf(r); got != want {
+				t.Errorf("k=%d: recovered state:\n got %+v\nwant %+v", k, got, want)
+			}
+			if err := r.GroundAll(); err != nil {
+				t.Fatalf("k=%d: recovered instance cannot ground: %v", k, err)
+			}
+		})
+	}
+}
+
+// TestCrashAfterSync fails immediately after the Kth batch's covering
+// fsync: the batch IS durable but was never acknowledged or applied.
+// Recovery must treat it as committed — the write-ahead discipline's
+// presumed-commit edge — and land on the reference state of K completed
+// operations.
+func TestCrashAfterSync(t *testing.T) {
+	mk := func() *relstore.DB { return worldDB([]int{1, 2}, 6) }
+	for k := 1; k <= 8; k++ {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			walPath := filepath.Join(t.TempDir(), "qdb.wal")
+			opts := Options{WALPath: walPath, SyncWAL: true, WALSegments: 2}
+			q, err := New(mk(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			synced := 0
+			q.log.Hooks.AfterSync = func(seq uint64) error {
+				synced++
+				if synced == k {
+					return errInjectedCrash
+				}
+				return nil
+			}
+			if err := crashScript(q); !errors.Is(err, errInjectedCrash) {
+				t.Fatalf("script error = %v, want injected crash at sync %d", err, k)
+			}
+			q.log.Abandon()
+
+			want := refStateAfterOps(t, mk, k)
+			r, err := Recover(mk(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if got := stateOf(r); got != want {
+				t.Errorf("k=%d: recovered state:\n got %+v\nwant %+v", k, got, want)
+			}
+			if err := r.GroundAll(); err != nil {
+				t.Fatalf("k=%d: recovered instance cannot ground: %v", k, err)
+			}
+		})
+	}
+}
+
+// TestCrashBeforeApplyOnWrite exercises the write-ahead window on the
+// blind-write path: the write's batch is synced, the apply never runs,
+// and recovery replays the write.
+func TestCrashBeforeApplyOnWrite(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "qdb.wal")
+	mk := func() *relstore.DB { return worldDB([]int{1}, 3) }
+	opts := Options{WALPath: walPath, SyncWAL: true}
+	q, err := New(mk(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(book("A", 1)); err != nil {
+		t.Fatal(err)
+	}
+	q.testCrashApply = func() error { return errInjectedCrash }
+	newSeat := []relstore.GroundFact{{Rel: "Available", Tuple: tup(1, "9Z")}}
+	if err := q.Write(newSeat, nil); !errors.Is(err, errInjectedCrash) {
+		t.Fatalf("Write = %v, want injected crash", err)
+	}
+	q.testCrashApply = nil
+	if q.Store().Contains("Available", tup(1, "9Z")) {
+		t.Fatal("write applied despite crash before apply")
+	}
+	q.log.Abandon()
+
+	r, err := Recover(mk(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.Store().Contains("Available", tup(1, "9Z")) {
+		t.Fatal("logged write not replayed by recovery")
+	}
+	if got := fmt.Sprint(r.PendingIDs()); got != "[1]" {
+		t.Fatalf("pending after recovery = %s, want [1]", got)
+	}
+}
+
+// TestRecoverIdempotentRedo hand-crafts a log whose fact batches overlap
+// the initial store state — an insert that is already present and a
+// delete of a row that is already gone — and checks recovery detects and
+// skips them instead of failing, while still applying the novel
+// mutations of the same stream.
+func TestRecoverIdempotentRedo(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "qdb.wal")
+	initial := worldDB([]int{1}, 3)
+	// Pre-apply one mutation the log will redo: the booking insert.
+	if err := initial.Insert("Bookings", tup("A", 1, "r0s0")); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := wal.OpenSegmented(walPath, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	append := func(affinity int64, recs []wal.Record) {
+		t.Helper()
+		if _, err := l.AppendBatch(affinity, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Batch 1: duplicate insert (already in initial) — must be skipped.
+	append(0, []wal.Record{{Type: recInsert, Payload: encodeFact(relstore.GroundFact{Rel: "Bookings", Tuple: tup("A", 1, "r0s0")})}})
+	// Batch 2: delete of an absent row — must be skipped.
+	append(1, []wal.Record{{Type: recDelete, Payload: encodeFact(relstore.GroundFact{Rel: "Bookings", Tuple: tup("Ghost", 1, "r9s9")})}})
+	// Batch 3: a novel insert — must be applied.
+	append(0, []wal.Record{{Type: recInsert, Payload: encodeFact(relstore.GroundFact{Rel: "Bookings", Tuple: tup("B", 1, "r0s1")})}})
+	// Batch 4: a delete whose KEY exists (Bookings keys on fno+sno — the
+	// seat is A's) but whose stored tuple differs: the exact tuple is
+	// absent, so redo must skip it, not die on the mismatch. This is the
+	// shape a logged delete superseded by a later same-key insert takes
+	// when the full log replays over a checkpoint (crash between the
+	// checkpoint rename and the log truncate).
+	append(1, []wal.Record{{Type: recDelete, Payload: encodeFact(relstore.GroundFact{Rel: "Bookings", Tuple: tup("Zed", 1, "r0s0")})}})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Recover(initial, Options{WALPath: walPath, WALSegments: 2})
+	if err != nil {
+		t.Fatalf("idempotent redo failed: %v", err)
+	}
+	defer r.Close()
+	if n := r.Store().Len("Bookings"); n != 2 {
+		t.Fatalf("bookings after redo = %d, want 2", n)
+	}
+	if !r.Store().Contains("Bookings", tup("B", 1, "r0s1")) {
+		t.Fatal("novel insert of the redo stream not applied")
+	}
+}
+
+// TestRecoverSkipsAbortedBatch checks the compensation path: a batch
+// followed by its abort record is invisible to recovery.
+func TestRecoverSkipsAbortedBatch(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "qdb.wal")
+	l, err := wal.OpenSegmented(walPath, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.AppendBatch(0, []wal.Record{
+		{Type: recInsert, Payload: encodeFact(relstore.GroundFact{Rel: "Bookings", Tuple: tup("A", 1, "r0s0")})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	abort := getBatchEnc()
+	abort.addID(recAbort, seq)
+	// Aborts may land on any segment; recovery collects them in a first
+	// pass, so even an abort on another segment cancels the batch.
+	if _, err := l.AppendBatch(1, abort.recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Recover(worldDB([]int{1}, 3), Options{WALPath: walPath, WALSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if n := r.Store().Len("Bookings"); n != 0 {
+		t.Fatalf("aborted batch applied: %d bookings", n)
+	}
+}
+
+// TestCloseSyncsBufferedWAL is the clean-shutdown satellite: with SyncWAL
+// OFF every append sits in OS buffers at best, and Close must flush AND
+// fsync them so a close-then-reopen replays everything.
+func TestCloseSyncsBufferedWAL(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "qdb.wal")
+	mk := func() *relstore.DB { return worldDB([]int{1, 2}, 6) }
+	opts := Options{WALPath: walPath, WALSegments: 2} // SyncWAL off
+	q, err := New(mk(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, err := q.Submit(book("A", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(book("B", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Ground(idA); err != nil {
+		t.Fatal(err)
+	}
+	want := stateOf(q)
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Recover(mk(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := stateOf(r); got != want {
+		t.Errorf("close-then-reopen state:\n got %+v\nwant %+v", got, want)
+	}
+}

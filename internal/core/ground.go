@@ -202,37 +202,55 @@ func (q *QDB) replayHead(p *partition) (bool, error) {
 	if len(p.txns[0].OptionalAtoms()) > 0 {
 		return false, nil
 	}
-	// Validity check and apply share one exclusive section, so no store
-	// mutation can slip between "fingerprint matches" and "grounding
-	// executed": an engine-only store needs no fingerprint comparison,
-	// otherwise the stamp must match the current epochs of the
-	// partition's relations.
-	q.storeMu.Lock()
+	g := p.cached[0]
+	// Write-ahead ordering: validate the cached grounding under the read
+	// gate, log+sync its batch OUTSIDE the store gate (so replays of
+	// partitions on different WAL segments fsync concurrently and ones
+	// sharing a segment group-commit), then re-validate and apply under
+	// the exclusive side. The epoch snapshot brackets the gap: only
+	// engine writes — groundings of OTHER partitions, which cannot unify
+	// with this one and so commute with its grounding — may land between
+	// the check and the apply; anything else aborts the logged batch and
+	// falls back to a fresh solve.
+	q.storeMu.RLock()
 	if !q.storeTrusted() && q.epochFingerprint(p.txns) != p.cachedEpoch {
-		q.storeMu.Unlock()
+		q.storeMu.RUnlock()
 		q.stats.solutionStale.Add(1)
 		return false, nil
 	}
-	g := p.cached[0]
+	snap := q.epochSnapshot()
+	q.storeMu.RUnlock()
+
+	seq, err := q.logGrounding(p.id(), g)
+	if err != nil {
+		return false, err
+	}
+	if err := q.crashApplyPoint(); err != nil {
+		return false, err
+	}
+
+	q.storeMu.Lock()
+	if !q.gapClean(snap) {
+		// An out-of-band write slipped into the log-to-apply gap; the
+		// cached grounding may no longer hold. Compensate the batch and
+		// let the solve paths decide.
+		q.storeMu.Unlock()
+		q.stats.solutionStale.Add(1)
+		return false, q.logAbort(p.id(), seq)
+	}
 	if err := q.db.Apply(g.Inserts, g.Deletes); err != nil {
-		// The fingerprint matched but the grounding no longer applies:
-		// a mutation raced us out-of-band. Drop the cache and fall back
-		// to a fresh solve; Apply is atomic, so the store is unchanged.
+		// The grounding no longer applies (a key collision with a
+		// commuting engine write, or a raced out-of-band mutation under a
+		// matching fingerprint). Drop the cache and fall back to a fresh
+		// solve; Apply is atomic, so the store is unchanged — but the
+		// batch is already logged, so it must be compensated.
 		q.storeMu.Unlock()
 		q.stats.solutionStale.Add(1)
 		p.cached, p.cachedEpoch = nil, 0
 		p.version++
-		return false, nil
+		return false, q.logAbort(p.id(), seq)
 	}
 	q.noteEngineWrite(g.Inserts, g.Deletes)
-	if err := q.logFacts(g.Inserts, g.Deletes); err != nil {
-		q.storeMu.Unlock()
-		return false, err
-	}
-	if err := q.logGrounded(g.Txn.ID); err != nil {
-		q.storeMu.Unlock()
-		return false, err
-	}
 	// Restamp while still holding the store gate: the post-apply epochs
 	// are frozen here, so a mutation racing the restamp cannot be
 	// absorbed into the new fingerprint (it would be missed forever; a
@@ -308,9 +326,12 @@ func identityOrder(n int) []int {
 // Caller holds p's shard. The solve runs under the store's read gate
 // (storeMu.RLock) — solves of independent partitions still overlap, and
 // holding the gate guarantees no store writer queues mid-solve, which
-// would deadlock the evaluator's nested relstore read locks. The short
-// apply+log then runs under the exclusive side so collapsing reads see
-// whole groundings.
+// would deadlock the evaluator's nested relstore read locks. Each
+// grounding then logs write-ahead outside the store gate and applies
+// under a short exclusive section of its own: reads see whole
+// groundings, but a multi-transaction prefix is NOT atomic against
+// reads — a read may observe the state between two groundings of the
+// prefix, each of which is a real committed state.
 func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groundCount int) (bool, error) {
 	maximize := false
 	for _, t := range solver[:groundCount] {
@@ -394,28 +415,50 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 		}
 	}
 
-	// Execute the chosen prefix against the store. WAL appends happen
-	// inside the same storeMu section so log order matches apply order;
-	// the restamp fingerprint is taken there too, over the frozen
-	// post-apply epochs (a mutation racing a post-unlock restamp would
-	// be absorbed into the stamp and missed forever).
-	q.storeMu.Lock()
+	// Execute the chosen prefix against the store, one grounding — one
+	// WAL batch — at a time, write-ahead: each grounding's batch (facts +
+	// tombstone) is appended and, with SyncWAL, group-commit synced
+	// OUTSIDE the store gate, and only then applied under the exclusive
+	// side. Log sequence order stays consistent with apply order where it
+	// matters: same-partition batches are strictly ordered (the next
+	// append happens after the previous apply, under this shard), and
+	// batches of other partitions commute with these groundings (their
+	// atoms cannot unify; residual key collisions fail closed at Apply
+	// and are compensated with an abort record). A crash between a
+	// batch's sync and its apply is repaired by replay — the recovered
+	// store includes the grounding the live store was about to get.
+	//
+	// A mid-prefix error (log or apply failure for grounding i > 0)
+	// returns with groundings 0..i-1 applied and logged but their
+	// transactions still registered pending — the seed's failure shape,
+	// kept: log errors mean the engine is degraded and WAL recovery is
+	// the story; restructuring per-grounding retirement for a path that
+	// only runs on I/O failure is not worth the bookkeeping.
 	for i := 0; i < groundCount; i++ {
 		g := sol.Groundings[i]
+		seq, err := q.logGrounding(p.id(), g)
+		if err != nil {
+			return false, err
+		}
+		if err := q.crashApplyPoint(); err != nil {
+			return false, err
+		}
+		q.storeMu.Lock()
 		if err := q.db.Apply(g.Inserts, g.Deletes); err != nil {
 			q.storeMu.Unlock()
-			return false, fmt.Errorf("core: executing grounding of txn %d: %w", g.Txn.ID, err)
+			err = fmt.Errorf("core: executing grounding of txn %d: %w", g.Txn.ID, err)
+			if aerr := q.logAbort(p.id(), seq); aerr != nil {
+				err = errors.Join(err, aerr)
+			}
+			return false, err
 		}
 		q.noteEngineWrite(g.Inserts, g.Deletes)
-		if err := q.logFacts(g.Inserts, g.Deletes); err != nil {
-			q.storeMu.Unlock()
-			return false, err
-		}
-		if err := q.logGrounded(g.Txn.ID); err != nil {
-			q.storeMu.Unlock()
-			return false, err
-		}
+		q.storeMu.Unlock()
 	}
+	// The restamp fingerprint is taken under the store gate, over the
+	// frozen post-apply epochs (a mutation racing a post-unlock restamp
+	// would be absorbed into the stamp and missed forever).
+	q.storeMu.Lock()
 	var stamp uint64
 	if !q.opt.DisableCache {
 		if q.gapClean(snap) {
@@ -713,22 +756,35 @@ func (q *QDB) Write(inserts, deletes []relstore.GroundFact) error {
 		return err
 	}
 
+	// Write-ahead: the write's batch is logged (and synced, with SyncWAL)
+	// before it mutates the store — still under admitMu, so it is
+	// serialized against admissions exactly as before, but outside the
+	// store gate, so groundings of unaffected partitions proceed during
+	// the fsync.
+	seq, err := q.logWrite(inserts, deletes)
+	if err != nil {
+		unlockPartitions(cands)
+		return err
+	}
+	if err := q.crashApplyPoint(); err != nil {
+		unlockPartitions(cands)
+		return err
+	}
 	q.storeMu.Lock()
 	if err := q.db.Apply(inserts, deletes); err != nil {
 		q.storeMu.Unlock()
 		unlockPartitions(cands)
-		return fmt.Errorf("core: applying write: %w", err)
+		err = fmt.Errorf("core: applying write: %w", err)
+		if aerr := q.logAbort(0, seq); aerr != nil {
+			err = errors.Join(err, aerr)
+		}
+		return err
 	}
 	q.noteEngineWrite(inserts, deletes)
 	// Blind writes are the one engine mutation optimistic admission can
 	// never attribute to a non-overlapping partition; the sequence number
 	// lets validations detect that one landed mid-speculation.
 	q.writeSeq.Add(1)
-	if err := q.logFacts(inserts, deletes); err != nil {
-		q.storeMu.Unlock()
-		unlockPartitions(cands)
-		return err
-	}
 	// Stamps are taken under the store gate (post-apply epochs frozen),
 	// and only for partitions whose validate-to-apply gap saw engine
 	// writes alone; see trySolveAndApply for why anything else would

@@ -105,10 +105,27 @@ type Options struct {
 	// inline on the calling goroutine); negative values are treated as 1.
 	Workers int
 	// WALPath, when non-empty, durably logs pending transactions and base
-	// writes to this file; Recover rebuilds the quantum state from it.
+	// writes to segment files rooted at this path (<WALPath>.0 …);
+	// Recover rebuilds the quantum state from them. Every commit unit is
+	// logged and (with SyncWAL) synced BEFORE its effects reach the
+	// store.
 	WALPath string
-	// SyncWAL forces an fsync per WAL append.
+	// SyncWAL makes every logged batch fsync before it is acknowledged
+	// (group commit: concurrent appenders to the same segment share one
+	// fsync). Off, batches are flushed to the OS but a machine crash may
+	// lose the unsynced tail: with one segment recovery still sees a
+	// consistent prefix, while with WALSegments > 1 each segment loses an
+	// independent tail, so recovery is best-effort convergence (the
+	// idempotent redo absorbs the holes) rather than a prefix — turn
+	// SyncWAL on when exact crash recovery matters.
 	SyncWAL bool
+	// WALSegments is the number of partition-affine WAL segment files.
+	// Groundings of partitions mapped to different segments append and
+	// fsync independently, so under SyncWAL the log stops being a global
+	// writer bottleneck. 0 or 1 means a single segment; recovery merges
+	// whatever segments exist by sequence number regardless of the
+	// configured count.
+	WALSegments int
 }
 
 func (o *Options) k() int {
@@ -134,6 +151,13 @@ func (o *Options) sample() int {
 		return 1
 	}
 	return o.ChooserSample
+}
+
+func (o *Options) walSegments() int {
+	if o.WALSegments < 1 {
+		return 1
+	}
+	return o.WALSegments
 }
 
 func (o *Options) workers() int {

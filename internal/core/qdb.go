@@ -113,8 +113,17 @@ type QDB struct {
 	// counted and logged exactly once (see noteTrustDemotion).
 	demoted atomic.Bool
 
-	log   *wal.Log // immutable after New; internally synchronized
-	stats counters
+	// log is the segmented write-ahead log (nil without Options.WALPath);
+	// immutable after New, internally synchronized. Every durability path
+	// follows write-ahead ordering: the commit unit's batch is appended
+	// (and, with SyncWAL, group-commit fsynced) BEFORE the store apply,
+	// so a crash between the two is repaired by replay instead of
+	// diverging. See recover.go.
+	log *wal.SegmentedLog
+	// testCrashApply, when non-nil, injects a failure between a batch's
+	// WAL sync and its store apply (crashApplyPoint); test-only.
+	testCrashApply func() error
+	stats          counters
 }
 
 // partition is one independent set of mutually-unifiable pending
@@ -164,7 +173,7 @@ func New(db *relstore.DB, opt Options) (*QDB, error) {
 	// out-of-band writes.
 	q.knownEpoch = db.Epoch()
 	if opt.WALPath != "" {
-		l, err := wal.Open(opt.WALPath)
+		l, err := wal.OpenSegmented(opt.WALPath, opt.walSegments())
 		if err != nil {
 			return nil, err
 		}
@@ -174,12 +183,25 @@ func New(db *relstore.DB, opt Options) (*QDB, error) {
 	return q, nil
 }
 
-// Close releases the WAL, if any. Safe to call more than once.
+// Close flushes, fsyncs, and closes the WAL, if any: buffered appends
+// (SyncWAL off) are made durable by a clean shutdown. Safe to call more
+// than once.
 func (q *QDB) Close() error {
 	if q.log == nil {
 		return nil
 	}
 	return q.log.Close()
+}
+
+// LogStats snapshots the WAL's per-segment activity counters (zero value
+// without a WAL): benchmarks and structural tests use it to prove
+// groundings of disjoint partitions spread across segments and shared
+// fsyncs actually happened.
+func (q *QDB) LogStats() wal.SegStats {
+	if q.log == nil {
+		return wal.SegStats{}
+	}
+	return q.log.Stats()
 }
 
 // Store returns the underlying extensional store for read-only inspection

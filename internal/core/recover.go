@@ -2,8 +2,11 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"log"
 	"sort"
+	"sync"
 
 	"repro/internal/formula"
 	"repro/internal/relstore"
@@ -15,14 +18,71 @@ import (
 // WAL record types. The pending-transactions table of §4 is realized as
 // the pending/grounded record pairs; base writes are logged so the
 // extensional store can be rebuilt from the initial database.
+//
+// Records travel in BATCHES (wal.SegmentedLog.AppendBatch): one batch is
+// one commit unit — a pending record, a blind write's facts, or a
+// grounding's facts plus its tombstone — framed and sequence-stamped
+// together, so recovery can never observe half a grounding. The engine
+// appends and syncs a batch BEFORE applying its effects to the store
+// (write-ahead ordering): a crash between log and apply is repaired by
+// replay, never by divergence.
 const (
 	recPending  uint8 = 1 // payload: txn.Marshal
 	recGrounded uint8 = 2 // payload: 8-byte big-endian txn ID
 	recInsert   uint8 = 3 // payload: encoded GroundFact
 	recDelete   uint8 = 4 // payload: encoded GroundFact
+	// recAbort compensates a logged batch whose store apply then failed
+	// (the fail-closed key-collision path): payload is the 8-byte
+	// big-endian sequence number of the batch to skip at replay. Written
+	// because the batch hit the log first — without the abort, recovery
+	// would execute a grounding the live engine reported as failed.
+	recAbort uint8 = 5
 )
 
-func (q *QDB) logPending(t *txn.T) error {
+// batchEnc assembles one commit unit's records over a reusable byte
+// arena; payloads are sub-slices of the arena (growing the arena leaves
+// already-taken payload slices pointing at the old backing array, whose
+// contents stay valid). Pooled: grounding batches are built on the hot
+// path, outside any lock.
+type batchEnc struct {
+	buf  []byte
+	recs []wal.Record
+}
+
+var batchEncPool = sync.Pool{New: func() any { return &batchEnc{} }}
+
+func getBatchEnc() *batchEnc {
+	e := batchEncPool.Get().(*batchEnc)
+	e.buf, e.recs = e.buf[:0], e.recs[:0]
+	return e
+}
+
+func (e *batchEnc) addFact(typ uint8, f relstore.GroundFact) {
+	start := len(e.buf)
+	e.buf = appendFact(e.buf, f)
+	e.recs = append(e.recs, wal.Record{Type: typ, Payload: e.buf[start:]})
+}
+
+func (e *batchEnc) addID(typ uint8, id uint64) {
+	start := len(e.buf)
+	e.buf = binary.BigEndian.AppendUint64(e.buf, id)
+	e.recs = append(e.recs, wal.Record{Type: typ, Payload: e.buf[start:]})
+}
+
+func (e *batchEnc) addFacts(inserts, deletes []relstore.GroundFact) {
+	for _, f := range deletes {
+		e.addFact(recDelete, f)
+	}
+	for _, f := range inserts {
+		e.addFact(recInsert, f)
+	}
+}
+
+// logPending durably records an admitted transaction BEFORE it is
+// installed: the §4 invariant wants the pending-transactions table ahead
+// of any visible effect. affinity routes the batch to the partition's
+// segment.
+func (q *QDB) logPending(affinity int64, t *txn.T) error {
 	if q.log == nil {
 		return nil
 	}
@@ -30,38 +90,75 @@ func (q *QDB) logPending(t *txn.T) error {
 	if err != nil {
 		return err
 	}
-	return q.log.Append(wal.Record{Type: recPending, Payload: data})
+	_, err = q.log.AppendBatch(affinity, []wal.Record{{Type: recPending, Payload: data}})
+	return err
 }
 
-func (q *QDB) logGrounded(id int64) error {
+// logGrounding appends one grounding's whole commit unit — fact records
+// plus the tombstone — as a single batch, returning its sequence number
+// (0 with no log). Called BEFORE the grounding is applied to the store;
+// with SyncWAL the call group-commits, so concurrent groundings of
+// partitions on different segments fsync independently and groundings
+// sharing a segment share one fsync.
+func (q *QDB) logGrounding(affinity int64, g formula.Grounding) (uint64, error) {
 	if q.log == nil {
-		return nil
+		return 0, nil
 	}
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], uint64(id))
-	return q.log.Append(wal.Record{Type: recGrounded, Payload: buf[:]})
+	e := getBatchEnc()
+	defer batchEncPool.Put(e)
+	e.addFacts(g.Inserts, g.Deletes)
+	e.addID(recGrounded, uint64(g.Txn.ID))
+	return q.log.AppendBatch(affinity, e.recs)
 }
 
-func (q *QDB) logFacts(inserts, deletes []relstore.GroundFact) error {
+// logWrite appends a blind write's facts as one batch, before they are
+// applied.
+func (q *QDB) logWrite(inserts, deletes []relstore.GroundFact) (uint64, error) {
 	if q.log == nil {
+		return 0, nil
+	}
+	e := getBatchEnc()
+	defer batchEncPool.Put(e)
+	e.addFacts(inserts, deletes)
+	return q.log.AppendBatch(0, e.recs)
+}
+
+// logAbort compensates the batch with the given sequence number after
+// its apply failed; replay skips aborted batches entirely. A failing
+// abort append is reported loudly: the log now claims a commit the store
+// rejected, which only a checkpoint can expunge. The same caveat applies
+// to a CRASH between the batch's sync and the abort's — compensation
+// records are not crash-atomic with their targets (the classic CLR
+// window) — in which case recovery replays the batch as committed, with
+// the colliding facts absorbed by the idempotent redo; the window
+// requires an apply-time key collision AND a crash inside this call, and
+// a checkpoint closes it.
+func (q *QDB) logAbort(affinity int64, seq uint64) error {
+	if q.log == nil || seq == 0 {
 		return nil
 	}
-	for _, f := range deletes {
-		if err := q.log.Append(wal.Record{Type: recDelete, Payload: encodeFact(f)}); err != nil {
-			return err
-		}
-	}
-	for _, f := range inserts {
-		if err := q.log.Append(wal.Record{Type: recInsert, Payload: encodeFact(f)}); err != nil {
-			return err
-		}
+	e := getBatchEnc()
+	defer batchEncPool.Put(e)
+	e.addID(recAbort, seq)
+	if _, err := q.log.AppendBatch(affinity, e.recs); err != nil {
+		return fmt.Errorf("core: compensating aborted batch %d: %w", seq, err)
 	}
 	return nil
 }
 
-// encodeFact serializes rel name (uvarint length + bytes), arity, values.
-func encodeFact(f relstore.GroundFact) []byte {
-	buf := binary.AppendUvarint(nil, uint64(len(f.Rel)))
+// crashApplyPoint is the durability test harness's fault injection point
+// between a batch's WAL sync and its store apply; nil in production.
+func (q *QDB) crashApplyPoint() error {
+	if q.testCrashApply != nil {
+		return q.testCrashApply()
+	}
+	return nil
+}
+
+// appendFact serializes rel name (uvarint length + bytes), arity, values
+// into buf, AppendBinary-style.
+func appendFact(buf []byte, f relstore.GroundFact) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(f.Rel)))
 	buf = append(buf, f.Rel...)
 	buf = binary.AppendUvarint(buf, uint64(len(f.Tuple)))
 	for _, v := range f.Tuple {
@@ -69,6 +166,8 @@ func encodeFact(f relstore.GroundFact) []byte {
 	}
 	return buf
 }
+
+func encodeFact(f relstore.GroundFact) []byte { return appendFact(nil, f) }
 
 func decodeFact(data []byte) (relstore.GroundFact, error) {
 	n, w := binary.Uvarint(data)
@@ -97,23 +196,49 @@ func decodeFact(data []byte) (relstore.GroundFact, error) {
 	return relstore.GroundFact{Rel: rel, Tuple: tup}, nil
 }
 
-// Recover rebuilds a quantum database from the WAL named in opt.WALPath.
-// initial must be the same extensional database the crashed instance
-// started from (the paper's prototype likewise relies on the underlying
-// DBMS for base durability; here base writes are replayed from the log).
-// Still-pending transactions are re-admitted with their original IDs,
-// which re-establishes the invariant and rebuilds partitions and caches.
-// For long-lived databases, pair with QDB.Checkpoint and
-// RecoverCheckpoint to bound replay length.
+// Recover rebuilds a quantum database from the WAL segments rooted at
+// opt.WALPath. initial must be the same extensional database the crashed
+// instance started from (the paper's prototype likewise relies on the
+// underlying DBMS for base durability; here base writes are replayed
+// from the log). Still-pending transactions are re-admitted with their
+// original IDs, which re-establishes the invariant and rebuilds
+// partitions and caches. For long-lived databases, pair with
+// QDB.Checkpoint and RecoverCheckpoint to bound replay length.
 func Recover(initial *relstore.DB, opt Options) (*QDB, error) {
 	return recoverOnto(initial, nil, opt)
 }
 
 // recoverOnto replays the WAL over a store, seeding the pending set with
 // checkpointed transactions (the log may ground them later).
+//
+// All segments are merged into one sequence-ordered stream (wal.ReadAll)
+// and replayed in two passes: the first collects abort compensations,
+// the second applies every non-aborted batch. The fact redo is
+// IDEMPOTENT: with write-ahead ordering a crash can sit between a
+// batch's sync and its store apply, and partial-durability orders under
+// SyncWAL=false can surface a logged batch whose neighbours were
+// dropped, so an insert that finds its key present or a delete that
+// finds its tuple absent is detected and skipped rather than fatal —
+// set semantics make the skip exact (the mutation's effect is already
+// there or already gone).
 func recoverOnto(initial *relstore.DB, checkpointPending []*txn.T, opt Options) (*QDB, error) {
 	if opt.WALPath == "" {
 		return nil, fmt.Errorf("core: Recover requires Options.WALPath")
+	}
+	batches, err := wal.ReadAll(opt.WALPath)
+	if err != nil {
+		return nil, fmt.Errorf("core: recovery replay: %w", err)
+	}
+	aborted := make(map[uint64]bool)
+	for _, b := range batches {
+		for _, r := range b.Records {
+			if r.Type == recAbort {
+				if len(r.Payload) != 8 {
+					return nil, fmt.Errorf("core: recovery replay: bad abort record")
+				}
+				aborted[binary.BigEndian.Uint64(r.Payload)] = true
+			}
+		}
 	}
 	pending := make(map[int64]*txn.T)
 	var maxID int64
@@ -123,41 +248,68 @@ func recoverOnto(initial *relstore.DB, checkpointPending []*txn.T, opt Options) 
 			maxID = t.ID
 		}
 	}
-	err := wal.Replay(opt.WALPath, func(r wal.Record) error {
-		switch r.Type {
-		case recPending:
-			t, err := txn.Unmarshal(r.Payload)
-			if err != nil {
-				return err
-			}
-			pending[t.ID] = t
-			if t.ID > maxID {
-				maxID = t.ID
-			}
-		case recGrounded:
-			if len(r.Payload) != 8 {
-				return fmt.Errorf("core: bad grounded record")
-			}
-			delete(pending, int64(binary.BigEndian.Uint64(r.Payload)))
-		case recInsert:
-			f, err := decodeFact(r.Payload)
-			if err != nil {
-				return err
-			}
-			return initial.Insert(f.Rel, f.Tuple)
-		case recDelete:
-			f, err := decodeFact(r.Payload)
-			if err != nil {
-				return err
-			}
-			return initial.Delete(f.Rel, f.Tuple)
-		default:
-			return fmt.Errorf("core: unknown WAL record type %d", r.Type)
+	redoSkips := 0
+	for _, b := range batches {
+		if aborted[b.Seq] {
+			continue
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: recovery replay: %w", err)
+		for _, r := range b.Records {
+			switch r.Type {
+			case recPending:
+				t, err := txn.Unmarshal(r.Payload)
+				if err != nil {
+					return nil, fmt.Errorf("core: recovery replay: %w", err)
+				}
+				pending[t.ID] = t
+				if t.ID > maxID {
+					maxID = t.ID
+				}
+			case recGrounded:
+				if len(r.Payload) != 8 {
+					return nil, fmt.Errorf("core: recovery replay: bad grounded record")
+				}
+				id := int64(binary.BigEndian.Uint64(r.Payload))
+				delete(pending, id)
+				// A tombstone also witnesses the ID was issued: without
+				// SyncWAL a partial-durability order can keep a grounding
+				// whose pending record was dropped, and the recovered
+				// instance must still never reissue that ID.
+				if id > maxID {
+					maxID = id
+				}
+			case recInsert:
+				f, err := decodeFact(r.Payload)
+				if err != nil {
+					return nil, fmt.Errorf("core: recovery replay: %w", err)
+				}
+				if err := initial.Insert(f.Rel, f.Tuple); err != nil {
+					if errors.Is(err, relstore.ErrDuplicateKey) {
+						redoSkips++
+						continue
+					}
+					return nil, fmt.Errorf("core: recovery replay batch %d: %w", b.Seq, err)
+				}
+			case recDelete:
+				f, err := decodeFact(r.Payload)
+				if err != nil {
+					return nil, fmt.Errorf("core: recovery replay: %w", err)
+				}
+				if err := initial.Delete(f.Rel, f.Tuple); err != nil {
+					if errors.Is(err, relstore.ErrAbsentTuple) {
+						redoSkips++
+						continue
+					}
+					return nil, fmt.Errorf("core: recovery replay batch %d: %w", b.Seq, err)
+				}
+			case recAbort:
+				// Collected in the first pass.
+			default:
+				return nil, fmt.Errorf("core: recovery replay: unknown WAL record type %d", r.Type)
+			}
+		}
+	}
+	if redoSkips > 0 {
+		log.Printf("core: recovery skipped %d already-redone fact mutations (idempotent redo)", redoSkips)
 	}
 
 	q, err := New(initial, opt)

@@ -1,9 +1,21 @@
 package relstore
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/value"
+)
+
+// ErrDuplicateKey wraps insert failures caused by an existing row with
+// the same primary key; ErrAbsentTuple wraps deletes of rows that are not
+// present. WAL recovery matches on them to make fact redo idempotent (a
+// logged-but-possibly-applied mutation re-applies as a detected no-op);
+// everything else treats them as the fail-closed set-semantics errors
+// they are.
+var (
+	ErrDuplicateKey = errors.New("relstore: duplicate key")
+	ErrAbsentTuple  = errors.New("relstore: tuple not present")
 )
 
 // table is the physical storage of one relation: insertion-ordered rows
@@ -97,7 +109,7 @@ func (t *table) insert(tup value.Tuple) error {
 	}
 	k := t.schema.keyOf(tup)
 	if _, exists := t.pos[k]; exists {
-		return fmt.Errorf("relstore: %s: duplicate key for %v", t.schema.Name, tup)
+		return fmt.Errorf("%w: %s: %v", ErrDuplicateKey, t.schema.Name, tup)
 	}
 	tup = tup.Clone()
 	t.pos[k] = len(t.rows)
@@ -133,12 +145,18 @@ func (t *table) deleteTuple(tup value.Tuple) error {
 	k := t.schema.keyOf(tup)
 	i, ok := t.pos[k]
 	if !ok {
-		return fmt.Errorf("relstore: %s: delete of absent tuple %v", t.schema.Name, tup)
+		return fmt.Errorf("%w: %s: delete of absent tuple %v", ErrAbsentTuple, t.schema.Name, tup)
 	}
 	cur := t.rows[i].tup
 	if !cur.Equal(tup) {
-		return fmt.Errorf("relstore: %s: delete of %v does not match stored %v",
-			t.schema.Name, tup, cur)
+		// The key exists but the exact tuple does not: still ErrAbsentTuple
+		// (that is literally the situation), which also keeps WAL redo
+		// idempotent when a logged delete was superseded by a later insert
+		// under the same key — replaying insert(k,v1); delete(k,v1);
+		// insert(k,v2) over a store already at (k,v2) must skip all three,
+		// not fail on the middle one.
+		return fmt.Errorf("%w: %s: delete of %v does not match stored %v",
+			ErrAbsentTuple, t.schema.Name, tup, cur)
 	}
 	last := len(t.rows) - 1
 	if i != last {

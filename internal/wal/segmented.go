@@ -1,0 +1,711 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the engine's production logging layer: a
+// SegmentedLog of N partition-affine segment files. Each append is a
+// BATCH — every record of one logical commit unit (a grounding's facts
+// plus its tombstone, one pending-transaction record, one blind write) in
+// a single CRC-framed frame stamped with a monotone global sequence
+// number, so a torn write can never split a commit unit and recovery can
+// merge all segments back into one totally-ordered replay stream.
+//
+// Concurrency model: the sequence counter is a global atomic; everything
+// else is per segment. Appenders whose affinity keys map to different
+// segments share no lock and no fsync stream — that is the point: under
+// the quantum engine, groundings of disjoint partitions no longer
+// serialize on a single log mutex. Within a segment, synchronous
+// appenders GROUP COMMIT: whoever finds no fsync in flight becomes the
+// leader, flushes the buffer, and fsyncs once for every batch buffered so
+// far; appenders that arrive mid-fsync wait for the next round. A batch
+// is acknowledged only after a sync covering it completes.
+
+// segMagic identifies a segment file; it doubles as a format version so
+// a legacy single-file log (package-level Log) is never misparsed as a
+// segment.
+const segMagic = "QDBWSEG1"
+
+// Batch is one replayed commit unit: the records appended together by a
+// single AppendBatch call, with the global sequence number they were
+// stamped with.
+type Batch struct {
+	Seq     uint64
+	Records []Record
+}
+
+// SegStats is a snapshot of a SegmentedLog's activity counters, used by
+// benchmarks and structural tests to prove appends actually spread across
+// segments and synchronous appenders actually shared fsyncs.
+type SegStats struct {
+	// Segments is the configured segment count.
+	Segments int
+	// Appends[i] counts batches appended to segment i.
+	Appends []uint64
+	// Syncs[i] counts fsyncs issued on segment i.
+	Syncs []uint64
+	// GroupCommits counts batches acknowledged by an fsync they did not
+	// lead — the group-commit piggyback count. With SyncOnAppend set,
+	// sum(Appends) == sum(Syncs) + GroupCommits.
+	GroupCommits uint64
+}
+
+// Hooks are crash-injection points for the durability test harness. Each
+// hook may return an error, which AppendBatch propagates as if the write
+// failed at that point; the engine then behaves exactly as it would on a
+// real log failure, and the test "crashes" the instance by abandoning it.
+// Nil hooks cost one nil check. Not for production use.
+type Hooks struct {
+	// AfterAppend fires after the batch is buffered (counted as the Nth
+	// append overall) but before any flush or sync.
+	AfterAppend func(seq uint64) error
+	// AfterSync fires after the fsync covering the batch completed, before
+	// the append is acknowledged to the caller.
+	AfterSync func(seq uint64) error
+}
+
+// SegmentedLog is an append-only batch log sharded over N segment files
+// (<path>.0 … <path>.N-1). Safe for concurrent use.
+type SegmentedLog struct {
+	path string
+	segs []*segment
+	// seq is the global batch sequence counter; the next batch gets
+	// seq.Add(1), so sequence numbers start at 1 and 0 never names a
+	// batch.
+	seq atomic.Uint64
+	// SyncOnAppend makes AppendBatch acknowledge a batch only after an
+	// fsync covering it (group commit). Set once after Open, before use.
+	SyncOnAppend bool
+	// Hooks inject failures for crash tests; see Hooks.
+	Hooks Hooks
+
+	groupCommits atomic.Uint64
+}
+
+// segment is one log file with its own lock, buffer, and sync state.
+type segment struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    *os.File
+	w    *bufio.Writer
+	path string
+	// scratch is the frame-encoding buffer, reused under mu.
+	scratch []byte
+	// appends numbers the batches buffered into this segment; it is the
+	// sync "ticket": a batch with ticket t is durable once synced >= t.
+	// synced advances ONLY on successful sync rounds, so `synced >=
+	// ticket` is a durability proof — a batch covered by a failed round
+	// observes the poisoned segment instead, never a stale success.
+	appends uint64
+	synced  uint64
+	syncing bool
+	syncs   uint64
+	// failed latches the first write or sync error: a partially-written
+	// frame would poison everything after it in the file (replay stops at
+	// the first bad frame), and a failed fsync leaves the durable prefix
+	// unknowable, so the segment refuses further appends rather than risk
+	// silently losing acknowledged batches behind a torn middle.
+	failed error
+}
+
+// OpenSegmented opens (creating as needed) a segmented log of n segment
+// files rooted at path. Existing segments are scanned so the global
+// sequence counter resumes past every batch already on disk — including
+// batches in segments beyond n left over from a run with a larger
+// segment count (replay still reads them; Truncate removes them).
+func OpenSegmented(path string, n int) (*SegmentedLog, error) {
+	if n < 1 {
+		n = 1
+	}
+	if err := rejectLegacy(path); err != nil {
+		return nil, err
+	}
+	l := &SegmentedLog{path: path}
+	maxSeq, err := maxSegmentSeq(path)
+	if err != nil {
+		return nil, err
+	}
+	l.seq.Store(maxSeq)
+	for i := 0; i < n; i++ {
+		s, err := openSegment(segmentPath(path, i))
+		if err != nil {
+			for _, open := range l.segs {
+				open.f.Close()
+			}
+			return nil, err
+		}
+		l.segs = append(l.segs, s)
+	}
+	// Durably record the segment files' EXISTENCE: fsyncing a file's data
+	// does not persist its directory entry, so without a parent-directory
+	// sync a machine crash can make a fully-synced segment vanish — and
+	// ReadAll would silently treat it as empty. Once per open suffices:
+	// the files exist for the life of the log (Truncate empties, never
+	// unlinks, the configured segments).
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		for _, open := range l.segs {
+			open.f.Close()
+		}
+		return nil, err
+	}
+	return l, nil
+}
+
+// syncDir fsyncs a directory so entries created in it survive a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+func segmentPath(path string, i int) string {
+	return fmt.Sprintf("%s.%d", path, i)
+}
+
+func openSegment(path string) (*segment, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat segment: %w", err)
+	}
+	if st.Size() >= int64(len(segMagic)) {
+		var magic [len(segMagic)]byte
+		if _, err := f.ReadAt(magic[:], 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: read segment header: %w", err)
+		}
+		if string(magic[:]) != segMagic {
+			f.Close()
+			return nil, fmt.Errorf("wal: %s is not a segment file (bad magic)", path)
+		}
+	}
+	s := &segment{f: f, w: bufio.NewWriter(f), path: path}
+	s.cond = sync.NewCond(&s.mu)
+	if st.Size() < int64(len(segMagic)) {
+		// Empty (or torn-during-creation) segment: (re)write the header.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: init segment: %w", err)
+		}
+		if _, err := s.w.WriteString(segMagic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: init segment: %w", err)
+		}
+		if err := s.w.Flush(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: init segment: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// AppendBatch appends recs as one atomic commit unit to the segment
+// chosen by the affinity key (callers pass their partition ID, so a
+// partition's batches always land on one segment in order). It returns
+// the batch's global sequence number. With SyncOnAppend set the call
+// returns only after an fsync covering the batch (group commit);
+// otherwise the buffer is flushed to the OS but not synced.
+func (l *SegmentedLog) AppendBatch(affinity int64, recs []Record) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	s := l.segs[uint64(affinity)%uint64(len(l.segs))]
+	s.mu.Lock()
+	if s.f == nil {
+		s.mu.Unlock()
+		return 0, errors.New("wal: append to closed log")
+	}
+	if s.failed != nil {
+		err := s.failed
+		s.mu.Unlock()
+		return 0, fmt.Errorf("wal: segment failed by earlier error: %w", err)
+	}
+	seq := l.seq.Add(1)
+	s.scratch = appendBatchFrame(s.scratch[:0], seq, recs)
+	if _, err := s.w.Write(s.scratch); err != nil {
+		s.failed = err
+		s.mu.Unlock()
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	s.appends++
+	ticket := s.appends
+	if h := l.Hooks.AfterAppend; h != nil {
+		if err := h(seq); err != nil {
+			s.mu.Unlock()
+			return 0, err
+		}
+	}
+	if !l.SyncOnAppend {
+		// Flush per append (the OS has the bytes; a process crash loses
+		// nothing, a machine crash may lose the unsynced tail).
+		if err := s.w.Flush(); err != nil {
+			s.failed = err
+			s.mu.Unlock()
+			return 0, fmt.Errorf("wal: flush: %w", err)
+		}
+		s.mu.Unlock()
+		return seq, nil
+	}
+	if err := s.groupSync(l, ticket); err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	if h := l.Hooks.AfterSync; h != nil {
+		if err := h(seq); err != nil {
+			s.mu.Unlock()
+			return 0, err
+		}
+	}
+	s.mu.Unlock()
+	return seq, nil
+}
+
+// groupSync blocks until a successful fsync covers ticket, leading the
+// sync round itself when none is in flight. Caller holds s.mu; the fsync
+// itself runs with the lock released so other appenders keep buffering
+// into the segment meanwhile — those batches ride the NEXT round, whose
+// leader is whichever of them wakes first.
+//
+// Error attribution is exact: the watermark advances only on successful
+// rounds, so a batch whose covering round succeeded can never observe a
+// later round's failure, and a batch whose round failed sees the
+// poisoned segment (its durability is unknowable) rather than a stale
+// success.
+func (s *segment) groupSync(l *SegmentedLog, ticket uint64) error {
+	for {
+		if s.synced >= ticket {
+			return nil
+		}
+		if s.failed != nil {
+			return fmt.Errorf("wal: sync: %w", s.failed)
+		}
+		if s.syncing {
+			// Another appender is mid-fsync; our batch was buffered after
+			// its flush, so we wait for the next round — this wait IS the
+			// group-commit piggyback when the next leader's flush covers us.
+			s.cond.Wait()
+			continue
+		}
+		s.syncing = true
+		err := s.w.Flush()
+		covered := s.appends
+		if err == nil {
+			s.mu.Unlock()
+			err = s.f.Sync()
+			s.mu.Lock()
+		}
+		s.syncing = false
+		s.syncs++
+		if err != nil {
+			// A failed flush/fsync leaves the durable prefix unknowable
+			// (write-back pages may have been dropped); poison the segment
+			// and wake every waiter to observe it.
+			s.failed = err
+			s.cond.Broadcast()
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		if prev := s.synced; covered > prev {
+			// Monotone: an explicit Sync() racing this round may already
+			// have advanced the watermark past our flush point.
+			s.synced = covered
+			if covered > prev+1 {
+				l.groupCommits.Add(covered - prev - 1)
+			}
+		}
+		s.cond.Broadcast()
+	}
+}
+
+// Sync flushes and fsyncs every segment.
+func (l *SegmentedLog) Sync() error {
+	for _, s := range l.segs {
+		s.mu.Lock()
+		if s.f == nil {
+			s.mu.Unlock()
+			return errors.New("wal: sync on closed log")
+		}
+		if s.failed != nil {
+			// Stay poisoned: after a failed flush/fsync the durable prefix
+			// is unknowable, and a "successful" retry here would let the
+			// watermark advance past batches that may already be lost.
+			err := s.failed
+			s.mu.Unlock()
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		err := s.w.Flush()
+		if err == nil {
+			err = s.f.Sync()
+			s.syncs++
+		}
+		if err != nil {
+			// Do NOT advance the watermark: a group-commit waiter
+			// acknowledged off a failed sync would treat a non-durable
+			// batch as committed. Poison the segment and wake waiters to
+			// observe it.
+			s.failed = err
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return err
+		}
+		if s.appends > s.synced {
+			s.synced = s.appends
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Close flushes, fsyncs, and closes every segment: a clean shutdown must
+// leave every acknowledged batch durable even when SyncOnAppend was off
+// (buffered bytes are in the OS cache at best, and the process is about
+// to stop being the thing that could flush them). Safe to call twice.
+func (l *SegmentedLog) Close() error {
+	var first error
+	for _, s := range l.segs {
+		s.mu.Lock()
+		if s.f == nil {
+			s.mu.Unlock()
+			continue
+		}
+		err := s.w.Flush()
+		if err == nil {
+			err = s.f.Sync()
+		}
+		if cerr := s.f.Close(); err == nil {
+			err = cerr
+		}
+		s.f = nil
+		s.mu.Unlock()
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Abandon closes the segment file descriptors WITHOUT flushing or
+// syncing, simulating a crash for the durability test harness: buffered
+// but unacknowledged bytes are dropped exactly as a killed process would
+// drop them.
+func (l *SegmentedLog) Abandon() {
+	for _, s := range l.segs {
+		s.mu.Lock()
+		if s.f != nil {
+			s.f.Close()
+			s.f = nil
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Truncate discards every batch: the configured segments are reset to
+// empty (header only) and leftover segment files beyond the configured
+// count — from a previous run with more segments — are deleted. Used
+// after a checkpoint has made the logged state redundant. The sequence
+// counter is NOT reset; it is monotone for the life of the log.
+//
+// Truncate also UN-POISONS failed segments: buffered bytes are
+// deliberately discarded (never flushed — the writer may hold a latched
+// error and half a frame), the file is cut back to its header, and the
+// segment accepts appends again. This is the "a checkpoint closes it"
+// escape hatch — after an I/O failure the checkpoint captures the true
+// state and the emptied log is consistent with it by construction.
+func (l *SegmentedLog) Truncate() error {
+	for _, s := range l.segs {
+		s.mu.Lock()
+		if s.f == nil {
+			s.mu.Unlock()
+			return errors.New("wal: truncate on closed log")
+		}
+		err := s.f.Truncate(int64(len(segMagic)))
+		if err == nil {
+			_, err = s.f.Seek(0, io.SeekEnd)
+		}
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+		s.w.Reset(s.f)
+		s.failed = nil
+		// No batch is buffered or unsynced anymore; close the ticket gap
+		// so nothing can mistake pre-truncate tickets for pending work.
+		s.synced = s.appends
+		s.mu.Unlock()
+	}
+	paths, err := segmentPaths(l.path)
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		if p.index >= len(l.segs) {
+			if err := os.Remove(p.path); err != nil {
+				return fmt.Errorf("wal: truncate stale segment: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Path returns the root path of the log (segment i lives at <path>.<i>).
+func (l *SegmentedLog) Path() string { return l.path }
+
+// Segments reports the configured segment count.
+func (l *SegmentedLog) Segments() int { return len(l.segs) }
+
+// Stats snapshots the per-segment activity counters.
+func (l *SegmentedLog) Stats() SegStats {
+	st := SegStats{
+		Segments:     len(l.segs),
+		Appends:      make([]uint64, len(l.segs)),
+		Syncs:        make([]uint64, len(l.segs)),
+		GroupCommits: l.groupCommits.Load(),
+	}
+	for i, s := range l.segs {
+		s.mu.Lock()
+		st.Appends[i] = s.appends
+		st.Syncs[i] = s.syncs
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// appendBatchFrame encodes one batch frame into buf:
+//
+//	4-byte LE body length | body | 4-byte CRC32C(body)
+//	body = 8-byte LE seq | uvarint record count | records
+//	record = 1-byte type | uvarint payload length | payload
+func appendBatchFrame(buf []byte, seq uint64, recs []Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length, patched below
+	bodyStart := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	for _, r := range recs {
+		buf = append(buf, r.Type)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Payload)))
+		buf = append(buf, r.Payload...)
+	}
+	body := buf[bodyStart:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(body)))
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, crcTable))
+}
+
+// decodeBatchBody parses a CRC-verified batch body. The returned record
+// payloads alias data.
+func decodeBatchBody(data []byte) (Batch, error) {
+	if len(data) < 8 {
+		return Batch{}, fmt.Errorf("%w: short batch body", ErrCorrupt)
+	}
+	b := Batch{Seq: binary.LittleEndian.Uint64(data)}
+	data = data[8:]
+	n, w := binary.Uvarint(data)
+	if w <= 0 {
+		return Batch{}, fmt.Errorf("%w: bad batch record count", ErrCorrupt)
+	}
+	data = data[w:]
+	b.Records = make([]Record, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(data) < 1 {
+			return Batch{}, fmt.Errorf("%w: truncated batch record", ErrCorrupt)
+		}
+		typ := data[0]
+		ln, w := binary.Uvarint(data[1:])
+		if w <= 0 || uint64(len(data)-1-w) < ln {
+			return Batch{}, fmt.Errorf("%w: bad batch record length", ErrCorrupt)
+		}
+		data = data[1+w:]
+		b.Records = append(b.Records, Record{Type: typ, Payload: data[:ln]})
+		data = data[ln:]
+	}
+	if len(data) != 0 {
+		return Batch{}, fmt.Errorf("%w: trailing bytes in batch", ErrCorrupt)
+	}
+	return b, nil
+}
+
+// rejectLegacy errors when a non-empty file sits at the log's root path
+// itself: segments live at <path>.N, so such a file is almost certainly
+// a log written by the legacy single-file Log format. Silently ignoring
+// it would make recovery "succeed" with zero batches — every pending
+// transaction lost without a word — so opening and replaying both refuse
+// until the operator migrates or moves it.
+func rejectLegacy(path string) error {
+	st, err := os.Stat(path)
+	if err != nil || st.IsDir() || st.Size() == 0 {
+		return nil // absent or empty: nothing to lose
+	}
+	return fmt.Errorf("wal: %s is a legacy single-file log (segments live at %s.N); "+
+		"refusing to ignore it — replay it with the old build or move it aside", path, path)
+}
+
+// segmentRef names one discovered segment file.
+type segmentRef struct {
+	path  string
+	index int
+}
+
+// segmentPaths lists every existing segment file of the log rooted at
+// path (any numeric suffix, not just the configured count — a recovery
+// may run with a different WALSegments than the crashed instance).
+func segmentPaths(path string) ([]segmentRef, error) {
+	matches, err := filepath.Glob(path + ".*")
+	if err != nil {
+		return nil, err
+	}
+	var out []segmentRef
+	for _, m := range matches {
+		idx, err := strconv.Atoi(m[len(path)+1:])
+		if err != nil || idx < 0 {
+			continue // not a segment (e.g. a checkpoint named <path>.ckpt)
+		}
+		out = append(out, segmentRef{path: m, index: idx})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].index < out[j].index })
+	return out, nil
+}
+
+// ReadAll reads every intact batch from every segment of the log rooted
+// at path and returns them merged in global sequence order — the single
+// ordered replay stream recovery consumes. A torn tail (a crash mid-
+// write, or unsynced bytes the OS dropped) ends that SEGMENT's stream
+// without error: everything after the first bad frame of a segment is
+// unacknowledged by construction, because a batch is only acknowledged
+// once synced and every synced batch sits before any torn bytes in its
+// file. Missing files read as empty.
+//
+// The whole log is materialized and sorted in memory: simple, and
+// bounded in practice because checkpoints truncate the log (a k-way
+// streaming merge over the per-segment iterators — each segment is
+// internally seq-ascending — would cap memory at O(segments) if
+// un-checkpointed logs ever need to grow past RAM).
+func ReadAll(path string) ([]Batch, error) {
+	if err := rejectLegacy(path); err != nil {
+		return nil, err
+	}
+	paths, err := segmentPaths(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Batch
+	for _, p := range paths {
+		bs, err := readSegment(p.path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// maxSegmentSeq scans every existing segment for the highest batch
+// sequence number, so a reopened log resumes numbering after everything
+// on disk. Only frame headers and CRCs are verified; record payloads are
+// not materialized (recovery, which needs them, does its own ReadAll —
+// this keeps a plain reopen at half the decode cost of a recovery).
+func maxSegmentSeq(path string) (uint64, error) {
+	paths, err := segmentPaths(path)
+	if err != nil {
+		return 0, err
+	}
+	var max uint64
+	for _, p := range paths {
+		if err := scanSegment(p.path, func(body []byte) bool {
+			if seq := binary.LittleEndian.Uint64(body); seq > max {
+				max = seq
+			}
+			return true
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return max, nil
+}
+
+// readSegment reads one segment's intact batches in file order, stopping
+// silently at the first torn or corrupt frame (see ReadAll).
+func readSegment(path string) ([]Batch, error) {
+	var out []Batch
+	err := scanSegment(path, func(body []byte) bool {
+		b, err := decodeBatchBody(body)
+		if err != nil {
+			return false // malformed body despite CRC: treat as torn tail
+		}
+		out = append(out, b)
+		return true
+	})
+	return out, err
+}
+
+// scanSegment walks one segment's CRC-intact frame bodies in file order,
+// stopping silently at the first torn or corrupt frame; fn returning
+// false also stops the walk. Every delivered body is at least 8 bytes
+// (the sequence number).
+func scanSegment(path string, fn func(body []byte) bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("wal: read segment: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil // shorter than a header: empty (or torn-at-birth)
+	}
+	if string(magic) != segMagic {
+		return fmt.Errorf("wal: %s is not a segment file (bad magic)", path)
+	}
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil // clean EOF or torn header: end of segment
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n < 8 || n > 1<<30 {
+			return nil // implausible length: torn tail
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil
+		}
+		var crc [4]byte
+		if _, err := io.ReadFull(r, crc[:]); err != nil {
+			return nil
+		}
+		if binary.LittleEndian.Uint32(crc[:]) != crc32.Checksum(body, crcTable) {
+			return nil
+		}
+		if !fn(body) {
+			return nil
+		}
+	}
+}

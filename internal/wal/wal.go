@@ -1,9 +1,17 @@
-// Package wal implements a minimal append-only write-ahead log with
-// CRC32-framed records. The quantum database stores its pending resource
-// transactions in a WAL-backed table (§4 "Recovery" of the paper): a
-// transaction is logged after the satisfiability check and before commit,
-// and a tombstone record is logged when it is grounded and executed.
-// Replay rebuilds the set of still-pending transactions after a crash.
+// Package wal implements the append-only write-ahead logging layer of
+// the quantum database (§4 "Recovery" of the paper): the pending-
+// transactions table is realized as pending/tombstone record pairs, and
+// base writes are logged so the extensional store can be rebuilt from
+// the initial database.
+//
+// Two log shapes are provided. Log is the minimal single-file form:
+// CRC32-framed records, one mutex, replayed in file order. SegmentedLog
+// is the engine's production form: N partition-affine segment files,
+// batch-framed commit units stamped with a monotone global sequence
+// number, per-segment group commit (concurrent synchronous appenders
+// share one fsync), and recovery that merges every segment back into a
+// single sequence-ordered replay stream while tolerating a torn tail per
+// segment. See segmented.go.
 package wal
 
 import (
@@ -36,11 +44,19 @@ var ErrCorrupt = errors.New("wal: corrupt record")
 
 // Log is an append-only record log on a single file. Append is safe for
 // concurrent use.
+//
+// The engine itself logs through SegmentedLog; Log remains as the
+// minimal reference form of the framing (and the format the original
+// single-file WAL used) for tools and tests that want a plain record
+// stream without batches or segments.
 type Log struct {
 	mu   sync.Mutex
 	f    *os.File
 	w    *bufio.Writer
 	path string
+	// scratch is the frame-encoding buffer, reused under mu so steady-
+	// state appends allocate nothing.
+	scratch []byte
 	// SyncOnAppend forces an fsync after every append. Off by default:
 	// the paper's experiments measure middle-tier costs, not disk stalls;
 	// durability-sensitive callers flip it on.
@@ -63,20 +79,16 @@ func (l *Log) Append(rec Record) error {
 	if l.f == nil {
 		return errors.New("wal: append to closed log")
 	}
-	body := make([]byte, 1+len(rec.Payload))
-	body[0] = rec.Type
-	copy(body[1:], rec.Payload)
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := l.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
-	}
-	if _, err := l.w.Write(body); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
-	}
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(body, crcTable))
-	if _, err := l.w.Write(crc[:]); err != nil {
+	// Encode the whole frame into the reused scratch buffer and issue one
+	// write: no per-record body allocation, and a short write cannot split
+	// the frame across buffered writer flushes.
+	buf := binary.LittleEndian.AppendUint32(l.scratch[:0], uint32(1+len(rec.Payload)))
+	bodyStart := len(buf)
+	buf = append(buf, rec.Type)
+	buf = append(buf, rec.Payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[bodyStart:], crcTable))
+	l.scratch = buf
+	if _, err := l.w.Write(buf); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	if err := l.w.Flush(); err != nil {
@@ -103,18 +115,22 @@ func (l *Log) Sync() error {
 	return l.f.Sync()
 }
 
-// Close flushes and closes the log file.
+// Close flushes, fsyncs, and closes the log file: a clean shutdown must
+// leave every appended record durable even when SyncOnAppend was off.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return nil
 	}
-	flushErr := l.w.Flush()
+	err := l.w.Flush()
+	if err == nil {
+		err = l.f.Sync()
+	}
 	closeErr := l.f.Close()
 	l.f = nil
-	if flushErr != nil {
-		return flushErr
+	if err != nil {
+		return err
 	}
 	return closeErr
 }

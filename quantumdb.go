@@ -128,6 +128,33 @@
 // solves), LockWaits counts stale lock acquisitions and skips,
 // PartitionMerges counts admission-time merges. cmd/qdbd exposes the
 // serial-admission ablation as -serial-admission.
+//
+// # Durability
+//
+// Options.WALPath turns on write-ahead logging: every commit unit — an
+// admitted transaction's pending record, a grounding's facts plus
+// tombstone, a blind write — is appended to the log as one framed,
+// sequence-stamped batch BEFORE its effects reach the store, so a crash
+// between log and apply is repaired by replay rather than diverging.
+// Two knobs shape the log:
+//
+//   - Options.SyncWAL acknowledges a batch only after an fsync covering
+//     it. Concurrent appenders to the same segment GROUP COMMIT (one
+//     leader fsyncs for everyone buffered so far); without it batches
+//     are flushed to the OS but a machine crash may lose the unsynced
+//     tail.
+//   - Options.WALSegments shards the log into N partition-affine
+//     segment files (<WALPath>.0 …). A partition's batches stay ordered
+//     within one file while partitions on different segments share no
+//     log mutex and no fsync stream, so durable grounding of disjoint
+//     partitions scales with the segment count instead of serializing
+//     on one log. Recovery merges every segment by sequence number into
+//     a single ordered replay stream, tolerates a torn tail per
+//     segment, and redoes facts idempotently.
+//
+// Recover rebuilds a database from the log; Checkpoint (on the engine,
+// via Engine()) plus core.RecoverCheckpoint bound replay length. cmd/qdbd
+// exposes the knobs as -wal, -sync-wal, and -wal-segments.
 package quantumdb
 
 import (
