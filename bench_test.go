@@ -361,6 +361,36 @@ func BenchmarkParallelSubmit(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelRead measures collapse-free snapshot-read throughput
+// swept over reader counts while one applier churns blind writes — the
+// gate-free read headline. Watch read/s rise with readers and per-read
+// latency hold near the applier-idle baseline (the last variant):
+// snapshot readers pin a copy-on-write version and never queue behind
+// the store gate's exclusive holders. The shapes come from
+// bench.ReadShapes, shared with the CI trajectory artifact (qdbbench
+// -json, BENCH_read.json), so the two series stay comparable.
+func BenchmarkParallelRead(b *testing.B) {
+	run := func(c bench.ReadConfig) func(*testing.B) {
+		return func(b *testing.B) {
+			var elapsed time.Duration
+			var reads int
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunParallelRead(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed += r.Elapsed
+				reads += r.Reads
+			}
+			b.ReportMetric(elapsed.Seconds()/float64(b.N), "storm-s/op")
+			b.ReportMetric(float64(reads)/elapsed.Seconds(), "read/s")
+		}
+	}
+	for _, s := range bench.ReadShapes() {
+		b.Run(strings.TrimPrefix(s.Name, "BenchmarkParallelRead/"), run(s.Cfg))
+	}
+}
+
 // BenchmarkGroundWALSync measures durable grounding throughput — every
 // grounding batch fsynced before it applies (SyncWAL) — swept over WAL
 // segment counts. One segment is the pre-sharding baseline where all

@@ -23,7 +23,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|table2|fig8|fig9|walsync|all")
 	quick := flag.Bool("quick", false, "run at reduced scale (seconds instead of minutes)")
 	seed := flag.Int64("seed", 1, "workload shuffle seed")
-	jsonDir := flag.String("json", "", "emit the benchmark trajectory (BENCH_fig7.json, BENCH_submit.json, BENCH_wal.json) into this directory and exit")
+	jsonDir := flag.String("json", "", "emit the benchmark trajectory (BENCH_fig7.json, BENCH_submit.json, BENCH_read.json, BENCH_wal.json) into this directory and exit")
 	flag.Parse()
 
 	if *jsonDir != "" {

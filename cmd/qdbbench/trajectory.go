@@ -12,9 +12,11 @@ import (
 )
 
 // Benchmark-trajectory emission: `qdbbench -json DIR` writes
-// BENCH_fig7.json and BENCH_submit.json — machine-readable ns/op,
-// allocs/op, and domain throughput for the two headline workloads
-// (grounding-heavy Fig7 and the parallel-admission submit storm). CI
+// BENCH_fig7.json, BENCH_submit.json, BENCH_read.json, and
+// BENCH_wal.json — machine-readable ns/op, allocs/op, and domain
+// throughput for the headline workloads (grounding-heavy Fig7, the
+// parallel-admission submit storm, the snapshot read storm, and durable
+// grounding). CI
 // uploads them as artifacts on every run, so the performance trajectory
 // of the repository is a downloadable series instead of numbers buried
 // in logs. The shapes match the in-repo benchmarks (bench_test.go), not
@@ -48,6 +50,9 @@ func emitTrajectory(dir string) error {
 		return err
 	}
 	if err := emitSubmit(dir); err != nil {
+		return err
+	}
+	if err := emitRead(dir); err != nil {
 		return err
 	}
 	return emitWALSync(dir)
@@ -128,6 +133,56 @@ func emitSubmit(dir string) error {
 		doc.Points = append(doc.Points, pt)
 	}
 	return writeBenchFile(filepath.Join(dir, "BENCH_submit.json"), doc)
+}
+
+func emitRead(dir string) error {
+	doc := benchFile{
+		Workload:  "parallel-read",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+	// Shapes shared with BenchmarkParallelRead (bench.ReadShapes):
+	// collapse-free snapshot reads swept over reader counts while an
+	// applier churns blind writes, plus the applier-idle baseline the
+	// racing latencies are judged against. The counters record that every
+	// read took the snapshot path and that the applier kept moving — the
+	// structural half of the gate-free claim.
+	for _, s := range bench.ReadShapes() {
+		var (
+			elapsed time.Duration
+			reads   int
+			last    *bench.ReadResult
+		)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunParallelRead(s.Cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed += r.Elapsed
+				reads += r.Reads
+				last = r
+			}
+		})
+		pt := benchPoint{
+			Name:        s.Name,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Runs:        res.N,
+		}
+		if elapsed > 0 {
+			pt.Throughput = float64(reads) / elapsed.Seconds()
+		}
+		if last != nil {
+			pt.Counters = map[string]int{
+				"snapshot_reads": last.Stats.SnapshotReads,
+				"applier_writes": last.ApplierWrites,
+			}
+		}
+		doc.Points = append(doc.Points, pt)
+	}
+	return writeBenchFile(filepath.Join(dir, "BENCH_read.json"), doc)
 }
 
 func emitWALSync(dir string) error {

@@ -61,9 +61,12 @@ func run(db *quantumdb.DB, co *quantumdb.Coordinator, line string) {
   txn   <update> :-1 <body>              submit a resource transaction
   etxn  <tag> <partner> <txn>            submit an entangled transaction
   read  R(args), S(args)                 conjunctive query (collapses!)
+  peek  R(args), S(args)                 snapshot query (committed state
+                                         only — collapses nothing)
   ground <id> | ground all               force value assignment
   pending                                count pending transactions
-  stats                                  engine counters
+  stats                                  engine counters (includes
+                                         SnapshotReads, CheckpointPauseNs)
   demo                                   load a small travel world
   exit
 `)
@@ -110,22 +113,18 @@ func run(db *quantumdb.DB, co *quantumdb.Coordinator, line string) {
 			fmt.Println("error:", err)
 			return
 		}
-		if len(rows) == 0 {
-			fmt.Println("(no rows)")
+		printRows(rows)
+	case "peek":
+		// Collapse-free read against a one-shot snapshot: pending
+		// transactions stay superposed and are not visible.
+		snap := db.Snapshot()
+		rows, err := snap.Query(rest)
+		snap.Release()
+		if err != nil {
+			fmt.Println("error:", err)
 			return
 		}
-		for _, row := range rows {
-			keys := make([]string, 0, len(row))
-			for k := range row {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			var parts []string
-			for _, k := range keys {
-				parts = append(parts, fmt.Sprintf("%s=%v", k, row[k]))
-			}
-			fmt.Println(strings.Join(parts, " "))
-		}
+		printRows(rows)
 	case "ground":
 		if rest == "all" {
 			if err := db.GroundAll(); err != nil {
@@ -153,6 +152,25 @@ func run(db *quantumdb.DB, co *quantumdb.Coordinator, line string) {
 		loadDemo(db)
 	default:
 		fmt.Printf("unknown command %q — try 'help'\n", cmd)
+	}
+}
+
+func printRows(rows []quantumdb.Row) {
+	if len(rows) == 0 {
+		fmt.Println("(no rows)")
+		return
+	}
+	for _, row := range rows {
+		keys := make([]string, 0, len(row))
+		for k := range row {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var parts []string
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, row[k]))
+		}
+		fmt.Println(strings.Join(parts, " "))
 	}
 }
 

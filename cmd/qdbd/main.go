@@ -9,6 +9,11 @@
 //	{"op":"exec","facts":"+Available(1, '1A')"}
 //	{"op":"txn","txn":"-Available(1, s), +Bookings('M', 1, s) :-1 Available(1, s)"}
 //	{"op":"read","query":"Bookings('M', 1, s)"}
+//	{"op":"snapread","query":"Available(1, s)"}
+//
+// "read" collapses superpositions like an in-process Query; "snapread"
+// serves the committed state from a copy-on-write snapshot — it never
+// collapses anything and never contends with concurrent grounding.
 //
 // See internal/server for the full request/response schema and a Go
 // client.

@@ -96,6 +96,11 @@ type specOutcome struct {
 	// writeSeq is the accepted-blind-write count at solve time, read
 	// under the same read gate as the solve's store view.
 	writeSeq uint64
+	// trustGen is the checkpoint re-arm generation at solve time. The
+	// trusted-store validation arm requires it unchanged: a re-arm during
+	// the speculation means an out-of-band write (which never bumps
+	// writeSeq) may hide behind a restored storeTrusted.
+	trustGen uint64
 }
 
 // submitOptimistic drives the snapshot/speculate/validate loop for one
@@ -194,6 +199,7 @@ func (q *QDB) decide(snap *admitSnap, admitted *txn.T, out *specOutcome) error {
 	q.storeMu.RLock()
 	defer q.storeMu.RUnlock()
 	out.writeSeq = q.writeSeq.Load()
+	out.trustGen = q.trustGen
 	views := stripAll(snap.merged)
 	if !q.opt.DisableCache {
 		// Negative probe: the same composed-body question (up to variable
@@ -295,7 +301,8 @@ func (q *QDB) tryInstall(orig, admitted *txn.T, snap *admitSnap, spec *specOutco
 	q.storeMu.RLock()
 	fpNow := q.epochFingerprint(snap.merged)
 	storeOK := fpNow == spec.fp ||
-		(q.storeTrusted() && q.writeSeq.Load() == spec.writeSeq &&
+		(q.storeTrusted() && q.trustGen == spec.trustGen &&
+			q.writeSeq.Load() == spec.writeSeq &&
 			q.admitSeq.Load() == snap.admitSeq)
 	q.storeMu.RUnlock()
 	if !storeOK {

@@ -39,15 +39,17 @@ import (
 // touching the same table) invalidates spuriously and costs one
 // re-solve, never correctness.
 
-// storeTrusted reports whether every mutation the store has ever seen
-// came from this engine (QDB.knownEpoch still matches the store epoch).
-// While true, the engine's own cache maintenance — refresh on write,
-// realignment on grounding, non-unifiability across partitions — is
-// authoritative and cached solutions need no fingerprint check; the
-// first out-of-band mutation breaks equality permanently (epochs are
-// monotone) and demotes every cache decision to fingerprint comparison.
-// Caller must hold storeMu (either side) so the two counters are read
-// coherently.
+// storeTrusted reports whether every mutation since the engine's last
+// trust point came from this engine (QDB.knownEpoch still matches the
+// store epoch). While true, the engine's own cache maintenance —
+// refresh on write, realignment on grounding, non-unifiability across
+// partitions — is authoritative and cached solutions need no
+// fingerprint check; the first out-of-band mutation breaks equality
+// (epochs are monotone) and demotes every cache decision to
+// fingerprint comparison until the next checkpoint re-arms trust (its
+// consistent cut revalidates every cached solution; see
+// QDB.rearmTrustLocked). Caller must hold storeMu (either side) so the
+// two counters are read coherently.
 func (q *QDB) storeTrusted() bool {
 	if q.db.Epoch() == q.knownEpoch {
 		return true
@@ -56,18 +58,19 @@ func (q *QDB) storeTrusted() bool {
 	return false
 }
 
-// noteTrustDemotion counts and logs the first observed trusted-store
-// demotion. The demotion itself is implicit and permanent (the epoch
-// counters can never re-converge); what this adds is visibility — a
+// noteTrustDemotion counts and logs each observed trusted-store
+// demotion (once per demotion episode: the latch resets when a
+// checkpoint re-arms trust). The demotion itself is implicit — the
+// epoch counters diverged — and lasts until the next checkpoint's
+// consistent cut revalidates the caches and re-arms knownEpoch; what
+// this adds is visibility (Stats.TrustDemotions, and a log line) so a
 // deployment whose cache hit rate degraded can see that an out-of-band
-// store write is why (Stats.TrustDemotions, and one log line). A future
-// re-trust/resync protocol (ROADMAP) would revalidate caches and re-arm
-// knownEpoch instead.
+// store write is why.
 func (q *QDB) noteTrustDemotion() {
 	if q.demoted.CompareAndSwap(false, true) {
 		q.stats.trustDemotions.Add(1)
 		log.Printf("core: out-of-band store write detected (store epoch %d, engine expected %d): "+
-			"trusted-store fast path demoted permanently; cache decisions now need epoch-fingerprint checks",
+			"trusted-store fast path demoted; cache decisions need epoch-fingerprint checks until a checkpoint re-arms it",
 			q.db.Epoch(), q.knownEpoch)
 	}
 }
@@ -81,13 +84,14 @@ func (q *QDB) noteEngineWrite(inserts, deletes []relstore.GroundFact) {
 	}
 }
 
-// epochSnap captures the paired epoch counters for gap detection.
-type epochSnap struct{ store, known uint64 }
+// epochSnap captures the paired epoch counters (plus the trust
+// generation) for gap detection.
+type epochSnap struct{ store, known, gen uint64 }
 
-// epochSnapshot records the current (store epoch, expected epoch) pair.
-// Caller holds storeMu (either side).
+// epochSnapshot records the current (store epoch, expected epoch,
+// trust generation) triple. Caller holds storeMu (either side).
 func (q *QDB) epochSnapshot() epochSnap {
-	return epochSnap{store: q.db.Epoch(), known: q.knownEpoch}
+	return epochSnap{store: q.db.Epoch(), known: q.knownEpoch, gen: q.trustGen}
 }
 
 // gapClean reports whether every store mutation since the snapshot was
@@ -96,9 +100,17 @@ func (q *QDB) epochSnapshot() epochSnap {
 // between solving and applying; a solution solved before the gap may
 // only be STAMPED fresh if the gap was clean — an out-of-band write in
 // the gap would otherwise be absorbed into the new fingerprint and the
-// staleness laundered permanently. Caller holds storeMu exclusively.
+// staleness laundered permanently.
+//
+// The trust generation must also be unchanged: a checkpoint re-arm
+// inside the gap snaps knownEpoch forward to the store epoch, which
+// would make the deltas match even though the gap contained the very
+// out-of-band write that forced the re-arm. Requiring the generation
+// rules that out (re-arms happen only under the full checkpoint cut,
+// which excludes every gap holder except this comparison's caller
+// racing in afterwards). Caller holds storeMu exclusively.
 func (q *QDB) gapClean(s epochSnap) bool {
-	return q.db.Epoch()-s.store == q.knownEpoch-s.known
+	return q.trustGen == s.gen && q.db.Epoch()-s.store == q.knownEpoch-s.known
 }
 
 // epochFingerprint hashes the current epochs of every relation the given

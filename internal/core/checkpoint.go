@@ -6,34 +6,116 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"time"
 
 	"repro/internal/relstore"
 	"repro/internal/txn"
 )
 
-// Checkpoint bounds recovery time: it writes the current extensional
-// store plus the pending-transactions table to path (atomically, via a
-// temp file rename) and truncates every WAL segment consistently
-// (including stale segments left by a run with a larger WALSegments). A
-// subsequent RecoverCheckpoint loads the checkpoint and replays only the
+// Checkpoint bounds recovery time: it writes a consistent cut of the
+// extensional store plus the pending-transactions table to path
+// (atomically: temp file, fsync, rename, parent-directory fsync) and
+// discards the WAL prefix the cut makes redundant. A subsequent
+// RecoverCheckpoint loads the checkpoint and replays only the
 // post-checkpoint log suffix.
 //
-// Checkpoint layout: relstore snapshot, then uvarint nextID, then a
-// uvarint count of pending transactions followed by their
-// length-prefixed serializations.
+// Checkpoint layout: relstore snapshot, then uvarint nextID, then the
+// uvarint WAL sequence stamp of the cut, then a uvarint count of
+// pending transactions followed by their length-prefixed
+// serializations.
 //
-// Checkpointing quiesces the engine: it holds the admission lock (no
-// partition-set changes, no blind writes) and every live partition's
-// shard (no groundings), so the snapshot pairs a stable store with a
-// stable pending set.
+// The checkpoint is FUZZY: the engine quiesces only for the cut itself
+// — the admission lock, every live partition's shard, and the store
+// gate are held just long enough to pin a copy-on-write store snapshot,
+// copy the pending-transaction pointers, read the WAL sequence stamp,
+// and re-arm the trusted-store fast path. That pause is O(pending +
+// tables), independent of row count. Serialization then runs against
+// the pinned snapshot with the engine fully live (admissions,
+// groundings, and writes proceed and keep logging), and the WAL is
+// truncated below the stamp concurrently with new appends above it.
+// Stats.CheckpointPauseNs accumulates only the cut time.
+//
+// The stamp is exact: every WAL appender runs under the admission lock
+// or a partition shard and applies before releasing it, so at the cut
+// every batch with Seq <= stamp has its effect in the snapshot, and
+// every later batch — including groundings racing the serialization —
+// is stamped above it and survives truncation for replay.
 func (q *QDB) Checkpoint(path string) error {
 	if q.log == nil {
 		return fmt.Errorf("core: Checkpoint requires a WAL-backed database")
 	}
 	q.admitMu.Lock()
-	defer q.admitMu.Unlock()
+	cutStart := time.Now()
 	locked := q.lockAllPartitions()
-	defer unlockPartitions(locked)
+	q.mu.Lock()
+	nextID := q.nextID
+	q.mu.Unlock()
+	var pending []*txn.T
+	for _, p := range locked {
+		pending = append(pending, p.txns...)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].ID < pending[j].ID })
+	q.storeMu.Lock()
+	snap := q.db.Snapshot()
+	stamp := q.log.Seq()
+	q.rearmTrustLocked(locked)
+	q.storeMu.Unlock()
+	unlockPartitions(locked)
+	q.admitMu.Unlock()
+	q.stats.checkpointPauseNs.Add(time.Since(cutStart).Nanoseconds())
+	defer snap.Release()
+
+	// Everything below runs with the engine live. Pending *txn.T are
+	// immutable after admission, so marshaling the cut's pointers is safe
+	// even as concurrent groundings retire them from their partitions.
+	if err := writeCheckpointFile(path, snap, nextID, stamp, pending); err != nil {
+		return err
+	}
+	if h := q.testCheckpointCrash; h != nil {
+		if err := h(); err != nil {
+			return err
+		}
+	}
+	// Batches at or below the stamp are covered by the durable checkpoint.
+	return q.log.TruncateBefore(stamp)
+}
+
+// rearmTrustLocked re-arms the trusted-store fast path at a checkpoint
+// cut. If out-of-band writes demoted trust (knownEpoch fell behind the
+// store epoch), every cached solution whose stamp no longer matches the
+// current epochs is dropped — the restored fast path would replay it
+// unchecked — and knownEpoch snaps forward: from here on the engine's
+// own cache maintenance is authoritative again, until the next
+// out-of-band write. The generation counter keeps decisions that
+// straddle the re-arm honest (see gapClean and specOutcome.trustGen).
+// Caller holds admitMu, every live partition's shard, and storeMu
+// exclusively — the full cut, so no solve, replay, or speculation is in
+// flight anywhere except optimistic speculations, which the generation
+// check invalidates.
+func (q *QDB) rearmTrustLocked(locked []*partition) {
+	if q.knownEpoch == q.db.Epoch() {
+		return
+	}
+	for _, p := range locked {
+		if p.cached != nil && p.cachedEpoch != q.epochFingerprint(p.txns) {
+			p.cached, p.cachedEpoch = nil, 0
+			p.version++
+		}
+	}
+	q.knownEpoch = q.db.Epoch()
+	q.trustGen++
+	q.demoted.Store(false)
+	q.stats.trustRearms.Add(1)
+}
+
+// writeCheckpointFile serializes a checkpoint durably and atomically:
+// temp file, fsync, rename over path, fsync of the parent directory
+// (without which a crash right after the rename could lose the
+// directory entry — and with it the checkpoint the WAL truncation is
+// about to rely on).
+func writeCheckpointFile(path string, snap *relstore.Snapshot, nextID int64, walSeq uint64, pending []*txn.T) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -41,37 +123,28 @@ func (q *QDB) Checkpoint(path string) error {
 	}
 	defer os.Remove(tmp)
 	w := bufio.NewWriter(f)
-	if err := q.db.EncodeSnapshot(w); err != nil {
+	if err := snap.Encode(w); err != nil {
 		f.Close()
 		return fmt.Errorf("core: checkpoint snapshot: %w", err)
 	}
-	q.mu.Lock()
-	nextID := q.nextID
-	q.mu.Unlock()
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], uint64(nextID))
 	if _, err := w.Write(buf[:n]); err != nil {
 		f.Close()
 		return err
 	}
-	ids := q.PendingIDs()
-	n = binary.PutUvarint(buf[:], uint64(len(ids)))
+	n = binary.PutUvarint(buf[:], walSeq)
 	if _, err := w.Write(buf[:n]); err != nil {
 		f.Close()
 		return err
 	}
-	for _, id := range ids {
-		q.mu.Lock()
-		p := q.byTxn[id]
-		q.mu.Unlock()
-		var target *txn.T
-		for _, t := range p.txns { // p's shard is held via lockAllPartitions
-			if t.ID == id {
-				target = t
-				break
-			}
-		}
-		data, err := target.Marshal()
+	n = binary.PutUvarint(buf[:], uint64(len(pending)))
+	if _, err := w.Write(buf[:n]); err != nil {
+		f.Close()
+		return err
+	}
+	for _, t := range pending {
+		data, err := t.Marshal()
 		if err != nil {
 			f.Close()
 			return err
@@ -100,8 +173,24 @@ func (q *QDB) Checkpoint(path string) error {
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("core: checkpoint rename: %w", err)
 	}
-	// The checkpoint now covers everything in the log.
-	return q.log.Truncate()
+	return syncParentDir(path)
+}
+
+// syncParentDir fsyncs the directory containing path so a just-renamed
+// entry survives a crash.
+func syncParentDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("core: checkpoint dir sync: %w", err)
+	}
+	return nil
 }
 
 // lockAllPartitions locks every live partition, ascending by shard ID.
@@ -124,6 +213,15 @@ func (q *QDB) lockAllPartitions() []*partition {
 // RecoverCheckpoint rebuilds a quantum database from a checkpoint file
 // plus the WAL suffix written after it. The schema and base rows come
 // from the checkpoint, so no initial database is needed.
+//
+// Replay skips every batch at or below the checkpoint's WAL sequence
+// stamp: those are covered by the cut by construction. The skip is
+// load-bearing, not just an optimization — WAL truncation after a fuzzy
+// checkpoint rewrites segment files one at a time, so a crash mid-
+// truncation can leave a commit unit's pending record on one segment
+// while its grounding tombstone (also below the stamp) is already gone
+// from another; replaying that orphaned prefix record would resurrect
+// a grounded transaction. The stamp rules the whole prefix out at once.
 func RecoverCheckpoint(checkpointPath string, opt Options) (*QDB, error) {
 	if opt.WALPath == "" {
 		return nil, fmt.Errorf("core: RecoverCheckpoint requires Options.WALPath")
@@ -141,6 +239,10 @@ func RecoverCheckpoint(checkpointPath string, opt Options) (*QDB, error) {
 	nextID, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, fmt.Errorf("core: checkpoint nextID: %w", err)
+	}
+	walSeq, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint WAL stamp: %w", err)
 	}
 	nPending, err := binary.ReadUvarint(r)
 	if err != nil {
@@ -163,10 +265,10 @@ func RecoverCheckpoint(checkpointPath string, opt Options) (*QDB, error) {
 		pending = append(pending, t)
 	}
 
-	// Recover replays the post-checkpoint WAL suffix over the snapshot
-	// store and re-admits the suffix's still-pending transactions; the
+	// Recover replays the post-stamp WAL suffix over the snapshot store
+	// and re-admits the suffix's still-pending transactions; the
 	// checkpoint's own pending set is re-admitted first.
-	q, err := recoverOnto(store, pending, opt)
+	q, err := recoverOnto(store, pending, walSeq, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -579,14 +579,19 @@ func (q *QDB) Read(query []logic.Atom) ([]logic.Subst, error) {
 		}
 		if len(affected) == 0 {
 			// No pending transaction the read must observe can touch the
-			// query: evaluate while holding the read gate, then release
-			// the partitions (no pending update can execute against the
-			// store meanwhile).
+			// query: pin a snapshot under a brief gate acquisition (while
+			// the candidate partitions are still locked, so no affected
+			// grounding can slip between the check and the pin), then
+			// release everything and evaluate entirely gate-free — a long
+			// read never stalls appliers, and appliers never stall it.
 			q.storeMu.RLock()
-			unlockPartitions(ps)
-			rq := relstore.Query{Atoms: query, Planner: q.opt.Planner}
-			sols, err := rq.FindAll(q.db, nil, 0)
+			snap := q.db.Snapshot()
 			q.storeMu.RUnlock()
+			unlockPartitions(ps)
+			q.stats.snapshotReads.Add(1)
+			rq := relstore.Query{Atoms: query, Planner: q.opt.Planner}
+			sols, err := rq.FindAll(snap, nil, 0)
+			snap.Release()
 			return sols, err
 		}
 		err := q.pool.Map(len(affected), func(i int) error {

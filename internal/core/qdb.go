@@ -86,13 +86,21 @@ type QDB struct {
 	// writes alone: set to db.Epoch() at construction and incremented
 	// under storeMu exclusive for every non-empty batch the engine
 	// applies. While db.Epoch() still equals it, no out-of-band mutation
-	// has ever occurred, so the engine's own cache maintenance is
-	// authoritative and per-partition fingerprint checks can be skipped
-	// (storeTrusted in cache.go); after a divergence — which is permanent,
-	// epochs are monotone — every cache decision falls back to
-	// fingerprint comparison. Guarded by storeMu (written under the
-	// exclusive side, read under either).
+	// has occurred since the last trust point, so the engine's own cache
+	// maintenance is authoritative and per-partition fingerprint checks
+	// can be skipped (storeTrusted in cache.go); after a divergence every
+	// cache decision falls back to fingerprint comparison until the next
+	// checkpoint's consistent cut revalidates the caches and re-arms
+	// knownEpoch (rearmTrustLocked in checkpoint.go). Guarded by storeMu
+	// (written under the exclusive side, read under either).
 	knownEpoch uint64
+	// trustGen counts checkpoint re-arms of knownEpoch. Decisions that
+	// span a release of storeMu (the solve-to-apply gap's epochSnap, an
+	// optimistic admission's specOutcome) record it and require it
+	// unchanged at validation: a re-arm inside the span would otherwise
+	// launder exactly the out-of-band write it absorbed (see gapClean).
+	// Guarded like knownEpoch.
+	trustGen uint64
 
 	// Optimistic-admission snapshot counters (see admit.go). partVersion
 	// versions the partition SET: bumped on every partition create, merge,
@@ -109,8 +117,10 @@ type QDB struct {
 	partVersion atomic.Uint64
 	admitSeq    atomic.Uint64
 	writeSeq    atomic.Uint64
-	// demoted latches the first observed trusted-store demotion so it is
-	// counted and logged exactly once (see noteTrustDemotion).
+	// demoted latches the first observed trusted-store demotion of the
+	// current trust generation so each demotion episode is counted and
+	// logged exactly once; a checkpoint re-arm resets it (see
+	// noteTrustDemotion, rearmTrustLocked).
 	demoted atomic.Bool
 
 	// log is the segmented write-ahead log (nil without Options.WALPath);
@@ -123,7 +133,11 @@ type QDB struct {
 	// testCrashApply, when non-nil, injects a failure between a batch's
 	// WAL sync and its store apply (crashApplyPoint); test-only.
 	testCrashApply func() error
-	stats          counters
+	// testCheckpointCrash, when non-nil, injects a failure between a
+	// checkpoint's durable rename and its WAL truncation — the widest
+	// window of the fuzzy scheme; test-only.
+	testCheckpointCrash func() error
+	stats               counters
 }
 
 // partition is one independent set of mutually-unifiable pending
@@ -215,6 +229,7 @@ func (q *QDB) Stats() Stats {
 	s := q.stats.snapshot()
 	h, m := q.prep.Counters()
 	s.PrepCacheHits, s.PrepCacheMisses = int(h), int(m)
+	s.SnapshotsLive = q.db.SnapshotsLive()
 	return s
 }
 

@@ -205,15 +205,21 @@ func decodeFact(data []byte) (relstore.GroundFact, error) {
 // partitions and caches. For long-lived databases, pair with
 // QDB.Checkpoint and RecoverCheckpoint to bound replay length.
 func Recover(initial *relstore.DB, opt Options) (*QDB, error) {
-	return recoverOnto(initial, nil, opt)
+	return recoverOnto(initial, nil, 0, opt)
 }
 
 // recoverOnto replays the WAL over a store, seeding the pending set with
-// checkpointed transactions (the log may ground them later).
+// checkpointed transactions (the log may ground them later). Batches
+// with sequence numbers at or below minSeq are skipped entirely: they
+// are covered by the checkpoint cut the store came from, and after a
+// crash mid-way through the fuzzy checkpoint's segment-by-segment WAL
+// truncation they may survive only partially (a pending record whose
+// grounding tombstone is already gone would replay as a resurrection).
 //
 // All segments are merged into one sequence-ordered stream (wal.ReadAll)
 // and replayed in two passes: the first collects abort compensations,
-// the second applies every non-aborted batch. The fact redo is
+// the second applies every non-aborted batch above minSeq. The fact
+// redo is
 // IDEMPOTENT: with write-ahead ordering a crash can sit between a
 // batch's sync and its store apply, and partial-durability orders under
 // SyncWAL=false can surface a logged batch whose neighbours were
@@ -221,7 +227,7 @@ func Recover(initial *relstore.DB, opt Options) (*QDB, error) {
 // finds its tuple absent is detected and skipped rather than fatal —
 // set semantics make the skip exact (the mutation's effect is already
 // there or already gone).
-func recoverOnto(initial *relstore.DB, checkpointPending []*txn.T, opt Options) (*QDB, error) {
+func recoverOnto(initial *relstore.DB, checkpointPending []*txn.T, minSeq uint64, opt Options) (*QDB, error) {
 	if opt.WALPath == "" {
 		return nil, fmt.Errorf("core: Recover requires Options.WALPath")
 	}
@@ -250,7 +256,7 @@ func recoverOnto(initial *relstore.DB, checkpointPending []*txn.T, opt Options) 
 	}
 	redoSkips := 0
 	for _, b := range batches {
-		if aborted[b.Seq] {
+		if b.Seq <= minSeq || aborted[b.Seq] {
 			continue
 		}
 		for _, r := range b.Records {

@@ -74,12 +74,17 @@ type Stats struct {
 	AdmissionConflicts   int
 	AdmissionRetries     int
 	SerialFallbacks      int
-	// TrustDemotions counts observations of the (permanent) trusted-store
-	// demotion: the first out-of-band store write makes the engine fall
-	// back from "my own cache maintenance is authoritative" to per-solve
-	// epoch-fingerprint checks, which degrades cache hit rates. 0 or 1 per
-	// database; also logged once so deployments can see why.
+	// TrustDemotions counts trusted-store demotion episodes: an
+	// out-of-band store write makes the engine fall back from "my own
+	// cache maintenance is authoritative" to per-solve epoch-fingerprint
+	// checks, which degrades cache hit rates, until a checkpoint's
+	// consistent cut re-arms trust (TrustRearms). At most one demotion is
+	// counted (and logged) per trust generation.
 	TrustDemotions int
+	// TrustRearms counts checkpoints that re-armed the trusted-store fast
+	// path after a demotion: the checkpoint cut revalidated every cached
+	// solution and snapped knownEpoch back to the store epoch.
+	TrustRearms int
 	// ParallelSolves counts partition tasks executed on the scheduler's
 	// worker pool: GroundAll partition drains, read-collapse tasks,
 	// blind-write validation solves, and speculative admission solves.
@@ -89,6 +94,19 @@ type Stats struct {
 	// lookup and lock, forcing a retry) plus GroundAll TryLock skips of
 	// busy partitions.
 	LockWaits int
+	// SnapshotReads counts read evaluations served gate-free against a
+	// copy-on-write snapshot (Read's collapse-free path plus every
+	// QueryAt); such reads never block, and are never blocked by, store
+	// appliers.
+	SnapshotReads int
+	// SnapshotsLive is a gauge: snapshots currently pinned (taken and not
+	// yet released), including the transient ones reads take internally.
+	SnapshotsLive int
+	// CheckpointPauseNs accumulates the time Checkpoint actually held the
+	// engine's locks — the snapshot-take cut only, not serialization or
+	// WAL truncation, which run with the engine fully live. The gap
+	// between this and a checkpoint's wall time is the fuzziness.
+	CheckpointPauseNs int64
 	// SolverSteps accumulates grounding attempts across all
 	// satisfiability checks (the phase-transition experiment's effort
 	// metric).
@@ -109,7 +127,8 @@ type counters struct {
 	partitionMerges, parallelSolves, lockWaits   atomic.Int64
 	optimisticAdmissions, admissionConflicts     atomic.Int64
 	admissionRetries, serialFallbacks            atomic.Int64
-	trustDemotions                               atomic.Int64
+	trustDemotions, trustRearms                  atomic.Int64
+	snapshotReads, checkpointPauseNs             atomic.Int64
 	// solverSteps is a plain int64 because its address is handed to the
 	// chain solver (formula.ChainOptions.StepCounter), which adds to it
 	// with sync/atomic.
@@ -144,8 +163,11 @@ func (c *counters) snapshot() Stats {
 		AdmissionRetries:     int(c.admissionRetries.Load()),
 		SerialFallbacks:      int(c.serialFallbacks.Load()),
 		TrustDemotions:       int(c.trustDemotions.Load()),
+		TrustRearms:          int(c.trustRearms.Load()),
 		ParallelSolves:       int(c.parallelSolves.Load()),
 		LockWaits:            int(c.lockWaits.Load()),
+		SnapshotReads:        int(c.snapshotReads.Load()),
+		CheckpointPauseNs:    c.checkpointPauseNs.Load(),
 		SolverSteps:          atomic.LoadInt64(&c.solverSteps),
 	}
 }

@@ -51,6 +51,10 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*table
 	epoch  uint64
+	// snapsLive counts snapshots taken and not yet released; mutators
+	// consult per-table pin counts (table.snapRefs) to decide whether a
+	// copy-on-write clone is needed. See mvcc.go.
+	snapsLive int
 }
 
 // NewDB returns an empty database.
@@ -97,7 +101,7 @@ func (db *DB) Relations() []string {
 func (db *DB) Insert(rel string, tup value.Tuple) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	t, ok := db.tables[rel]
+	t, ok := db.mutable(rel)
 	if !ok {
 		return fmt.Errorf("relstore: unknown relation %s", rel)
 	}
@@ -112,7 +116,7 @@ func (db *DB) Insert(rel string, tup value.Tuple) error {
 func (db *DB) Delete(rel string, tup value.Tuple) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	t, ok := db.tables[rel]
+	t, ok := db.mutable(rel)
 	if !ok {
 		return fmt.Errorf("relstore: unknown relation %s", rel)
 	}
@@ -294,7 +298,7 @@ func (db *DB) Apply(inserts, deletes []GroundFact) error {
 		}
 	}
 	for _, d := range deletes {
-		t, ok := db.tables[d.Rel]
+		t, ok := db.mutable(d.Rel)
 		if !ok {
 			undo()
 			return fmt.Errorf("relstore: unknown relation %s", d.Rel)
@@ -307,7 +311,7 @@ func (db *DB) Apply(inserts, deletes []GroundFact) error {
 		done = append(done, func() { _ = t.insert(tup) })
 	}
 	for _, in := range inserts {
-		t, ok := db.tables[in.Rel]
+		t, ok := db.mutable(in.Rel)
 		if !ok {
 			undo()
 			return fmt.Errorf("relstore: unknown relation %s", in.Rel)

@@ -22,7 +22,9 @@ import (
 
 const snapMagic = "QDBSNAP1"
 
-// EncodeSnapshot writes the full database state to w.
+// EncodeSnapshot writes the full database state to w. It holds the
+// database's read lock for the duration; to serialize without blocking
+// writers, take a Snapshot and use its Encode (same format).
 func (db *DB) EncodeSnapshot(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -30,14 +32,24 @@ func (db *DB) EncodeSnapshot(w io.Writer) error {
 	if _, err := bw.WriteString(snapMagic); err != nil {
 		return err
 	}
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
+	if err := encodeTables(bw, db.tables); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// encodeTables writes the table-catalog section of the snapshot format;
+// shared by DB.EncodeSnapshot (under lock) and Snapshot.Encode
+// (lock-free over pinned versions).
+func encodeTables(bw *bufio.Writer, tables map[string]*table) error {
+	names := make([]string, 0, len(tables))
+	for n := range tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	writeUvarint(bw, uint64(len(names)))
 	for _, n := range names {
-		t := db.tables[n]
+		t := tables[n]
 		writeString(bw, t.schema.Name)
 		writeUvarint(bw, uint64(len(t.schema.Columns)))
 		for _, c := range t.schema.Columns {
@@ -60,7 +72,7 @@ func (db *DB) EncodeSnapshot(w io.Writer) error {
 			}
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // DecodeSnapshot reads a database written by EncodeSnapshot.

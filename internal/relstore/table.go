@@ -45,6 +45,11 @@ type table struct {
 	// misses a change). Cross-solve caches key their entries on it: an
 	// unchanged epoch proves the relation's content is unchanged.
 	epoch uint64
+	// snapRefs counts live snapshots pinning this exact version (guarded
+	// by the owning DB's mu). While nonzero the version is immutable:
+	// mutators go through DB.mutable, which installs a copy-on-write
+	// clone in the catalog and leaves this version to its snapshots.
+	snapRefs int
 }
 
 type rowEntry struct {

@@ -1,8 +1,10 @@
 // Package server exposes a quantum database over TCP with a JSON-lines
 // protocol, making the middle-tier architecture of §4 (Figure 4) an
 // actual network service: application clients submit resource and
-// non-resource transactions; reads collapse server-side state exactly as
-// in-process calls do.
+// non-resource transactions; reads collapse server-side state exactly
+// as in-process calls do, and snapread serves collapse-free reads from
+// a copy-on-write snapshot — the read-scale path, which never blocks on
+// (or stalls) concurrent grounding and writes.
 //
 // Protocol: one JSON request object per line, one JSON response per
 // line. See Request and Response for the schema. The protocol is
@@ -32,8 +34,8 @@ import (
 
 // Request is one client command.
 type Request struct {
-	// Op is one of: create, exec, txn, etxn, sql, read, preview, ground,
-	// groundall, pending, stats, ping.
+	// Op is one of: create, exec, txn, etxn, sql, read, snapread,
+	// preview, ground, groundall, pending, stats, ping.
 	Op string `json:"op"`
 	// Txn carries the transaction text (Datalog-like for txn/etxn, SQL
 	// for sql).
@@ -154,15 +156,18 @@ func (s *Server) dispatch(req Request) Response {
 		if err != nil {
 			return fail(err)
 		}
-		out := make([]map[string]string, len(rows))
-		for i, r := range rows {
-			m := make(map[string]string, len(r))
-			for k, v := range r {
-				m[k] = v.Quoted()
-			}
-			out[i] = m
+		return Response{OK: true, Rows: rowsOut(rows)}
+	case "snapread":
+		// Collapse-free read: evaluated against a one-shot snapshot, so it
+		// observes committed state only (pending transactions stay
+		// superposed) and never contends with appliers.
+		snap := s.db.Snapshot()
+		rows, err := snap.Query(req.Query)
+		snap.Release()
+		if err != nil {
+			return fail(err)
 		}
-		return Response{OK: true, Rows: out}
+		return Response{OK: true, Rows: rowsOut(rows)}
 	case "preview":
 		ids, err := s.db.Preview(req.Query)
 		if err != nil {
@@ -187,4 +192,17 @@ func (s *Server) dispatch(req Request) Response {
 	default:
 		return fail(fmt.Errorf("unknown op %q", req.Op))
 	}
+}
+
+// rowsOut converts rows to the wire's quoted-string maps.
+func rowsOut(rows []quantumdb.Row) []map[string]string {
+	out := make([]map[string]string, len(rows))
+	for i, r := range rows {
+		m := make(map[string]string, len(r))
+		for k, v := range r {
+			m[k] = v.Quoted()
+		}
+		out[i] = m
+	}
+	return out
 }

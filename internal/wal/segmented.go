@@ -472,6 +472,151 @@ func (l *SegmentedLog) Truncate() error {
 	return nil
 }
 
+// Seq returns the most recently assigned batch sequence number (0 when
+// no batch was ever appended to this log's files). With every appender
+// excluded — as under the engine's checkpoint cut — it names an exact
+// log boundary: every batch on disk has Seq <= Seq() and every future
+// batch will be stamped above it.
+func (l *SegmentedLog) Seq() uint64 { return l.seq.Load() }
+
+// TruncateBefore discards every batch with sequence number <= cut and
+// keeps the tail above it. Unlike Truncate it is safe to call while
+// appenders are running: the engine's fuzzy checkpoint stamps its
+// consistent cut with Seq(), releases its locks, and then truncates the
+// now-redundant prefix concurrently with new appends (which all carry
+// sequence numbers above the cut). Each segment file is rewritten —
+// temp file, fsync, rename, parent-directory fsync — under its segment
+// lock, so appenders to that segment stall only for one rewrite of its
+// surviving tail; other segments proceed. Leftover segment files beyond
+// the configured count are filtered the same way and deleted when
+// nothing in them survives.
+//
+// Poisoned segments are un-poisoned like Truncate, with one exception:
+// if flushing a healthy segment's buffer fails here, the segment is
+// left poisoned — group-commit waiters buffered behind the failed flush
+// cannot be acknowledged off a rewrite that may have dropped their
+// frames.
+func (l *SegmentedLog) TruncateBefore(cut uint64) error {
+	for _, s := range l.segs {
+		if err := s.truncateBefore(cut); err != nil {
+			return err
+		}
+	}
+	paths, err := segmentPaths(l.path)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, p := range paths {
+		if p.index < len(l.segs) {
+			continue
+		}
+		kept, err := filterSegmentFile(p.path, cut)
+		if err != nil {
+			return fmt.Errorf("wal: truncate stale segment: %w", err)
+		}
+		if kept == 0 {
+			if err := os.Remove(p.path); err != nil {
+				return fmt.Errorf("wal: truncate stale segment: %w", err)
+			}
+			removed = true
+		}
+	}
+	if removed {
+		return syncDir(filepath.Dir(l.path))
+	}
+	return nil
+}
+
+func (s *segment) truncateBefore(cut uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("wal: truncate on closed log")
+	}
+	// Let any in-flight group-commit round finish first: its waiters must
+	// be acknowledged against the round's own flush-and-fsync, not against
+	// a rewrite that swapped the file out from under it.
+	for s.syncing {
+		s.cond.Wait()
+		if s.f == nil {
+			return errors.New("wal: truncate on closed log")
+		}
+	}
+	if s.failed == nil {
+		if err := s.w.Flush(); err != nil {
+			// The buffer may have landed partially; a waiter's frame could be
+			// the torn one and the rewrite would silently drop it. Poison the
+			// segment so those waiters error out instead of being
+			// acknowledged; a full Truncate (or reopen) clears it.
+			s.failed = err
+			s.cond.Broadcast()
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+	}
+	if _, err := filterSegmentFile(s.path, cut); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: truncate: reopen: %w", err)
+	}
+	s.f.Close()
+	s.f = f
+	s.w.Reset(s.f)
+	s.failed = nil
+	// Every surviving frame was fsynced by the rewrite, and every frame a
+	// live waiter could hold a ticket for survived (its sequence number is
+	// above the cut and its bytes were flushed above); close the ticket
+	// gap so those waiters acknowledge.
+	s.synced = s.appends
+	s.cond.Broadcast()
+	return nil
+}
+
+// filterSegmentFile atomically rewrites the segment at path keeping
+// only intact frames with sequence numbers above cut (temp file, fsync,
+// rename, parent-directory fsync) and reports how many frames survived.
+func filterSegmentFile(path string, cut uint64) (kept int, err error) {
+	content := []byte(segMagic)
+	if err := scanSegment(path, func(body []byte) bool {
+		if binary.LittleEndian.Uint64(body) > cut {
+			start := len(content)
+			content = append(content, 0, 0, 0, 0)
+			binary.LittleEndian.PutUint32(content[start:], uint32(len(body)))
+			content = append(content, body...)
+			content = binary.LittleEndian.AppendUint32(content, crc32.Checksum(body, crcTable))
+			kept++
+		}
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	tmp := path + ".rewrite"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	_, err = f.Write(content)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return 0, err
+	}
+	return kept, nil
+}
+
 // Path returns the root path of the log (segment i lives at <path>.<i>).
 func (l *SegmentedLog) Path() string { return l.path }
 

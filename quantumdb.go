@@ -112,8 +112,18 @@
 //     eviction a Submit triggers runs after the admission lock is
 //     released, holding only the target partition.
 //   - Operations on the SAME partition serialize on its lock; store
-//     mutations are short exclusive sections against a read gate that
-//     keeps Query results cut at a single store state.
+//     mutations are short exclusive sections against a read gate. Reads
+//     do NOT hold that gate while evaluating: Query pins an immutable
+//     copy-on-write snapshot of the store under a brief gate
+//     acquisition and evaluates against it gate-free, so a long
+//     analytical read never stalls appliers (and vice versa) while its
+//     results stay cut at a single committed state.
+//
+// For reads that should never collapse pending transactions — and
+// never wait on anything — DB.Snapshot returns an epoch-stamped frozen
+// view; Snapshot.Query / DB.QueryAt evaluate against it lock-free and
+// repeatably until it is Released. Stats reports SnapshotReads and the
+// SnapshotsLive gauge.
 //
 // Options.Workers picks the pool width: 0 (default) uses GOMAXPROCS,
 // 1 makes every multi-partition operation run inline (serial), larger
@@ -153,7 +163,12 @@
 //     segment, and redoes facts idempotently.
 //
 // Recover rebuilds a database from the log; Checkpoint (on the engine,
-// via Engine()) plus core.RecoverCheckpoint bound replay length. cmd/qdbd
+// via Engine()) plus core.RecoverCheckpoint bound replay length. The
+// checkpoint is FUZZY: it quiesces the engine only to pin a store
+// snapshot and a WAL sequence stamp (a pause independent of data size,
+// reported as Stats.CheckpointPauseNs), then serializes and truncates
+// the log with transactions admitting, grounding, and writing
+// concurrently; recovery replays only batches above the stamp. cmd/qdbd
 // exposes the knobs as -wal, -sync-wal, and -wal-segments.
 package quantumdb
 
@@ -336,6 +351,11 @@ func (db *DB) Query(src string) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	return rowsFromSols(atoms, sols), nil
+}
+
+// rowsFromSols materializes solver substitutions into named rows.
+func rowsFromSols(atoms []logic.Atom, sols []logic.Subst) []Row {
 	var vars []string
 	for _, a := range atoms {
 		vars = a.Vars(vars)
@@ -350,7 +370,56 @@ func (db *DB) Query(src string) ([]Row, error) {
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows
+}
+
+// Snapshot is an immutable, epoch-stamped view of the committed store —
+// the collapse-free read primitive. Queries against a snapshot never
+// force pending transactions to ground (no observation, no collapse),
+// never block on store writers, and never block them: the view is a set
+// of copy-on-write table versions pinned at a single committed state,
+// so arbitrarily slow analytical reads run while admissions, groundings
+// and writes proceed at full speed. The trade-off is visibility:
+// committed-but-unground transactions are simply absent from a
+// snapshot's results (use Query to observe them, collapsing the state).
+//
+// Release the snapshot when done; it stays readable afterwards, but
+// holding it pins the store versions it references and makes writers
+// pay a one-time copy per mutated table.
+type Snapshot struct {
+	db *DB
+	s  *core.Snapshot
+}
+
+// Snapshot pins the current committed state. O(tables), never O(rows).
+func (db *DB) Snapshot() *Snapshot {
+	return &Snapshot{db: db, s: db.q.Snapshot()}
+}
+
+// Release unpins the snapshot. Idempotent; safe for concurrent use.
+func (s *Snapshot) Release() { s.s.Release() }
+
+// Epoch returns the store epoch the snapshot was cut at; equal epochs
+// witness identical content.
+func (s *Snapshot) Epoch() uint64 { return s.s.Epoch() }
+
+// Query evaluates a conjunctive read query against the snapshot's
+// frozen state; shorthand for DB.QueryAt.
+func (s *Snapshot) Query(src string) ([]Row, error) { return s.db.QueryAt(s, src) }
+
+// QueryAt evaluates a conjunctive read query (Query syntax) against a
+// snapshot: entirely gate-free, collapse-free, and repeatable — the
+// same snapshot always returns the same rows.
+func (db *DB) QueryAt(s *Snapshot, src string) ([]Row, error) {
+	atoms, err := txn.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	sols, err := db.q.QueryAt(s.s, atoms)
+	if err != nil {
+		return nil, err
+	}
+	return rowsFromSols(atoms, sols), nil
 }
 
 // Exec applies non-resource blind writes, given as comma-separated
