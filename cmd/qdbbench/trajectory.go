@@ -32,6 +32,10 @@ type benchPoint struct {
 	Runs        int            `json:"runs"`
 	Throughput  float64        `json:"throughput,omitempty"` // domain ops/s (submits/s for the storm)
 	Counters    map[string]int `json:"counters,omitempty"`
+	// Latencies carries the last run's per-op/stage latency quantiles
+	// (nanoseconds) from the engine's telemetry registry — the tails
+	// behind the mean the other fields report.
+	Latencies map[string]bench.Quantiles `json:"latencies,omitempty"`
 }
 
 // benchFile is one BENCH_*.json document.
@@ -129,6 +133,7 @@ func emitSubmit(dir string) error {
 				"serial_fallbacks":      last.Stats.SerialFallbacks,
 				"parallel_solves":       last.Stats.ParallelSolves,
 			}
+			pt.Latencies = last.Latencies
 		}
 		doc.Points = append(doc.Points, pt)
 	}
@@ -179,6 +184,7 @@ func emitRead(dir string) error {
 				"snapshot_reads": last.Stats.SnapshotReads,
 				"applier_writes": last.ApplierWrites,
 			}
+			pt.Latencies = last.Latencies
 		}
 		doc.Points = append(doc.Points, pt)
 	}
@@ -233,6 +239,7 @@ func emitWALSync(dir string) error {
 				"fsyncs":          syncs,
 				"group_commits":   int(last.Log.GroupCommits),
 			}
+			pt.Latencies = last.Latencies
 		}
 		doc.Points = append(doc.Points, pt)
 	}

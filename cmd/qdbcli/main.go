@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	quantumdb "repro"
 )
@@ -67,6 +68,9 @@ func run(db *quantumdb.DB, co *quantumdb.Coordinator, line string) {
   pending                                count pending transactions
   stats                                  engine counters (includes
                                          SnapshotReads, CheckpointPauseNs)
+  metrics                                latency quantiles (p50/p95/p99)
+                                         for every op, stage, and
+                                         subsystem histogram
   demo                                   load a small travel world
   exit
 `)
@@ -148,10 +152,45 @@ func run(db *quantumdb.DB, co *quantumdb.Coordinator, line string) {
 		fmt.Println(db.Pending())
 	case "stats":
 		fmt.Printf("%+v\n", db.Stats())
+	case "metrics":
+		printMetrics(db)
 	case "demo":
 		loadDemo(db)
 	default:
 		fmt.Printf("unknown command %q — try 'help'\n", cmd)
+	}
+}
+
+// printMetrics renders every histogram in the engine's registry with
+// count and interpolated quantiles; durations print humanized, raw
+// histograms (scale 1, e.g. WAL batch bytes) print as integers.
+func printMetrics(db *quantumdb.DB) {
+	hists := db.Metrics().Histograms()
+	any := false
+	for _, h := range hists {
+		if h.Snap.Count == 0 {
+			continue
+		}
+		any = true
+		name := h.Name
+		if h.Labels != "" {
+			name += "{" + h.Labels + "}"
+		}
+		format := func(v float64) string {
+			if h.Scale != 1 {
+				return time.Duration(v).Round(time.Microsecond).String()
+			}
+			return strconv.FormatInt(int64(v), 10)
+		}
+		fmt.Printf("%-64s n=%-7d p50=%-10s p95=%-10s p99=%-10s mean=%s\n",
+			name, h.Snap.Count,
+			format(h.Snap.Quantile(0.50)),
+			format(h.Snap.Quantile(0.95)),
+			format(h.Snap.Quantile(0.99)),
+			format(h.Snap.Mean()))
+	}
+	if !any {
+		fmt.Println("(no observations yet — run some txns/reads first)")
 	}
 }
 

@@ -1,7 +1,7 @@
 // Command qdbd runs a quantum database as a network service (the
 // middle-tier of Figure 4), speaking a JSON-lines protocol over TCP.
 //
-//	qdbd -addr :7683 -wal /var/lib/qdb/qdb.wal
+//	qdbd -addr :7683 -wal /var/lib/qdb/qdb.wal -metrics-addr :7684
 //
 // Each request is one JSON object per line, e.g.:
 //
@@ -15,6 +15,13 @@
 // serves the committed state from a copy-on-write snapshot — it never
 // collapses anything and never contends with concurrent grounding.
 //
+// With -metrics-addr, a second HTTP listener serves the engine's
+// telemetry: /metrics (Prometheus text exposition), /healthz,
+// /debug/vars (JSON), /debug/slowops (the slow-op ring; arm with
+// -slow-op), and /debug/pprof. SIGINT/SIGTERM shut down gracefully:
+// the server drains in-flight requests, then the database closes (WAL
+// group commit flushed) before the process exits.
+//
 // See internal/server for the full request/response schema and a Go
 // client.
 package main
@@ -24,6 +31,11 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	quantumdb "repro"
 	"repro/internal/server"
@@ -31,6 +43,12 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7683", "listen address")
+	metricsAddr := flag.String("metrics-addr", "",
+		"HTTP listen address for /metrics, /healthz, /debug/vars, /debug/slowops, and /debug/pprof (off when empty)")
+	slowOp := flag.Duration("slow-op", 0,
+		"record any engine operation slower than this into the slow-op ring at /debug/slowops (0 = off)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"how long a SIGINT/SIGTERM shutdown waits for in-flight requests before closing their connections")
 	wal := flag.String("wal", "", "write-ahead log root path, segments at <path>.0.. (durability off when empty)")
 	walSegments := flag.Int("wal-segments", 1,
 		"number of partition-affine WAL segment files; groundings of partitions on different segments append and fsync independently")
@@ -46,6 +64,7 @@ func main() {
 	opt := quantumdb.Options{
 		WALPath: *wal, SyncWAL: *syncWAL, WALSegments: *walSegments,
 		K: *k, Workers: *workers, SerialAdmission: *serialAdmission,
+		SlowOpThreshold: *slowOp,
 	}
 	if *strict {
 		opt.Mode = quantumdb.Strict
@@ -54,12 +73,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv := server.New(db)
+
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("qdbd metrics on http://%s/metrics\n", ml.Addr())
+		go func() {
+			if err := http.Serve(ml, db.Metrics().Handler(db.SlowOps())); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+	}
+
 	admission := "optimistic"
 	if *serialAdmission {
 		admission = "serial"
@@ -70,5 +103,25 @@ func main() {
 	}
 	fmt.Printf("qdbd listening on %s (wal=%q [%s], k=%d, mode=%v, workers=%d, admission=%s)\n",
 		l.Addr(), *wal, durability, *k, opt.Mode, db.Engine().Workers(), admission)
-	log.Fatal(server.New(db).Serve(l))
+
+	// Graceful shutdown: on SIGINT/SIGTERM, drain the TCP server (stop
+	// accepting, let in-flight requests finish writing responses), then
+	// close the database so the WAL tail is flushed before exit.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	select {
+	case s := <-sig:
+		fmt.Printf("qdbd: %v, draining (timeout %v)\n", s, *drainTimeout)
+		if err := srv.Shutdown(*drainTimeout); err != nil {
+			log.Printf("drain: %v", err)
+		}
+		if err := db.Close(); err != nil {
+			log.Fatalf("close: %v", err)
+		}
+	case err := <-serveErr:
+		db.Close()
+		log.Fatal(err)
+	}
 }

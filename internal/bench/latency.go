@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"repro/internal/core"
+)
+
+// Quantiles summarizes one latency histogram for a benchmark artifact.
+// All values are nanoseconds (the histograms' native unit), so JSON
+// consumers need no unit metadata.
+type Quantiles struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_ns"`
+	P95   float64 `json:"p95_ns"`
+	P99   float64 `json:"p99_ns"`
+	Mean  float64 `json:"mean_ns"`
+}
+
+// CollectLatencies harvests every duration histogram that saw at least
+// one observation from the engine's telemetry registry, keyed by series
+// identity ("qdb_op_duration_seconds{op=\"submit\"}"). Benchmarks attach
+// the map to their results so -json artifacts carry per-stage latency
+// quantiles alongside throughput — the paper's figures report means;
+// the tails are where regressions hide.
+func CollectLatencies(q *core.QDB) map[string]Quantiles {
+	out := make(map[string]Quantiles)
+	for _, h := range q.Metrics().Histograms() {
+		if h.Snap.Count == 0 || h.Scale == 1 {
+			continue // unscaled histograms (byte sizes) are not latencies
+		}
+		key := h.Name
+		if h.Labels != "" {
+			key += "{" + h.Labels + "}"
+		}
+		out[key] = Quantiles{
+			Count: h.Snap.Count,
+			P50:   h.Snap.Quantile(0.50),
+			P95:   h.Snap.Quantile(0.95),
+			P99:   h.Snap.Quantile(0.99),
+			Mean:  h.Snap.Mean(),
+		}
+	}
+	return out
+}

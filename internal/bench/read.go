@@ -51,6 +51,8 @@ type ReadResult struct {
 	// run shows both sides making progress — neither starves the other.
 	ApplierWrites int
 	Stats         core.Stats
+	// Latencies carries per-op/stage latency quantiles from the storm.
+	Latencies map[string]Quantiles
 }
 
 // Throughput reports snapshot reads per second of storm time.
@@ -164,6 +166,7 @@ func RunParallelRead(cfg ReadConfig) (*ReadResult, error) {
 		Reads:         cfg.Readers * cfg.ReadsPerReader,
 		ApplierWrites: int(applierWrites.Load()),
 		Stats:         q.Stats(),
+		Latencies:     CollectLatencies(q),
 	}, nil
 }
 

@@ -180,6 +180,8 @@ type SubmitResult struct {
 	Accepted  int
 	Rejected  int
 	Stats     core.Stats
+	// Latencies carries per-op/stage latency quantiles from the storm.
+	Latencies map[string]Quantiles
 }
 
 // Throughput reports admissions (accepted or rejected — both are full
@@ -268,6 +270,7 @@ func RunParallelSubmit(cfg SubmitConfig) (*SubmitResult, error) {
 		return nil, fmt.Errorf("submit storm: GroundAll: %w", err)
 	}
 	res.Stats = q.Stats()
+	res.Latencies = CollectLatencies(q)
 	if res.Stats.Grounded != accepted {
 		return nil, fmt.Errorf("submit storm: grounded %d of %d accepted", res.Stats.Grounded, accepted)
 	}

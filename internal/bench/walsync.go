@@ -54,6 +54,9 @@ type WALSyncResult struct {
 	// segments took appends, how many fsyncs ran, how many batches
 	// piggybacked on another appender's fsync.
 	Log wal.SegStats
+	// Latencies carries per-op/stage latency quantiles — the WAL append
+	// and fsync distributions are the interesting ones here.
+	Latencies map[string]Quantiles
 }
 
 // Throughput reports grounded-and-synced transactions per second of
@@ -140,12 +143,13 @@ func RunWALSync(cfg WALSyncConfig) (*WALSyncResult, error) {
 		return nil, fmt.Errorf("walsync: GroundAll: %w", err)
 	}
 	res := &WALSyncResult{
-		Config:   cfg,
-		Workers:  q.Workers(),
-		Load:     load,
-		Ground:   time.Since(groundStart),
-		Grounded: total,
-		Log:      q.LogStats(),
+		Config:    cfg,
+		Workers:   q.Workers(),
+		Load:      load,
+		Ground:    time.Since(groundStart),
+		Grounded:  total,
+		Log:       q.LogStats(),
+		Latencies: CollectLatencies(q),
 	}
 	if n := q.PendingCount(); n != 0 {
 		return nil, fmt.Errorf("walsync: %d transactions still pending", n)

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/formula"
 	"repro/internal/relstore"
+	"repro/internal/telemetry"
 	"repro/internal/txn"
 )
 
@@ -107,19 +109,22 @@ type specOutcome struct {
 // admission. orig is the caller's un-renamed transaction (for error
 // text); admitted carries the pre-assigned ID and renamed-apart
 // variables.
-func (q *QDB) submitOptimistic(orig, admitted *txn.T) (int64, error) {
+func (q *QDB) submitOptimistic(orig, admitted *txn.T, sp *telemetry.Span) (int64, error) {
 	for attempt := 0; ; attempt++ {
 		if attempt == maxAdmitAttempts {
 			q.stats.serialFallbacks.Add(1)
-			return q.submitSerial(orig, admitted)
+			return q.submitSerial(orig, admitted, sp)
 		}
+		sp.Mark()
 		snap := q.snapshotOverlap(admitted)
+		sp.Stage(stageSubmitSnapshot)
 		spec, err := q.speculate(snap, admitted)
+		sp.Stage(stageSubmitSolve)
 		if err != nil {
 			q.prep.Evict(admitted)
 			return 0, err
 		}
-		id, done, err := q.tryInstall(orig, admitted, snap, spec)
+		id, done, err := q.tryInstall(orig, admitted, snap, spec, sp)
 		if done {
 			return id, err
 		}
@@ -284,11 +289,12 @@ func (q *QDB) speculate(snap *admitSnap, admitted *txn.T) (*specOutcome, error) 
 // tryInstall revalidates the snapshot under the admission lock and, when
 // it holds, publishes the speculation's outcome. done=false means the
 // snapshot went stale (a conflict) and nothing was published.
-func (q *QDB) tryInstall(orig, admitted *txn.T, snap *admitSnap, spec *specOutcome) (id int64, done bool, err error) {
+func (q *QDB) tryInstall(orig, admitted *txn.T, snap *admitSnap, spec *specOutcome, sp *telemetry.Span) (id int64, done bool, err error) {
 	q.admitMu.Lock()
 	locked, ok := q.revalidate(snap, admitted)
 	if !ok {
 		q.admitMu.Unlock()
+		sp.Stage(stageSubmitValidate)
 		return 0, false, nil
 	}
 	// Store check, under the read gate so the epochs are frozen. The
@@ -308,9 +314,11 @@ func (q *QDB) tryInstall(orig, admitted *txn.T, snap *admitSnap, spec *specOutco
 	if !storeOK {
 		unlockPartitions(locked)
 		q.admitMu.Unlock()
+		sp.Stage(stageSubmitValidate)
 		return 0, false, nil
 	}
 	q.stats.optimisticAdmissions.Add(1)
+	sp.Stage(stageSubmitValidate)
 
 	if !spec.ok {
 		// Validated rejection: user-visible, so it needed the same
@@ -318,7 +326,7 @@ func (q *QDB) tryInstall(orig, admitted *txn.T, snap *admitSnap, spec *specOutco
 		// against the still-current partition chain and store.
 		return 0, true, q.rejectLocked(orig, admitted, locked, spec)
 	}
-	id, err = q.acceptLocked(admitted, locked, snap.merged, spec.cached, fpNow)
+	id, err = q.acceptLocked(admitted, locked, snap.merged, spec.cached, fpNow, sp)
 	return id, true, err
 }
 
@@ -346,12 +354,15 @@ func (q *QDB) rejectLocked(orig, admitted *txn.T, locked []*partition, out *spec
 // merge the overlap set, install the chain and solution, release the
 // admission lock (the caller holds it), and run the k-bound eviction
 // with only the surviving partition locked.
-func (q *QDB) acceptLocked(admitted *txn.T, locked []*partition, merged []*txn.T, cached []formula.Grounding, stamp uint64) (int64, error) {
+func (q *QDB) acceptLocked(admitted *txn.T, locked []*partition, merged []*txn.T, cached []formula.Grounding, stamp uint64, sp *telemetry.Span) (int64, error) {
 	var affinity int64
 	if len(locked) > 0 {
 		affinity = locked[0].id()
 	}
-	if err := q.logPending(affinity, admitted); err != nil {
+	walStart := time.Now()
+	err := q.logPending(affinity, admitted)
+	sp.Add(stageSubmitWAL, time.Since(walStart))
+	if err != nil {
 		unlockPartitions(locked)
 		q.admitMu.Unlock()
 		q.prep.Evict(admitted)

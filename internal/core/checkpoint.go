@@ -46,7 +46,10 @@ func (q *QDB) Checkpoint(path string) error {
 	if q.log == nil {
 		return fmt.Errorf("core: Checkpoint requires a WAL-backed database")
 	}
+	sp := q.met.checkpoint.Start()
+	defer sp.End()
 	q.admitMu.Lock()
+	sp.Mark()
 	cutStart := time.Now()
 	locked := q.lockAllPartitions()
 	q.mu.Lock()
@@ -65,6 +68,7 @@ func (q *QDB) Checkpoint(path string) error {
 	unlockPartitions(locked)
 	q.admitMu.Unlock()
 	q.stats.checkpointPauseNs.Add(time.Since(cutStart).Nanoseconds())
+	sp.Stage(stageCheckpointCut)
 	defer snap.Release()
 
 	// Everything below runs with the engine live. Pending *txn.T are
@@ -73,13 +77,17 @@ func (q *QDB) Checkpoint(path string) error {
 	if err := writeCheckpointFile(path, snap, nextID, stamp, pending); err != nil {
 		return err
 	}
+	sp.Stage(stageCheckpointSerialize)
 	if h := q.testCheckpointCrash; h != nil {
 		if err := h(); err != nil {
 			return err
 		}
 	}
 	// Batches at or below the stamp are covered by the durable checkpoint.
-	return q.log.TruncateBefore(stamp)
+	truncStart := time.Now()
+	err := q.log.TruncateBefore(stamp)
+	sp.Add(stageCheckpointTruncate, time.Since(truncStart))
+	return err
 }
 
 // rearmTrustLocked re-arms the trusted-store fast path at a checkpoint

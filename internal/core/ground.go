@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/formula"
 	"repro/internal/logic"
 	"repro/internal/relstore"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/txn"
 )
 
@@ -124,8 +126,10 @@ func (q *QDB) GroundAll() error {
 // fresh (a cache probe per head, no solve; see replayHead) and solving
 // only the remaining suffix.
 func (q *QDB) groundLocked(p *partition, idx int) error {
+	sp := q.met.ground.Start()
+	defer sp.End()
 	if q.opt.Mode == Semantic && idx > 0 {
-		ok, err := q.trySolveAndApply(p, moveToFront(idx, len(p.txns)), semanticSolver(p, idx), 1)
+		ok, err := q.trySolveAndApply(p, moveToFront(idx, len(p.txns)), semanticSolver(p, idx), 1, &sp)
 		if err != nil {
 			return err
 		}
@@ -140,7 +144,7 @@ func (q *QDB) groundLocked(p *partition, idx int) error {
 	// chain would assign that head, and only the suffix the cache cannot
 	// cover (optional atoms, staleness, chooser sampling) pays a solve.
 	for idx > 0 {
-		done, err := q.replayHead(p)
+		done, err := q.replayHead(p, &sp)
 		if err != nil {
 			return err
 		}
@@ -150,7 +154,7 @@ func (q *QDB) groundLocked(p *partition, idx int) error {
 		idx--
 	}
 	if idx == 0 {
-		done, err := q.replayHead(p)
+		done, err := q.replayHead(p, &sp)
 		if err != nil {
 			return err
 		}
@@ -168,7 +172,7 @@ func (q *QDB) groundLocked(p *partition, idx int) error {
 			solver[i] = strip(t)
 		}
 	}
-	ok, err := q.trySolveAndApply(p, order, solver, idx+1)
+	ok, err := q.trySolveAndApply(p, order, solver, idx+1, &sp)
 	if err != nil {
 		return err
 	}
@@ -192,7 +196,7 @@ func (q *QDB) groundLocked(p *partition, idx int) error {
 // pick from, when the cache is disabled or unaligned, or when the epoch
 // fingerprint mismatches — the store changed in a way the cache was not
 // told about, counted in SolutionStale. Caller holds p's shard.
-func (q *QDB) replayHead(p *partition) (bool, error) {
+func (q *QDB) replayHead(p *partition, sp *telemetry.Span) (bool, error) {
 	if q.opt.DisableCache || q.opt.sample() > 1 {
 		return false, nil
 	}
@@ -221,7 +225,9 @@ func (q *QDB) replayHead(p *partition) (bool, error) {
 	snap := q.epochSnapshot()
 	q.storeMu.RUnlock()
 
+	walStart := time.Now()
 	seq, err := q.logGrounding(p.id(), g)
+	sp.Add(stageGroundWAL, time.Since(walStart))
 	if err != nil {
 		return false, err
 	}
@@ -229,6 +235,7 @@ func (q *QDB) replayHead(p *partition) (bool, error) {
 		return false, err
 	}
 
+	applyStart := time.Now()
 	q.storeMu.Lock()
 	if !q.gapClean(snap) {
 		// An out-of-band write slipped into the log-to-apply gap; the
@@ -257,6 +264,7 @@ func (q *QDB) replayHead(p *partition) (bool, error) {
 	// too-early fingerprint is merely conservative).
 	stamp := q.epochFingerprint(p.txns[1:])
 	q.storeMu.Unlock()
+	sp.Add(stageGroundApply, time.Since(applyStart))
 	q.stats.grounded.Add(1)
 	q.stats.solutionReplays.Add(1)
 
@@ -332,7 +340,7 @@ func identityOrder(n int) []int {
 // groundings, but a multi-transaction prefix is NOT atomic against
 // reads — a read may observe the state between two groundings of the
 // prefix, each of which is a real committed state.
-func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groundCount int) (bool, error) {
+func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groundCount int, sp *telemetry.Span) (bool, error) {
 	maximize := false
 	for _, t := range solver[:groundCount] {
 		if len(t.OptionalAtoms()) > 0 {
@@ -345,6 +353,7 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 		sols []*formula.ChainSolution
 		err  error
 	)
+	solveStart := time.Now()
 	q.storeMu.RLock()
 	// Negative probe: a solver-view sequence (up to renaming) proven
 	// unsatisfiable at these store epochs fails again without solving —
@@ -359,6 +368,7 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 		if q.rejects.hit(negKey, negFP) {
 			q.storeMu.RUnlock()
 			q.stats.negHits.Add(1)
+			sp.Add(stageGroundSolve, time.Since(solveStart))
 			return false, nil
 		}
 	}
@@ -371,6 +381,7 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 	}
 	if err != nil {
 		q.storeMu.RUnlock()
+		sp.Add(stageGroundSolve, time.Since(solveStart))
 		return false, err
 	}
 	if len(sols) == 0 {
@@ -378,6 +389,7 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 			q.rejects.add(negKey, negFP)
 		}
 		q.storeMu.RUnlock()
+		sp.Add(stageGroundSolve, time.Since(solveStart))
 		return false, nil
 	}
 	pick := 0
@@ -397,6 +409,7 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 	// writes only before stamping the cached tail fresh.
 	snap := q.epochSnapshot()
 	q.storeMu.RUnlock()
+	sp.Add(stageGroundSolve, time.Since(solveStart))
 	sol := sols[pick]
 
 	// Partition split computed up front so the cache restamp can happen
@@ -436,13 +449,16 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 	// only runs on I/O failure is not worth the bookkeeping.
 	for i := 0; i < groundCount; i++ {
 		g := sol.Groundings[i]
+		walStart := time.Now()
 		seq, err := q.logGrounding(p.id(), g)
+		sp.Add(stageGroundWAL, time.Since(walStart))
 		if err != nil {
 			return false, err
 		}
 		if err := q.crashApplyPoint(); err != nil {
 			return false, err
 		}
+		applyStart := time.Now()
 		q.storeMu.Lock()
 		if err := q.db.Apply(g.Inserts, g.Deletes); err != nil {
 			q.storeMu.Unlock()
@@ -454,6 +470,7 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 		}
 		q.noteEngineWrite(g.Inserts, g.Deletes)
 		q.storeMu.Unlock()
+		sp.Add(stageGroundApply, time.Since(applyStart))
 	}
 	// The restamp fingerprint is taken under the store gate, over the
 	// frozen post-apply epochs (a mutation racing a post-unlock restamp
@@ -517,6 +534,8 @@ func (q *QDB) GroundCoordinated(id int64) (bool, error) {
 		return false, err
 	}
 	defer p.shard.Unlock()
+	sp := q.met.ground.Start()
+	defer sp.End()
 	target := harden(p.txns[idx])
 	if q.opt.Mode == Semantic {
 		solver := make([]*txn.T, 0, len(p.txns))
@@ -526,7 +545,7 @@ func (q *QDB) GroundCoordinated(id int64) (bool, error) {
 				solver = append(solver, strip(t))
 			}
 		}
-		done, err := q.trySolveAndApply(p, moveToFront(idx, len(p.txns)), solver, 1)
+		done, err := q.trySolveAndApply(p, moveToFront(idx, len(p.txns)), solver, 1, &sp)
 		if err != nil {
 			return false, err
 		}
@@ -547,7 +566,7 @@ func (q *QDB) GroundCoordinated(id int64) (bool, error) {
 			solver[i] = strip(t)
 		}
 	}
-	return q.trySolveAndApply(p, identityOrder(len(p.txns)), solver, idx+1)
+	return q.trySolveAndApply(p, identityOrder(len(p.txns)), solver, idx+1, &sp)
 }
 
 // Read evaluates a conjunctive query against the quantum database,
@@ -566,6 +585,8 @@ func (q *QDB) GroundCoordinated(id int64) (bool, error) {
 // admissions cannot starve the read.
 func (q *QDB) Read(query []logic.Atom) ([]logic.Subst, error) {
 	q.stats.reads.Add(1)
+	sp := q.met.read.Start()
+	defer sp.End()
 	q.mu.Lock()
 	maxID := q.nextID - 1
 	q.mu.Unlock()
@@ -590,10 +611,13 @@ func (q *QDB) Read(query []logic.Atom) ([]logic.Subst, error) {
 			unlockPartitions(ps)
 			q.stats.snapshotReads.Add(1)
 			rq := relstore.Query{Atoms: query, Planner: q.opt.Planner}
+			evalStart := time.Now()
 			sols, err := rq.FindAll(snap, nil, 0)
+			sp.Add(stageReadEval, time.Since(evalStart))
 			snap.Release()
 			return sols, err
 		}
+		collapseStart := time.Now()
 		err := q.pool.Map(len(affected), func(i int) error {
 			p := affected[i] // pre-locked by this goroutine; task takes no shard
 			q.stats.parallelSolves.Add(1)
@@ -608,6 +632,7 @@ func (q *QDB) Read(query []logic.Atom) ([]logic.Subst, error) {
 				}
 			}
 		})
+		sp.Add(stageReadCollapse, time.Since(collapseStart))
 		unlockPartitions(ps)
 		if err != nil {
 			return nil, err
@@ -690,6 +715,8 @@ func (q *QDB) Write(inserts, deletes []relstore.GroundFact) error {
 
 	q.admitMu.Lock()
 	defer q.admitMu.Unlock()
+	sp := q.met.write.Start()
+	defer sp.End()
 
 	// Structural validation of the write itself (arity, delete-of-absent,
 	// duplicate keys) on a scratch overlay, under the store's read gate
@@ -714,6 +741,7 @@ func (q *QDB) Write(inserts, deletes []relstore.GroundFact) error {
 	dk := deltaKey(inserts, deletes)
 	refreshed := make([][]formula.Grounding, len(affected))
 	snaps := make([]epochSnap, len(affected))
+	sp.Mark()
 	err = q.pool.Map(len(affected), func(i int) error {
 		p := affected[i] // pre-locked; task takes no shard
 		q.stats.parallelSolves.Add(1)
@@ -752,6 +780,7 @@ func (q *QDB) Write(inserts, deletes []relstore.GroundFact) error {
 		snaps[i] = q.epochSnapshot() // still under this task's read gate
 		return nil
 	})
+	sp.Stage(stageWriteValidate)
 	if err != nil {
 		unlockPartitions(cands)
 		if errors.Is(err, ErrWriteRejected) {
@@ -766,7 +795,9 @@ func (q *QDB) Write(inserts, deletes []relstore.GroundFact) error {
 	// serialized against admissions exactly as before, but outside the
 	// store gate, so groundings of unaffected partitions proceed during
 	// the fsync.
+	walStart := time.Now()
 	seq, err := q.logWrite(inserts, deletes)
+	sp.Add(stageWriteWAL, time.Since(walStart))
 	if err != nil {
 		unlockPartitions(cands)
 		return err
@@ -775,6 +806,7 @@ func (q *QDB) Write(inserts, deletes []relstore.GroundFact) error {
 		unlockPartitions(cands)
 		return err
 	}
+	applyStart := time.Now()
 	q.storeMu.Lock()
 	if err := q.db.Apply(inserts, deletes); err != nil {
 		q.storeMu.Unlock()
@@ -806,6 +838,7 @@ func (q *QDB) Write(inserts, deletes []relstore.GroundFact) error {
 		}
 	}
 	q.storeMu.Unlock()
+	sp.Add(stageWriteApply, time.Since(applyStart))
 	for i, p := range affected {
 		if !q.opt.DisableCache {
 			// Refreshed solutions were validated over the store plus this
@@ -868,6 +901,8 @@ func (q *QDB) GroundPair(id1, id2 int64) error {
 	}
 	p := pa
 	defer p.shard.Unlock()
+	sp := q.met.ground.Start()
+	defer sp.End()
 	if p.txns[ia].ID > p.txns[ib].ID {
 		ia, ib = ib, ia
 	}
@@ -878,14 +913,14 @@ func (q *QDB) GroundPair(id1, id2 int64) error {
 		order := pairFirstOrder(ia, ib, len(p.txns))
 		// Coordinated attempt: harden the later partner's optionals.
 		solver := pairSolver(p, ia, ib, strip(first), harden(second))
-		done, err = q.trySolveAndApply(p, order, solver, 2)
+		done, err = q.trySolveAndApply(p, order, solver, 2, &sp)
 		if err != nil {
 			return err
 		}
 		if !done {
 			// Uncoordinated: maximize both partners' optionals instead.
 			solver = pairSolver(p, ia, ib, first, second)
-			done, err = q.trySolveAndApply(p, order, solver, 2)
+			done, err = q.trySolveAndApply(p, order, solver, 2, &sp)
 			if err != nil {
 				return err
 			}
@@ -913,12 +948,12 @@ func (q *QDB) GroundPair(id1, id2 int64) error {
 		}
 		return solver
 	}
-	done, err = q.trySolveAndApply(p, order, build(harden(second)), ib+1)
+	done, err = q.trySolveAndApply(p, order, build(harden(second)), ib+1, &sp)
 	if err != nil {
 		return err
 	}
 	if !done {
-		done, err = q.trySolveAndApply(p, order, build(second), ib+1)
+		done, err = q.trySolveAndApply(p, order, build(second), ib+1, &sp)
 		if err != nil {
 			return err
 		}

@@ -116,6 +116,8 @@ func (q *QDB) groundGroupLocked(p *partition, ids []int64) error {
 	if len(ids) == 1 {
 		return q.groundLocked(p, pos[0])
 	}
+	sp := q.met.ground.Start()
+	defer sp.End()
 	member := make(map[int]bool, len(pos))
 	for _, j := range pos {
 		member[j] = true
@@ -144,12 +146,12 @@ func (q *QDB) groundGroupLocked(p *partition, ids []int64) error {
 			}
 			return solver
 		}
-		done, err := q.trySolveAndApply(p, order, build(true), len(pos))
+		done, err := q.trySolveAndApply(p, order, build(true), len(pos), &sp)
 		if err != nil {
 			return err
 		}
 		if !done {
-			done, err = q.trySolveAndApply(p, order, build(false), len(pos))
+			done, err = q.trySolveAndApply(p, order, build(false), len(pos), &sp)
 			if err != nil {
 				return err
 			}
@@ -176,12 +178,12 @@ func (q *QDB) groundGroupLocked(p *partition, ids []int64) error {
 		}
 		return solver
 	}
-	done, err := q.trySolveAndApply(p, identityOrder(len(p.txns)), build(true), last+1)
+	done, err := q.trySolveAndApply(p, identityOrder(len(p.txns)), build(true), last+1, &sp)
 	if err != nil {
 		return err
 	}
 	if !done {
-		done, err = q.trySolveAndApply(p, identityOrder(len(p.txns)), build(false), last+1)
+		done, err = q.trySolveAndApply(p, identityOrder(len(p.txns)), build(false), last+1, &sp)
 		if err != nil {
 			return err
 		}

@@ -14,6 +14,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/formula"
 	"repro/internal/relstore"
 )
@@ -126,6 +128,13 @@ type Options struct {
 	// whatever segments exist by sequence number regardless of the
 	// configured count.
 	WALSegments int
+
+	// SlowOpThreshold arms slow-op capture at construction: any engine
+	// operation (Submit, Ground, Read, Write, Checkpoint) slower than
+	// this records its stage breakdown into the ring returned by
+	// QDB.SlowOps. Zero leaves capture disabled (the default; it can be
+	// armed later with SetSlowOpThreshold).
+	SlowOpThreshold time.Duration
 }
 
 func (o *Options) k() int {

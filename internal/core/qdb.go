@@ -7,11 +7,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/formula"
 	"repro/internal/logic"
 	"repro/internal/relstore"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/txn"
 	"repro/internal/wal"
 )
@@ -138,6 +140,12 @@ type QDB struct {
 	// window of the fuzzy scheme; test-only.
 	testCheckpointCrash func() error
 	stats               counters
+
+	// start anchors Stats.StartUnixNano/UptimeNs and the registry's
+	// uptime gauges; met is the telemetry registry with the per-op
+	// tracers (telemetry.go). Both immutable after New.
+	start time.Time
+	met   *engineMetrics
 }
 
 // partition is one independent set of mutually-unifiable pending
@@ -182,6 +190,12 @@ func New(db *relstore.DB, opt Options) (*QDB, error) {
 		byTxn:  make(map[int64]*partition),
 		idx:    newPartIndex(),
 		prep:   formula.NewPrepCache(),
+		start:  time.Now(),
+	}
+	q.met = newEngineMetrics(q)
+	q.pool.QueueHist = q.met.poolQueue
+	if opt.SlowOpThreshold > 0 {
+		q.met.slow.SetThreshold(opt.SlowOpThreshold)
 	}
 	// Rows seeded before the QDB takes ownership are the baseline, not
 	// out-of-band writes.
@@ -192,6 +206,9 @@ func New(db *relstore.DB, opt Options) (*QDB, error) {
 			return nil, err
 		}
 		l.SyncOnAppend = opt.SyncWAL
+		l.AppendHist = q.met.walAppend
+		l.SyncHist = q.met.walSync
+		l.BatchBytes = q.met.walBytes
 		q.log = l
 	}
 	return q, nil
@@ -230,6 +247,9 @@ func (q *QDB) Stats() Stats {
 	h, m := q.prep.Counters()
 	s.PrepCacheHits, s.PrepCacheMisses = int(h), int(m)
 	s.SnapshotsLive = q.db.SnapshotsLive()
+	s.StartUnixNano = q.start.UnixNano()
+	s.UptimeNs = time.Since(q.start).Nanoseconds()
+	s.StatsSeq = q.stats.statsSeq.Add(1)
 	return s
 }
 
@@ -325,10 +345,12 @@ func (q *QDB) Submit(t *txn.T) (int64, error) {
 	admitted := &txn.T{ID: id, Tag: t.Tag, PartnerTag: t.PartnerTag, Body: t.Body, Update: t.Update}
 	admitted = admitted.RenamedApart()
 
+	sp := q.met.submit.Start()
+	defer sp.End()
 	if q.optimisticEnabled() {
-		return q.submitOptimistic(t, admitted)
+		return q.submitOptimistic(t, admitted, &sp)
 	}
-	return q.submitSerial(t, admitted)
+	return q.submitSerial(t, admitted, &sp)
 }
 
 // optimisticEnabled reports whether Submit may speculate outside the
@@ -344,7 +366,8 @@ func (q *QDB) optimisticEnabled() bool {
 // partition set that cannot change underneath it. Used for the
 // SerialAdmission/DisablePartitioning ablations and as the bounded
 // fallback after repeated optimistic conflicts.
-func (q *QDB) submitSerial(t *txn.T, admitted *txn.T) (int64, error) {
+func (q *QDB) submitSerial(t *txn.T, admitted *txn.T, sp *telemetry.Span) (int64, error) {
+	sp.Mark()
 	q.admitMu.Lock()
 	overlapping := q.lockOverlapping(admitted)
 	// Same decision procedure as the optimistic path (decide, admit.go),
@@ -353,8 +376,11 @@ func (q *QDB) submitSerial(t *txn.T, admitted *txn.T) (int64, error) {
 	// validation is needed and the fingerprint the solve records doubles
 	// directly as the install stamp.
 	snap := buildSnap(overlapping, admitted)
+	sp.Stage(stageSubmitSnapshot)
 	out := &specOutcome{}
-	if err := q.decide(snap, admitted, out); err != nil {
+	err := q.decide(snap, admitted, out)
+	sp.Stage(stageSubmitSolve)
+	if err != nil {
 		unlockPartitions(overlapping)
 		q.admitMu.Unlock()
 		q.prep.Evict(admitted)
@@ -363,7 +389,7 @@ func (q *QDB) submitSerial(t *txn.T, admitted *txn.T) (int64, error) {
 	if !out.ok {
 		return 0, q.rejectLocked(t, admitted, overlapping, out)
 	}
-	return q.acceptLocked(admitted, overlapping, snap.merged, out.cached, out.fp)
+	return q.acceptLocked(admitted, overlapping, snap.merged, out.cached, out.fp, sp)
 }
 
 // installLocked publishes an accepted admission: the merged chain and
@@ -558,6 +584,7 @@ func (q *QDB) mergeLocked(ps []*partition) *partition {
 		q.nextPart++
 		q.mu.Unlock()
 		p := &partition{shard: sched.NewShard(id)}
+		p.shard.WaitHist = q.met.shardWait
 		p.shard.Lock() // lock before publishing: a fresh mutex cannot block
 		q.mu.Lock()
 		q.parts[id] = p

@@ -111,6 +111,20 @@ type Stats struct {
 	// satisfiability checks (the phase-transition experiment's effort
 	// metric).
 	SolverSteps int64
+	// StartUnixNano is the wall-clock time the engine instance was
+	// constructed. It changes on restart, so a poller comparing it across
+	// samples detects that the counters reset (all counters are
+	// cumulative since construction).
+	StartUnixNano int64
+	// UptimeNs is the monotonic-clock age of the engine instance at
+	// snapshot time; pollers divide counter deltas by uptime deltas to
+	// compute rates without trusting wall clocks.
+	UptimeNs int64
+	// StatsSeq numbers this snapshot: it increments on every Stats()
+	// call, so a poller seeing a non-increasing sequence (after a restart
+	// check via StartUnixNano) knows it is reading a stale or reordered
+	// sample.
+	StatsSeq int64
 }
 
 // counters is the engine-internal, concurrency-safe form of Stats. Every
@@ -129,6 +143,7 @@ type counters struct {
 	admissionRetries, serialFallbacks            atomic.Int64
 	trustDemotions, trustRearms                  atomic.Int64
 	snapshotReads, checkpointPauseNs             atomic.Int64
+	statsSeq                                     atomic.Int64
 	// solverSteps is a plain int64 because its address is handed to the
 	// chain solver (formula.ChainOptions.StepCounter), which adds to it
 	// with sync/atomic.

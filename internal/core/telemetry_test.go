@@ -1,0 +1,124 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/logic"
+	"repro/internal/relstore"
+)
+
+// TestEngineTelemetry drives every instrumented path — submit, ground,
+// blind write, read collapse, checkpoint, WAL append/sync — on one
+// engine and checks that each op's latency histogram and the folded
+// Stats counters agree with what actually ran.
+func TestEngineTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	q, err := New(worldDB([]int{1, 2}, 6), Options{
+		WALPath:         filepath.Join(dir, "qdb.wal"),
+		SlowOpThreshold: time.Nanosecond, // everything is slow: exercise the ring
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	id1, err := q.Submit(book("A", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(book("B", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Ground(id1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Write([]relstore.GroundFact{{Rel: "Available", Tuple: tup(2, "9Z")}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	readQ := []logic.Atom{logic.NewAtom("Bookings",
+		logic.Var("n"), logic.Var("f"), logic.Var("s"))}
+	if _, err := q.Read(readQ); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Checkpoint(filepath.Join(dir, "qdb.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := q.Metrics()
+	wantCounts := map[string]int64{
+		`op="submit"`: 2,
+		// 2: the explicit Ground(id1) plus the read-forced collapse of
+		// the other pending booking (its update unifies with the query).
+		`op="ground"`:     2,
+		`op="write"`:      1,
+		`op="read"`:       1,
+		`op="checkpoint"`: 1,
+	}
+	for labels, want := range wantCounts {
+		snap, ok := reg.FindHistogram("qdb_op_duration_seconds", labels)
+		if !ok {
+			t.Fatalf("no histogram for %s", labels)
+		}
+		if snap.Count != want {
+			t.Errorf("%s count = %d, want %d", labels, snap.Count, want)
+		}
+	}
+	// Stage histograms exist and the WAL-bearing ops recorded appends.
+	for _, labels := range []string{
+		`op="submit",stage="wal"`,
+		`op="write",stage="wal"`,
+		`op="checkpoint",stage="cut"`,
+		`op="checkpoint",stage="truncate"`,
+	} {
+		snap, ok := reg.FindHistogram("qdb_op_stage_duration_seconds", labels)
+		if !ok || snap.Count == 0 {
+			t.Errorf("stage %s empty (ok=%v count=%d)", labels, ok, snap.Count)
+		}
+	}
+	if snap, ok := reg.FindHistogram("qdb_wal_append_duration_seconds", ""); !ok || snap.Count == 0 {
+		t.Errorf("wal append histogram empty (ok=%v)", ok)
+	}
+	if snap, ok := reg.FindHistogram("qdb_wal_batch_bytes", ""); !ok || snap.Count == 0 {
+		t.Errorf("wal batch bytes histogram empty (ok=%v)", ok)
+	}
+
+	// The 1ns threshold put every op in the slow ring, stages named.
+	recs := q.SlowOps().Dump()
+	if len(recs) == 0 {
+		t.Fatal("slow-op ring empty despite 1ns threshold")
+	}
+	seen := map[string]bool{}
+	for _, r := range recs {
+		seen[r.Op] = true
+	}
+	for _, op := range []string{"submit", "ground", "write", "read", "checkpoint"} {
+		if !seen[op] {
+			t.Errorf("slow ring missing op %q (got %v)", op, seen)
+		}
+	}
+
+	// Disarm and confirm capture stops.
+	q.SetSlowOpThreshold(0)
+	before := q.SlowOps().Captured()
+	if _, err := q.Read(readQ); err != nil {
+		t.Fatal(err)
+	}
+	if q.SlowOps().Captured() != before {
+		t.Error("disarmed slow ring still capturing")
+	}
+
+	// Uptime/restart-detection fields move the right way.
+	s1 := q.Stats()
+	s2 := q.Stats()
+	if s2.StatsSeq != s1.StatsSeq+1 {
+		t.Errorf("StatsSeq did not increment: %d -> %d", s1.StatsSeq, s2.StatsSeq)
+	}
+	if s1.StartUnixNano == 0 || s2.StartUnixNano != s1.StartUnixNano {
+		t.Errorf("StartUnixNano unstable: %d vs %d", s1.StartUnixNano, s2.StartUnixNano)
+	}
+	if s2.UptimeNs < s1.UptimeNs || s1.UptimeNs <= 0 {
+		t.Errorf("UptimeNs not monotone: %d -> %d", s1.UptimeNs, s2.UptimeNs)
+	}
+}

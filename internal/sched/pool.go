@@ -3,6 +3,9 @@ package sched
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Pool bounds the engine's grounding parallelism: Map fans a batch of
@@ -13,6 +16,26 @@ import (
 type Pool struct {
 	workers int
 	sem     chan struct{}
+
+	// QueueHist, when set (before first use), records how long tasks
+	// that found the pool saturated waited for a worker slot. Only
+	// contended acquisitions are sampled — an uncontended acquire takes
+	// the non-blocking path and records nothing, keeping the fast path
+	// free of clock reads — so the series measures queueing when it
+	// happens, not a flood of zeros.
+	QueueHist *telemetry.Histogram
+}
+
+// acquire takes one semaphore slot, timing the wait when it blocks.
+func (p *Pool) acquire() {
+	select {
+	case p.sem <- struct{}{}:
+		return
+	default:
+	}
+	start := time.Now()
+	p.sem <- struct{}{}
+	p.QueueHist.Observe(time.Since(start))
 }
 
 // NewPool returns a pool of the given width. workers == 0 means
@@ -43,7 +66,7 @@ func (p *Pool) Workers() int { return p.workers }
 // inline path — slot holders never block on shards, so every held slot
 // drains.
 func (p *Pool) Run(f func() error) error {
-	p.sem <- struct{}{}
+	p.acquire()
 	err := f()
 	<-p.sem
 	return err
@@ -69,7 +92,7 @@ func (p *Pool) Map(n int, f func(int) error) error {
 	if p.workers == 1 || n == 1 {
 		var first error
 		for i := 0; i < n; i++ {
-			p.sem <- struct{}{}
+			p.acquire()
 			err := f(i)
 			<-p.sem
 			if err != nil && first == nil {
@@ -84,7 +107,7 @@ func (p *Pool) Map(n int, f func(int) error) error {
 		first error
 	)
 	for i := 0; i < n; i++ {
-		p.sem <- struct{}{}
+		p.acquire()
 		wg.Add(1)
 		go func(i int) {
 			defer func() {

@@ -25,6 +25,9 @@ package sched
 import (
 	"sort"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Shard is one lockable unit of engine state: a partition's mutex plus a
@@ -33,6 +36,13 @@ type Shard struct {
 	id   int64
 	mu   sync.Mutex
 	dead bool
+
+	// WaitHist, when set (at creation, before the shard is shared),
+	// records how long contended Lock acquisitions waited. Uncontended
+	// locks take the TryLock fast path — one CAS, same as an uncontended
+	// Mutex.Lock — and record nothing, so arming the histogram costs the
+	// common case no clock reads.
+	WaitHist *telemetry.Histogram
 }
 
 // NewShard returns a live shard with the given ID. IDs must be unique
@@ -43,8 +53,15 @@ func NewShard(id int64) *Shard { return &Shard{id: id} }
 // ID returns the shard's canonical ordering key.
 func (s *Shard) ID() int64 { return s.id }
 
-// Lock acquires the shard.
-func (s *Shard) Lock() { s.mu.Lock() }
+// Lock acquires the shard, timing the wait when it is contended.
+func (s *Shard) Lock() {
+	if s.mu.TryLock() {
+		return
+	}
+	start := time.Now()
+	s.mu.Lock()
+	s.WaitHist.Observe(time.Since(start))
+}
 
 // TryLock acquires the shard without blocking; pool tasks use it so a
 // busy shard is skipped rather than waited on (see the package comment).

@@ -28,8 +28,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
+	"time"
 
 	quantumdb "repro"
+	"repro/internal/telemetry"
 )
 
 // Request is one client command.
@@ -72,32 +75,98 @@ type Response struct {
 	Stats   *quantumdb.Stats    `json:"stats,omitempty"`
 }
 
+// ops enumerates the protocol verbs; each gets a request-latency series
+// (qdb_server_op_duration_seconds{op=...}) in the engine's registry.
+// Unknown verbs land in "other".
+var ops = []string{
+	"create", "exec", "txn", "etxn", "sql", "read", "snapread",
+	"preview", "ground", "groundall", "pending", "stats", "ping", "other",
+}
+
 // Server serves one quantum database to many connections. Engine calls
 // synchronize internally per partition; the coordinator is safe for
-// concurrent use, so no server-level lock serializes dispatch.
+// concurrent use, so no server-level lock serializes dispatch — the
+// server's own mutex guards only lifecycle state (drain bookkeeping),
+// taken once per request, never across engine calls.
 type Server struct {
-	db *quantumdb.DB
-	co *quantumdb.Coordinator
+	db     *quantumdb.DB
+	co     *quantumdb.Coordinator
+	opHist map[string]*telemetry.Histogram
+
+	mu        sync.Mutex
+	draining  bool
+	active    int           // dispatches currently executing
+	drained   chan struct{} // closed when active hits 0 while draining
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
 }
 
-// New wraps db.
+// New wraps db. Register a Server at most once per database: it adds
+// the server-side request-latency series to the database's registry.
 func New(db *quantumdb.DB) *Server {
-	return &Server{db: db, co: db.NewCoordinator()}
+	s := &Server{
+		db: db, co: db.NewCoordinator(),
+		opHist:    make(map[string]*telemetry.Histogram, len(ops)),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	reg := db.Metrics()
+	for _, op := range ops {
+		s.opHist[op] = reg.Seconds("qdb_server_op_duration_seconds",
+			fmt.Sprintf("op=%q", op),
+			"Whole server request latency, decode to response write.")
+	}
+	return s
 }
 
-// Serve accepts connections until the listener closes.
+// Serve accepts connections until the listener closes (or Shutdown
+// closes it). A Serve return caused by Shutdown reports ErrShuttingDown.
 func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrShuttingDown
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrShuttingDown
+			}
 			return err
 		}
 		go s.handle(conn)
 	}
 }
 
+// ErrShuttingDown is returned by Serve when Shutdown closed its
+// listener, and recorded in responses refused during the drain.
+var ErrShuttingDown = fmt.Errorf("server: shutting down")
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	for {
@@ -105,11 +174,97 @@ func (s *Server) handle(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // disconnect or garbage: drop the connection
 		}
+		if !s.beginOp() {
+			// Draining: refuse new work; in-flight dispatches on other
+			// connections still complete and respond.
+			enc.Encode(Response{Err: ErrShuttingDown.Error()})
+			return
+		}
+		start := time.Now()
 		resp := s.dispatch(req)
-		if err := enc.Encode(resp); err != nil {
+		if h, ok := s.opHist[req.Op]; ok {
+			h.Observe(time.Since(start))
+		} else {
+			s.opHist["other"].Observe(time.Since(start))
+		}
+		err := enc.Encode(resp)
+		s.endOp()
+		if err != nil {
 			return
 		}
 	}
+}
+
+// beginOp admits one dispatch into the drain count; it refuses (false)
+// once Shutdown has begun.
+func (s *Server) beginOp() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.active++
+	return true
+}
+
+// endOp retires one dispatch, releasing Shutdown when the last
+// in-flight operation (response included) finishes.
+func (s *Server) endOp() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 && s.drained != nil {
+		close(s.drained)
+		s.drained = nil
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown drains the server: it stops accepting connections and new
+// requests, waits up to timeout for in-flight dispatches to finish
+// writing their responses, then closes every remaining connection.
+// The database itself is not closed — callers own that ordering (drain
+// first, then quantumdb.DB.Close, so no engine call races teardown).
+// Shutdown is idempotent; concurrent calls all wait for the drain.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	var drained chan struct{}
+	if s.active > 0 {
+		if s.drained == nil {
+			s.drained = make(chan struct{})
+		}
+		drained = s.drained
+	}
+	ls := make([]net.Listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		ls = append(ls, l)
+	}
+	s.mu.Unlock()
+
+	if first {
+		for _, l := range ls {
+			l.Close()
+		}
+	}
+	var err error
+	if drained != nil {
+		select {
+		case <-drained:
+		case <-time.After(timeout):
+			err = fmt.Errorf("server: drain timed out after %v", timeout)
+		}
+	}
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
 }
 
 func (s *Server) dispatch(req Request) Response {

@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4). Histograms render the
+// cumulative _bucket/_sum/_count series with bounds multiplied by their
+// scale, so nanosecond recordings expose as seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	ms := r.snapshotMetrics()
+	// All series of one family must be contiguous with a single
+	// HELP/TYPE header: group by name, preserving first-seen order.
+	byName := make(map[string][]*metric, len(ms))
+	var order []string
+	for _, m := range ms {
+		if _, ok := byName[m.name]; !ok {
+			order = append(order, m.name)
+		}
+		byName[m.name] = append(byName[m.name], m)
+	}
+	for _, name := range order {
+		group := byName[name]
+		first := group[0]
+		if first.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, strings.ReplaceAll(first.help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, typeString(first.kind))
+		for _, m := range group {
+			switch m.kind {
+			case kindCounter, kindGauge:
+				writeSample(bw, m.name, m.labels, "", float64(m.read()))
+			case kindHistogram:
+				writeHistogram(bw, m)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func typeString(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// writeSample emits one sample line: name{labels,extra} value.
+func writeSample(w *bufio.Writer, name, labels, extra string, v float64) {
+	w.WriteString(name)
+	if labels != "" || extra != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		if labels != "" && extra != "" {
+			w.WriteByte(',')
+		}
+		w.WriteString(extra)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeHistogram(w *bufio.Writer, m *metric) {
+	s := m.hist.Snapshot()
+	scale := m.scale
+	if scale == 0 {
+		scale = 1
+	}
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		cum += s.Buckets[i]
+		// Collapse empty leading/trailing buckets but always keep the
+		// cumulative shape: emit a bound only when its count moved or it
+		// is the first non-empty region. Emitting all 42 is legal but
+		// noisy; Prometheus only needs monotone cumulative counts, so we
+		// skip bounds whose cumulative equals the previous emitted one
+		// unless nothing has been emitted yet.
+		if i < NumBuckets-1 {
+			if s.Buckets[i] == 0 && !(i > 0 && s.Buckets[i-1] != 0) {
+				continue
+			}
+			le := float64(BucketBound(i)) * scale
+			writeSample(w, m.name+"_bucket", m.labels,
+				`le="`+formatFloat(le)+`"`, float64(cum))
+		}
+	}
+	writeSample(w, m.name+"_bucket", m.labels, `le="+Inf"`, float64(s.Count))
+	writeSample(w, m.name+"_sum", m.labels, "", float64(s.Sum)*scale)
+	writeSample(w, m.name+"_count", m.labels, "", float64(s.Count))
+}
+
+// jsonHistogram is the /debug/vars shape of one histogram series.
+type jsonHistogram struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+}
+
+// WriteJSON renders a JSON snapshot of the registry: scalar metrics as
+// a flat map, histograms as quantile summaries. This is the
+// /debug/vars document — cheap to poll from scripts without a
+// Prometheus parser.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	ms := r.snapshotMetrics()
+	scalars := make(map[string]int64)
+	var hists []jsonHistogram
+	for _, m := range ms {
+		switch m.kind {
+		case kindCounter, kindGauge:
+			key := m.name
+			if m.labels != "" {
+				key += "{" + m.labels + "}"
+			}
+			scalars[key] = m.read()
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			hists = append(hists, jsonHistogram{
+				Name: m.name, Labels: m.labels, Count: s.Count,
+				MeanNs: s.Mean(), P50: s.Quantile(0.50),
+				P95: s.Quantile(0.95), P99: s.Quantile(0.99),
+			})
+		}
+	}
+	doc := struct {
+		Metrics    map[string]int64 `json:"metrics"`
+		Histograms []jsonHistogram  `json:"histograms"`
+	}{scalars, hists}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Handler returns the production metrics mux: Prometheus text at
+// /metrics, liveness at /healthz, a JSON snapshot at /debug/vars,
+// the slow-op ring at /debug/slowops (when slow is non-nil), and the
+// standard pprof surface under /debug/pprof/.
+func (r *Registry) Handler(slow *SlowLog) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	if slow != nil {
+		mux.HandleFunc("/debug/slowops", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			slow.WriteJSON(w)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+var (
+	commentRe = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	sampleRe  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? [^ ]+$`)
+)
+
+// CheckExposition validates that data parses as Prometheus text format
+// and that every family in names appears with at least one sample. The
+// CI metrics-smoke job runs this against a live scrape so a series
+// silently dropped during a refactor fails loudly.
+func CheckExposition(data []byte, names []string) error {
+	present := make(map[string]bool)
+	for ln, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		s := string(line)
+		if strings.HasPrefix(s, "#") {
+			if !commentRe.MatchString(s) {
+				return fmt.Errorf("line %d: malformed comment: %q", ln+1, s)
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(s)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample: %q", ln+1, s)
+		}
+		value := s[strings.LastIndexByte(s, ' ')+1:]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: bad value %q: %v", ln+1, value, err)
+		}
+		present[m[1]] = true
+	}
+	var missing []string
+	for _, name := range names {
+		if present[name] || present[name+"_bucket"] ||
+			present[name+"_sum"] || present[name+"_count"] {
+			continue
+		}
+		missing = append(missing, name)
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("exposition is missing %d registered series: %s",
+			len(missing), strings.Join(missing, ", "))
+	}
+	return nil
+}

@@ -13,6 +13,9 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // This file implements the engine's production logging layer: a
@@ -90,6 +93,16 @@ type SegmentedLog struct {
 	SyncOnAppend bool
 	// Hooks inject failures for crash tests; see Hooks.
 	Hooks Hooks
+
+	// Optional instrumentation, set once after Open, before use (all
+	// nil-safe when unwired): AppendHist times whole AppendBatch calls —
+	// with SyncOnAppend that includes the group-commit wait, i.e. the
+	// durability latency a committer actually experiences; SyncHist times
+	// individual flush+fsync rounds; BatchBytes records encoded frame
+	// sizes.
+	AppendHist *telemetry.Histogram
+	SyncHist   *telemetry.Histogram
+	BatchBytes *telemetry.Histogram
 
 	groupCommits atomic.Uint64
 }
@@ -234,6 +247,7 @@ func (l *SegmentedLog) AppendBatch(affinity int64, recs []Record) (uint64, error
 	if len(recs) == 0 {
 		return 0, nil
 	}
+	start := time.Now()
 	s := l.segs[uint64(affinity)%uint64(len(l.segs))]
 	s.mu.Lock()
 	if s.f == nil {
@@ -247,6 +261,7 @@ func (l *SegmentedLog) AppendBatch(affinity int64, recs []Record) (uint64, error
 	}
 	seq := l.seq.Add(1)
 	s.scratch = appendBatchFrame(s.scratch[:0], seq, recs)
+	l.BatchBytes.Record(int64(len(s.scratch)))
 	if _, err := s.w.Write(s.scratch); err != nil {
 		s.failed = err
 		s.mu.Unlock()
@@ -269,6 +284,7 @@ func (l *SegmentedLog) AppendBatch(affinity int64, recs []Record) (uint64, error
 			return 0, fmt.Errorf("wal: flush: %w", err)
 		}
 		s.mu.Unlock()
+		l.AppendHist.Observe(time.Since(start))
 		return seq, nil
 	}
 	if err := s.groupSync(l, ticket); err != nil {
@@ -282,6 +298,7 @@ func (l *SegmentedLog) AppendBatch(affinity int64, recs []Record) (uint64, error
 		}
 	}
 	s.mu.Unlock()
+	l.AppendHist.Observe(time.Since(start))
 	return seq, nil
 }
 
@@ -312,6 +329,7 @@ func (s *segment) groupSync(l *SegmentedLog, ticket uint64) error {
 			continue
 		}
 		s.syncing = true
+		roundStart := time.Now()
 		err := s.w.Flush()
 		covered := s.appends
 		if err == nil {
@@ -319,6 +337,7 @@ func (s *segment) groupSync(l *SegmentedLog, ticket uint64) error {
 			err = s.f.Sync()
 			s.mu.Lock()
 		}
+		l.SyncHist.Observe(time.Since(roundStart))
 		s.syncing = false
 		s.syncs++
 		if err != nil {
@@ -357,11 +376,13 @@ func (l *SegmentedLog) Sync() error {
 			s.mu.Unlock()
 			return fmt.Errorf("wal: sync: %w", err)
 		}
+		roundStart := time.Now()
 		err := s.w.Flush()
 		if err == nil {
 			err = s.f.Sync()
 			s.syncs++
 		}
+		l.SyncHist.Observe(time.Since(roundStart))
 		if err != nil {
 			// Do NOT advance the watermark: a group-commit waiter
 			// acknowledged off a failed sync would treat a non-durable

@@ -175,10 +175,12 @@ package quantumdb
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/relstore"
+	"repro/internal/telemetry"
 	"repro/internal/txn"
 	"repro/internal/value"
 )
@@ -473,6 +475,20 @@ func (db *DB) Pending() int { return db.q.PendingCount() }
 
 // Stats returns engine counters.
 func (db *DB) Stats() Stats { return db.q.Stats() }
+
+// Metrics returns the engine's telemetry registry: every Stats counter
+// as a Prometheus-style series plus per-operation latency histograms
+// with stage breakdowns. Serve it over HTTP with Registry.Handler (the
+// -metrics-addr listener on qdbd) or render it directly.
+func (db *DB) Metrics() *telemetry.Registry { return db.q.Metrics() }
+
+// SlowOps returns the engine's slow-op ring buffer; disabled until a
+// threshold is set (Options.SlowOpThreshold or SetSlowOpThreshold).
+func (db *DB) SlowOps() *telemetry.SlowLog { return db.q.SlowOps() }
+
+// SetSlowOpThreshold arms (d > 0) or disarms (d <= 0) slow-op capture
+// at runtime.
+func (db *DB) SetSlowOpThreshold(d time.Duration) { db.q.SetSlowOpThreshold(d) }
 
 // Engine exposes the underlying quantum engine for advanced use
 // (GroundPair, partition inspection).
