@@ -13,10 +13,18 @@
 //	f=123 s=5A        <- observation collapsed the superposition
 //
 // `demo` loads the travel schema with one small flight.
+//
+// With -addr, qdbcli runs one command against a remote qdbd (leader or
+// follower) and exits — the scripting face of the JSON-lines protocol:
+//
+//	qdbcli -addr 127.0.0.1:7685 lag        -> seq=42 applied=42 lag=0
+//	qdbcli -addr 127.0.0.1:7685 peek 'Bookings(n, 1, s)'
+//	qdbcli -addr 127.0.0.1:7683 txn "-Available(1, s), ... :-1 Available(1, s)"
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -25,9 +33,17 @@ import (
 	"time"
 
 	quantumdb "repro"
+	"repro/internal/server"
 )
 
 func main() {
+	addr := flag.String("addr", "",
+		"remote qdbd address; runs the single command in the remaining args and exits")
+	flag.Parse()
+	if *addr != "" {
+		os.Exit(runRemote(*addr, flag.Args()))
+	}
+
 	db, err := quantumdb.Open(quantumdb.Options{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -48,6 +64,135 @@ func main() {
 			run(db, co, line)
 		}
 		fmt.Print("qdb> ")
+	}
+}
+
+// runRemote executes one command against a remote qdbd over the
+// JSON-lines protocol and returns the process exit code. The verb set
+// is the read-side subset plus txn/exec/ground — enough for scripting
+// and for health checks against followers (`lag` is the one to poll).
+func runRemote(addr string, args []string) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+	if len(args) == 0 {
+		return fail(fmt.Errorf("usage: qdbcli -addr host:port <ping|lag|pending|stats|peek|read|create|txn|exec|ground> [args]"))
+	}
+	c, err := server.Dial(addr)
+	if err != nil {
+		return fail(err)
+	}
+	defer c.Close()
+	cmd, rest := args[0], strings.Join(args[1:], " ")
+	switch cmd {
+	case "ping":
+		if err := c.Ping(); err != nil {
+			return fail(err)
+		}
+		fmt.Println("ok")
+	case "lag":
+		seq, applied, lag, err := c.Lag()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("seq=%d applied=%d lag=%d\n", seq, applied, lag)
+	case "pending":
+		n, err := c.Pending()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(n)
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("%+v\n", st)
+	case "peek", "snapread":
+		rows, err := c.SnapRead(rest)
+		if err != nil {
+			return fail(err)
+		}
+		printWireRows(rows)
+	case "read":
+		rows, err := c.Query(rest)
+		if err != nil {
+			return fail(err)
+		}
+		m := make([]map[string]string, len(rows))
+		for i, r := range rows {
+			m[i] = make(map[string]string, len(r))
+			for k, v := range r {
+				m[i][k] = v.Quoted()
+			}
+		}
+		printWireRows(m)
+	case "create":
+		name, cols, key, err := parseCreate(rest)
+		if err != nil {
+			return fail(err)
+		}
+		if err := c.CreateTable(server.TableSpec{Name: name, Columns: cols, Key: key}); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("created %s\n", name)
+	case "txn":
+		id, err := c.Submit(rest)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("committed txn %d\n", id)
+	case "exec":
+		if err := c.Exec(rest); err != nil {
+			return fail(err)
+		}
+		fmt.Println("ok")
+	case "ground":
+		if rest == "all" {
+			if err := c.GroundAll(); err != nil {
+				return fail(err)
+			}
+			fmt.Println("all grounded")
+			return 0
+		}
+		id, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return fail(fmt.Errorf("usage: ground <id> | ground all"))
+		}
+		if err := c.Ground(id); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("grounded %d\n", id)
+	default:
+		return fail(fmt.Errorf("unknown remote command %q", cmd))
+	}
+	return 0
+}
+
+// printWireRows renders quoted-string wire rows with sorted keys, one
+// row per line — stable output a smoke test can diff across servers.
+func printWireRows(rows []map[string]string) {
+	if len(rows) == 0 {
+		fmt.Println("(no rows)")
+		return
+	}
+	lines := make([]string, 0, len(rows))
+	for _, row := range rows {
+		keys := make([]string, 0, len(row))
+		for k := range row {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var parts []string
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%s", k, row[k]))
+		}
+		lines = append(lines, strings.Join(parts, " "))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
 	}
 }
 

@@ -22,6 +22,18 @@
 // the server drains in-flight requests, then the database closes (WAL
 // group commit flushed) before the process exits.
 //
+// With -follow, qdbd runs as a read-only log-shipping replica instead:
+//
+//	qdbd -follow 127.0.0.1:7683 -addr :7685 -pull-interval 100ms
+//
+// The follower bootstraps a checkpoint image from the leader (retrying
+// until the leader is up), replays its WAL by polling every
+// -pull-interval, and serves snapread/pending/stats/lag from the
+// replayed store; every mutating verb is refused. The leader needs no
+// flags — any WAL-backed qdbd ships its log on demand. Schema must
+// exist on the leader before the follower bootstraps (table creation is
+// not logged; it rides the checkpoint image).
+//
 // See internal/server for the full request/response schema and a Go
 // client.
 package main
@@ -38,6 +50,7 @@ import (
 	"time"
 
 	quantumdb "repro"
+	"repro/internal/replica"
 	"repro/internal/server"
 )
 
@@ -59,7 +72,16 @@ func main() {
 	workers := flag.Int("workers", 0, "scheduler worker pool size for parallel partition grounding (0 = GOMAXPROCS, 1 = serial)")
 	serialAdmission := flag.Bool("serial-admission", false,
 		"hold the admission lock across each Submit's chain solve instead of admitting optimistically (ablation)")
+	follow := flag.String("follow", "",
+		"leader address to replicate from; runs qdbd as a read-only follower (most other flags are ignored)")
+	pullInterval := flag.Duration("pull-interval", 200*time.Millisecond,
+		"how often a follower pulls the leader's WAL tail")
 	flag.Parse()
+
+	if *follow != "" {
+		runFollower(*follow, *addr, *metricsAddr, *pullInterval, *drainTimeout)
+		return
+	}
 
 	opt := quantumdb.Options{
 		WALPath: *wal, SyncWAL: *syncWAL, WALSegments: *walSegments,
@@ -122,6 +144,72 @@ func main() {
 		}
 	case err := <-serveErr:
 		db.Close()
+		log.Fatal(err)
+	}
+}
+
+// runFollower is follower mode: bootstrap from the leader (retrying
+// until it is reachable — follower and leader may start in either
+// order), replay its WAL on a polling cadence, and serve the read-only
+// verb subset plus lag. The replayed store is in-memory only; a
+// follower restart just re-bootstraps, which is exactly the resync path
+// it already needs for leader truncation.
+func runFollower(leader, addr, metricsAddr string, pullInterval, drainTimeout time.Duration) {
+	f := replica.NewFollower(&server.ReplicaClient{Addr: leader})
+	f.Logf = log.Printf
+
+	const bootstrapWindow = 30 * time.Second
+	deadline := time.Now().Add(bootstrapWindow)
+	for {
+		err := f.Bootstrap()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("bootstrap from %s: %v (gave up after %v)", leader, err, bootstrapWindow)
+		}
+		log.Printf("bootstrap from %s: %v (retrying)", leader, err)
+		time.Sleep(time.Second)
+	}
+
+	stop := make(chan struct{})
+	go f.Run(pullInterval, stop)
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.NewFollower(f)
+
+	if metricsAddr != "" {
+		ml, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("qdbd metrics on http://%s/metrics\n", ml.Addr())
+		go func() {
+			if err := http.Serve(ml, f.Metrics().Handler(f.SlowOps())); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+	}
+
+	fmt.Printf("qdbd following %s on %s (applied seq %d, pull every %v)\n",
+		leader, l.Addr(), f.AppliedSeq(), pullInterval)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	select {
+	case s := <-sig:
+		fmt.Printf("qdbd: %v, draining (timeout %v)\n", s, drainTimeout)
+		close(stop)
+		if err := srv.Shutdown(drainTimeout); err != nil {
+			log.Printf("drain: %v", err)
+		}
+	case err := <-serveErr:
+		close(stop)
 		log.Fatal(err)
 	}
 }

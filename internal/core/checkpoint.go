@@ -48,8 +48,50 @@ func (q *QDB) Checkpoint(path string) error {
 	}
 	sp := q.met.checkpoint.Start()
 	defer sp.End()
-	q.admitMu.Lock()
 	sp.Mark()
+	cut := q.checkpointCut()
+	sp.Stage(stageCheckpointCut)
+	defer cut.snap.Release()
+
+	// Everything below runs with the engine live. Pending *txn.T are
+	// immutable after admission, so marshaling the cut's pointers is safe
+	// even as concurrent groundings retire them from their partitions.
+	if err := writeCheckpointFile(path, cut); err != nil {
+		return err
+	}
+	sp.Stage(stageCheckpointSerialize)
+	if h := q.testCheckpointCrash; h != nil {
+		if err := h(); err != nil {
+			return err
+		}
+	}
+	// Batches at or below the stamp are covered by the durable checkpoint.
+	truncStart := time.Now()
+	err := q.log.TruncateBefore(cut.stamp)
+	sp.Add(stageCheckpointTruncate, time.Since(truncStart))
+	return err
+}
+
+// checkpointCut is the state a checkpoint cut pins: everything a
+// recovering instance (or a bootstrapping replica) needs besides the
+// post-stamp WAL suffix. snap must be Released by the consumer.
+type checkpointCut struct {
+	snap    *relstore.Snapshot
+	nextID  int64
+	stamp   uint64
+	pending []*txn.T
+}
+
+// checkpointCut executes the fuzzy checkpoint's locked cut — the only
+// quiescent moment: admission lock, every live partition's shard, and
+// the store gate are held just long enough to pin a COW store snapshot,
+// copy the pending-transaction pointers, read the WAL sequence stamp,
+// and re-arm the trusted-store fast path. Shared by Checkpoint (which
+// then serializes to a file and truncates the WAL) and CheckpointImage
+// (which serializes to memory for replica bootstrap and truncates
+// nothing). Stats.CheckpointPauseNs accumulates the hold time.
+func (q *QDB) checkpointCut() checkpointCut {
+	q.admitMu.Lock()
 	cutStart := time.Now()
 	locked := q.lockAllPartitions()
 	q.mu.Lock()
@@ -68,26 +110,7 @@ func (q *QDB) Checkpoint(path string) error {
 	unlockPartitions(locked)
 	q.admitMu.Unlock()
 	q.stats.checkpointPauseNs.Add(time.Since(cutStart).Nanoseconds())
-	sp.Stage(stageCheckpointCut)
-	defer snap.Release()
-
-	// Everything below runs with the engine live. Pending *txn.T are
-	// immutable after admission, so marshaling the cut's pointers is safe
-	// even as concurrent groundings retire them from their partitions.
-	if err := writeCheckpointFile(path, snap, nextID, stamp, pending); err != nil {
-		return err
-	}
-	sp.Stage(stageCheckpointSerialize)
-	if h := q.testCheckpointCrash; h != nil {
-		if err := h(); err != nil {
-			return err
-		}
-	}
-	// Batches at or below the stamp are covered by the durable checkpoint.
-	truncStart := time.Now()
-	err := q.log.TruncateBefore(stamp)
-	sp.Add(stageCheckpointTruncate, time.Since(truncStart))
-	return err
+	return checkpointCut{snap: snap, nextID: nextID, stamp: stamp, pending: pending}
 }
 
 // rearmTrustLocked re-arms the trusted-store fast path at a checkpoint
@@ -118,56 +141,99 @@ func (q *QDB) rearmTrustLocked(locked []*partition) {
 	q.stats.trustRearms.Add(1)
 }
 
+// writeCheckpointTo streams a cut in the checkpoint wire format:
+// relstore snapshot, uvarint nextID, uvarint WAL stamp, uvarint pending
+// count, length-prefixed pending transactions. Shared by the durable
+// file path and the in-memory replica-bootstrap image.
+func writeCheckpointTo(w io.Writer, cut checkpointCut) error {
+	bw := bufio.NewWriter(w)
+	if err := cut.snap.Encode(bw); err != nil {
+		return fmt.Errorf("core: checkpoint snapshot: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(cut.nextID))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(buf[:], cut.stamp)
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(buf[:], uint64(len(cut.pending)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	for _, t := range cut.pending {
+		data, err := t.Marshal()
+		if err != nil {
+			return err
+		}
+		n = binary.PutUvarint(buf[:], uint64(len(data)))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// decodeCheckpoint reads a checkpoint stream written by
+// writeCheckpointTo back into its parts. Shared by RecoverCheckpoint
+// (from a file) and replica bootstrap (from a shipped image).
+func decodeCheckpoint(r io.Reader) (store *relstore.DB, nextID int64, walSeq uint64, pending []*txn.T, err error) {
+	br := bufio.NewReader(r)
+	store, err = relstore.DecodeSnapshot(br)
+	if err != nil {
+		return nil, 0, 0, nil, fmt.Errorf("core: checkpoint snapshot: %w", err)
+	}
+	id, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, 0, nil, fmt.Errorf("core: checkpoint nextID: %w", err)
+	}
+	walSeq, err = binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, 0, nil, fmt.Errorf("core: checkpoint WAL stamp: %w", err)
+	}
+	nPending, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, 0, nil, fmt.Errorf("core: checkpoint pending count: %w", err)
+	}
+	for i := uint64(0); i < nPending; i++ {
+		ln, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
+		if ln > 1<<26 {
+			return nil, 0, 0, nil, fmt.Errorf("core: implausible pending txn length %d", ln)
+		}
+		data := make([]byte, ln)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, 0, 0, nil, err
+		}
+		t, err := txn.Unmarshal(data)
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
+		pending = append(pending, t)
+	}
+	return store, int64(id), walSeq, pending, nil
+}
+
 // writeCheckpointFile serializes a checkpoint durably and atomically:
 // temp file, fsync, rename over path, fsync of the parent directory
 // (without which a crash right after the rename could lose the
 // directory entry — and with it the checkpoint the WAL truncation is
 // about to rely on).
-func writeCheckpointFile(path string, snap *relstore.Snapshot, nextID int64, walSeq uint64, pending []*txn.T) error {
+func writeCheckpointFile(path string, cut checkpointCut) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
 	defer os.Remove(tmp)
-	w := bufio.NewWriter(f)
-	if err := snap.Encode(w); err != nil {
-		f.Close()
-		return fmt.Errorf("core: checkpoint snapshot: %w", err)
-	}
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], uint64(nextID))
-	if _, err := w.Write(buf[:n]); err != nil {
-		f.Close()
-		return err
-	}
-	n = binary.PutUvarint(buf[:], walSeq)
-	if _, err := w.Write(buf[:n]); err != nil {
-		f.Close()
-		return err
-	}
-	n = binary.PutUvarint(buf[:], uint64(len(pending)))
-	if _, err := w.Write(buf[:n]); err != nil {
-		f.Close()
-		return err
-	}
-	for _, t := range pending {
-		data, err := t.Marshal()
-		if err != nil {
-			f.Close()
-			return err
-		}
-		n = binary.PutUvarint(buf[:], uint64(len(data)))
-		if _, err := w.Write(buf[:n]); err != nil {
-			f.Close()
-			return err
-		}
-		if _, err := w.Write(data); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	if err := w.Flush(); err != nil {
+	if err := writeCheckpointTo(f, cut); err != nil {
 		f.Close()
 		return err
 	}
@@ -239,38 +305,9 @@ func RecoverCheckpoint(checkpointPath string, opt Options) (*QDB, error) {
 		return nil, fmt.Errorf("core: open checkpoint: %w", err)
 	}
 	defer f.Close()
-	r := bufio.NewReader(f)
-	store, err := relstore.DecodeSnapshot(r)
+	store, nextID, walSeq, pending, err := decodeCheckpoint(f)
 	if err != nil {
-		return nil, fmt.Errorf("core: checkpoint snapshot: %w", err)
-	}
-	nextID, err := binary.ReadUvarint(r)
-	if err != nil {
-		return nil, fmt.Errorf("core: checkpoint nextID: %w", err)
-	}
-	walSeq, err := binary.ReadUvarint(r)
-	if err != nil {
-		return nil, fmt.Errorf("core: checkpoint WAL stamp: %w", err)
-	}
-	nPending, err := binary.ReadUvarint(r)
-	if err != nil {
-		return nil, fmt.Errorf("core: checkpoint pending count: %w", err)
-	}
-	var pending []*txn.T
-	for i := uint64(0); i < nPending; i++ {
-		ln, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, err
-		}
-		data := make([]byte, ln)
-		if _, err := io.ReadFull(r, data); err != nil {
-			return nil, err
-		}
-		t, err := txn.Unmarshal(data)
-		if err != nil {
-			return nil, err
-		}
-		pending = append(pending, t)
+		return nil, err
 	}
 
 	// Recover replays the post-stamp WAL suffix over the snapshot store
@@ -280,8 +317,8 @@ func RecoverCheckpoint(checkpointPath string, opt Options) (*QDB, error) {
 	if err != nil {
 		return nil, err
 	}
-	if int64(nextID) > q.nextID {
-		q.nextID = int64(nextID)
+	if nextID > q.nextID {
+		q.nextID = nextID
 	}
 	return q, nil
 }

@@ -277,7 +277,7 @@ func TestRecoverCheckpointSkipsOrphanedPrefixRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := db.Snapshot()
-	if err := writeCheckpointFile(ckpt, snap, 2, stamp, nil); err != nil {
+	if err := writeCheckpointFile(ckpt, checkpointCut{snap: snap, nextID: 2, stamp: stamp}); err != nil {
 		t.Fatal(err)
 	}
 	snap.Release()

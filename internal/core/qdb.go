@@ -247,6 +247,13 @@ func (q *QDB) Stats() Stats {
 	h, m := q.prep.Counters()
 	s.PrepCacheHits, s.PrepCacheMisses = int(h), int(m)
 	s.SnapshotsLive = q.db.SnapshotsLive()
+	// Lag is meaningful only once a subscriber has acked; before that a
+	// busy leader's raw WAL seq would read as unbounded "lag".
+	if q.log != nil && s.ReplicaAckSeq > 0 {
+		if seq := int64(q.log.Seq()); seq > s.ReplicaAckSeq {
+			s.ReplicaLag = seq - s.ReplicaAckSeq
+		}
+	}
 	s.StartUnixNano = q.start.UnixNano()
 	s.UptimeNs = time.Since(q.start).Nanoseconds()
 	s.StatsSeq = q.stats.statsSeq.Add(1)

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/logic"
+	"repro/internal/relstore"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// This file is the engine half of WAL log shipping (internal/replica
+// holds the transport and the follower loop). The leader side hands out
+// a checkpoint image to bootstrap from plus sequence-bounded WAL
+// suffixes to tail; the follower side (ReplicaState) replays those
+// batches through the same record switch recovery uses, so a replica is
+// literally a recovery that never finishes — every invariant the crash
+// path earned (idempotent redo, abort compensation, stamp-bounded skip)
+// is inherited rather than re-proven.
+
+// ErrReplicaDiverged reports a replay stream that contradicts state the
+// replica already applied — an abort compensation targeting a batch
+// below the applied watermark. The replica cannot un-apply (it holds no
+// undo), so the only safe continuation is a fresh bootstrap.
+var ErrReplicaDiverged = errors.New("core: replica diverged from leader; re-bootstrap required")
+
+// errNoWAL is returned by the shipping handoffs on an in-memory engine.
+var errNoWAL = errors.New("core: replication requires a WAL-backed database")
+
+// CheckpointImage serializes a fuzzy-checkpoint cut to memory and
+// returns it with its WAL sequence stamp: the bootstrap payload a new
+// follower replays forward from. It is exactly Checkpoint minus the
+// durability and minus the truncation — the leader's WAL keeps every
+// batch above (and below) the stamp, so the follower can tail from it.
+// The engine stays live; the pause is the cut only.
+func (q *QDB) CheckpointImage() ([]byte, uint64, error) {
+	if q.log == nil {
+		return nil, 0, errNoWAL
+	}
+	sp := q.met.checkpoint.Start()
+	defer sp.End()
+	sp.Mark()
+	cut := q.checkpointCut()
+	sp.Stage(stageCheckpointCut)
+	defer cut.snap.Release()
+	var buf bytes.Buffer
+	if err := writeCheckpointTo(&buf, cut); err != nil {
+		return nil, 0, err
+	}
+	sp.Stage(stageCheckpointSerialize)
+	return buf.Bytes(), cut.stamp, nil
+}
+
+// WALBatchesFrom returns the committed WAL batches with sequence
+// numbers above after, merged across segments in sequence order — the
+// shipper's pull primitive. A wal.ErrTruncated result means the leader
+// checkpointed past the subscriber's position; the caller must fall
+// back to CheckpointImage.
+func (q *QDB) WALBatchesFrom(after uint64) ([]wal.Batch, error) {
+	if q.log == nil {
+		return nil, errNoWAL
+	}
+	return q.log.ReadFrom(after)
+}
+
+// WALSeq reports the highest WAL sequence number assigned so far; the
+// follower's lag is WALSeq minus its applied watermark. 0 without a WAL.
+func (q *QDB) WALSeq() uint64 {
+	if q.log == nil {
+		return 0
+	}
+	return q.log.Seq()
+}
+
+// NoteReplicaAck records a subscriber's applied watermark and counts
+// the pull that carried it; Stats.ReplicaAckSeq and the
+// qdb_replica_lag gauge derive from it. With several subscribers the
+// ack high-water tracks the most caught-up one.
+func (q *QDB) NoteReplicaAck(seq uint64) {
+	q.stats.replicaPulls.Add(1)
+	raiseMax(&q.stats.replicaAckSeq, int64(seq))
+}
+
+// ReplicaState is the follower half: a store bootstrapped from a
+// leader's checkpoint image, advanced by replaying shipped WAL batches
+// through the recovery apply path, serving lock-free snapshot reads at
+// a monotone applied-sequence watermark. It has no admission path, no
+// solver, and no WAL of its own — mutations arrive only as replayed
+// leader batches.
+type ReplicaState struct {
+	mu      sync.Mutex // serializes ApplyBatches; reads are lock-free
+	db      *relstore.DB
+	applied atomic.Uint64 // highest applied (or checkpoint-covered) seq
+	nextID  int64
+	pending map[int64]*txn.T
+	// batchesReplayed and redoSkips feed the follower's own telemetry.
+	batchesReplayed atomic.Int64
+	redoSkips       atomic.Int64
+}
+
+// BootReplica constructs a follower store from a leader CheckpointImage
+// payload. The returned state's applied watermark is the image's WAL
+// stamp: every batch at or below it is covered by the cut and will be
+// skipped if redelivered.
+func BootReplica(image []byte) (*ReplicaState, error) {
+	store, nextID, walSeq, pending, err := decodeCheckpoint(bytes.NewReader(image))
+	if err != nil {
+		return nil, fmt.Errorf("core: replica bootstrap: %w", err)
+	}
+	r := &ReplicaState{db: store, nextID: nextID, pending: make(map[int64]*txn.T)}
+	for _, t := range pending {
+		r.pending[t.ID] = t
+		if t.ID >= r.nextID {
+			r.nextID = t.ID + 1
+		}
+	}
+	r.applied.Store(walSeq)
+	return r, nil
+}
+
+// ApplyBatches replays a chunk of shipped batches in sequence order,
+// returning the count actually applied. It is recovery's record switch
+// run incrementally: per chunk, a first pass collects abort
+// compensations, a second applies every non-aborted batch above the
+// applied watermark (redelivered batches at or below it are skipped —
+// pull resumption after a follower crash redelivers a suffix). Fact
+// redo is idempotent exactly as in recovery. An abort targeting a
+// batch below the watermark that this chunk did not itself carry means
+// the follower applied state the leader then compensated — that is
+// divergence (ErrReplicaDiverged), not repair, because the follower
+// cannot un-apply.
+func (r *ReplicaState) ApplyBatches(batches []wal.Batch) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	aborted := make(map[uint64]bool)
+	inChunk := make(map[uint64]bool)
+	for _, b := range batches {
+		inChunk[b.Seq] = true
+		for _, rec := range b.Records {
+			if rec.Type == recAbort {
+				if len(rec.Payload) != 8 {
+					return 0, fmt.Errorf("core: replica replay: bad abort record")
+				}
+				aborted[binary.BigEndian.Uint64(rec.Payload)] = true
+			}
+		}
+	}
+	watermark := r.applied.Load()
+	for seq := range aborted {
+		if seq <= watermark && !inChunk[seq] {
+			return 0, fmt.Errorf("%w (abort of applied batch %d)", ErrReplicaDiverged, seq)
+		}
+	}
+	applied := 0
+	for _, b := range batches {
+		if b.Seq <= r.applied.Load() {
+			continue // redelivered: covered by the cut, a prior chunk, or a duplicate in this one
+		}
+		if !aborted[b.Seq] {
+			if err := r.applyBatchLocked(b); err != nil {
+				return applied, err
+			}
+		}
+		// Aborted batches still advance the watermark: their sequence
+		// number is consumed and must not be waited for.
+		r.applied.Store(b.Seq)
+		applied++
+	}
+	r.batchesReplayed.Add(int64(applied))
+	return applied, nil
+}
+
+// applyBatchLocked replays one batch's records; the switch mirrors
+// recoverOnto.
+func (r *ReplicaState) applyBatchLocked(b wal.Batch) error {
+	for _, rec := range b.Records {
+		switch rec.Type {
+		case recPending:
+			t, err := txn.Unmarshal(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("core: replica replay: %w", err)
+			}
+			r.pending[t.ID] = t
+			if t.ID >= r.nextID {
+				r.nextID = t.ID + 1
+			}
+		case recGrounded:
+			if len(rec.Payload) != 8 {
+				return fmt.Errorf("core: replica replay: bad grounded record")
+			}
+			id := int64(binary.BigEndian.Uint64(rec.Payload))
+			delete(r.pending, id)
+			if id >= r.nextID {
+				r.nextID = id + 1
+			}
+		case recInsert:
+			f, err := decodeFact(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("core: replica replay: %w", err)
+			}
+			if err := r.db.Insert(f.Rel, f.Tuple); err != nil {
+				if errors.Is(err, relstore.ErrDuplicateKey) {
+					r.redoSkips.Add(1)
+					continue
+				}
+				return fmt.Errorf("core: replica replay batch %d: %w", b.Seq, err)
+			}
+		case recDelete:
+			f, err := decodeFact(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("core: replica replay: %w", err)
+			}
+			if err := r.db.Delete(f.Rel, f.Tuple); err != nil {
+				if errors.Is(err, relstore.ErrAbsentTuple) {
+					r.redoSkips.Add(1)
+					continue
+				}
+				return fmt.Errorf("core: replica replay batch %d: %w", b.Seq, err)
+			}
+		case recAbort:
+			// Collected in the first pass.
+		default:
+			return fmt.Errorf("core: replica replay: unknown WAL record type %d", rec.Type)
+		}
+	}
+	return nil
+}
+
+// AppliedSeq reports the follower's monotone applied watermark: every
+// leader batch with Seq at or below it has taken effect here (or was
+// aborted). It is the resume point for pulls and the seq the follower
+// acks upstream.
+func (r *ReplicaState) AppliedSeq() uint64 { return r.applied.Load() }
+
+// BatchesReplayed reports the cumulative count of batches applied.
+func (r *ReplicaState) BatchesReplayed() int64 { return r.batchesReplayed.Load() }
+
+// RedoSkips reports fact mutations skipped by the idempotent redo.
+func (r *ReplicaState) RedoSkips() int64 { return r.redoSkips.Load() }
+
+// PendingCount reports the replica's view of the leader's pending-
+// transactions table (pending records replayed minus tombstones).
+func (r *ReplicaState) PendingCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// Snapshot pins a COW view of the replica store. Reads against it are
+// lock-free and never block (or are blocked by) batch replay. Release
+// when done.
+func (r *ReplicaState) Snapshot() *relstore.Snapshot { return r.db.Snapshot() }
+
+// QuerySnapshot is the follower's one-shot read: pin, evaluate,
+// release. Results reflect replayed committed state only — the same
+// collapse-free semantics as the leader's QuerySnapshot, at the
+// replica's applied watermark.
+func (r *ReplicaState) QuerySnapshot(query []logic.Atom) ([]logic.Subst, error) {
+	snap := r.db.Snapshot()
+	defer snap.Release()
+	rq := relstore.Query{Atoms: query}
+	return rq.FindAll(snap, nil, 0)
+}
+
+// EncodeState writes the replica store in the canonical snapshot
+// format — byte-comparable against the leader's Snapshot.Encode when
+// both are quiesced at the same sequence number.
+func (r *ReplicaState) EncodeState(w io.Writer) error {
+	snap := r.db.Snapshot()
+	defer snap.Release()
+	return snap.Encode(w)
+}

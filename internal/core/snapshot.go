@@ -1,6 +1,8 @@
 package core
 
 import (
+	"io"
+
 	"repro/internal/logic"
 	"repro/internal/relstore"
 )
@@ -38,6 +40,13 @@ func (s *Snapshot) Release() {
 // Epoch returns the store epoch the snapshot was cut at; equal epochs
 // witness identical content.
 func (s *Snapshot) Epoch() uint64 { return s.rs.Epoch() }
+
+// Encode writes the snapshot's state to w in the canonical snapshot
+// format: equal content yields equal bytes regardless of write history.
+// The replication harness leans on this — a leader snapshot and a
+// follower's EncodeState quiesced at the same WAL sequence must
+// byte-compare equal. Lock-free over the pinned versions.
+func (s *Snapshot) Encode(w io.Writer) error { return s.rs.Encode(w) }
 
 // QueryAt evaluates a conjunctive query against the snapshot's frozen
 // state, entirely gate-free. It never collapses superposed state and

@@ -107,6 +107,19 @@ type Stats struct {
 	// WAL truncation, which run with the engine fully live. The gap
 	// between this and a checkpoint's wall time is the fuzziness.
 	CheckpointPauseNs int64
+	// ReplicaAckSeq is the highest applied WAL sequence any subscriber
+	// has acknowledged (leader side; 0 until a follower connects).
+	// ReplicaLag is the leader's WAL sequence minus ReplicaAckSeq at
+	// snapshot time — batches shipped-but-unacked by the most caught-up
+	// follower. ReplicaPulls counts shipper pulls served.
+	ReplicaAckSeq int64
+	ReplicaLag    int64
+	ReplicaPulls  int
+	// FollowerAppliedSeq and BatchesReplayed are follower-side: the
+	// replica's applied watermark and cumulative replayed batches. Zero
+	// on a leader; a follower server fills them from its ReplicaState.
+	FollowerAppliedSeq int64
+	BatchesReplayed    int64
 	// SolverSteps accumulates grounding attempts across all
 	// satisfiability checks (the phase-transition experiment's effort
 	// metric).
@@ -143,6 +156,7 @@ type counters struct {
 	admissionRetries, serialFallbacks            atomic.Int64
 	trustDemotions, trustRearms                  atomic.Int64
 	snapshotReads, checkpointPauseNs             atomic.Int64
+	replicaAckSeq, replicaPulls                  atomic.Int64
 	statsSeq                                     atomic.Int64
 	// solverSteps is a plain int64 because its address is handed to the
 	// chain solver (formula.ChainOptions.StepCounter), which adds to it
@@ -183,6 +197,8 @@ func (c *counters) snapshot() Stats {
 		LockWaits:            int(c.lockWaits.Load()),
 		SnapshotReads:        int(c.snapshotReads.Load()),
 		CheckpointPauseNs:    c.checkpointPauseNs.Load(),
+		ReplicaAckSeq:        c.replicaAckSeq.Load(),
+		ReplicaPulls:         int(c.replicaPulls.Load()),
 		SolverSteps:          atomic.LoadInt64(&c.solverSteps),
 	}
 }

@@ -150,6 +150,25 @@ func newEngineMetrics(q *QDB) *engineMetrics {
 	reg.GaugeFunc("qdb_slow_op_threshold_ns", "Slow-op capture threshold (0 = disabled).",
 		func() int64 { return int64(m.slow.Threshold()) })
 
+	// Leader-side replication series. q.log is opened AFTER this
+	// registry is built (New wires metrics before the WAL), so the
+	// closures must resolve it lazily, per poll.
+	reg.CounterFunc("qdb_replica_pulls_total", "Shipper pulls served to subscribers.",
+		c.replicaPulls.Load)
+	reg.GaugeFunc("qdb_replica_ack_seq", "Highest WAL sequence acked by any subscriber.",
+		c.replicaAckSeq.Load)
+	reg.GaugeFunc("qdb_replica_lag", "Leader WAL sequence minus the best subscriber ack (0 with no subscriber).",
+		func() int64 {
+			ack := c.replicaAckSeq.Load()
+			if q.log == nil || ack == 0 {
+				return 0
+			}
+			if seq := int64(q.log.Seq()); seq > ack {
+				return seq - ack
+			}
+			return 0
+		})
+
 	const opHelp = "End-to-end engine operation latency."
 	m.submit = reg.Tracer("qdb_op_duration_seconds", "qdb_op_stage_duration_seconds",
 		"submit", opHelp, []string{"snapshot", "solve", "validate", "wal"}, m.slow)

@@ -41,6 +41,17 @@ func (db *DB) EncodeSnapshot(w io.Writer) error {
 // encodeTables writes the table-catalog section of the snapshot format;
 // shared by DB.EncodeSnapshot (under lock) and Snapshot.Encode
 // (lock-free over pinned versions).
+//
+// The encoding is CANONICAL: tables are emitted in name order and rows
+// in primary-key order, regardless of the insertion/deletion history
+// that produced the in-memory state (swap-remove deletes permute row
+// storage). Equal content therefore always yields equal bytes, which is
+// what the replication harness leans on — a leader whose rows were
+// applied in admission order and a follower that replayed the WAL in
+// sequence order must still byte-compare equal. Decoding re-inserts in
+// key order, so a decoded store's scan order is canonical too (scan
+// order only feeds grounding CHOICE among equally-valid worlds, not
+// correctness).
 func encodeTables(bw *bufio.Writer, tables map[string]*table) error {
 	names := make([]string, 0, len(tables))
 	for n := range tables {
@@ -60,8 +71,17 @@ func encodeTables(bw *bufio.Writer, tables map[string]*table) error {
 		for _, ix := range t.schema.Indexes {
 			writeIntSlice(bw, ix)
 		}
+		// Sort an index slice, not t.rows itself: the table may be a
+		// version pinned by live snapshots and must stay immutable.
+		order := make([]int, len(t.rows))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return t.rows[order[a]].key < t.rows[order[b]].key
+		})
 		writeUvarint(bw, uint64(len(t.rows)))
-		for i := range t.rows {
+		for _, i := range order {
 			var buf []byte
 			for _, v := range t.rows[i].tup {
 				buf = v.AppendBinary(buf)

@@ -131,3 +131,42 @@ func relDump(db *DB) string {
 	}
 	return strings.Join(parts, ";")
 }
+
+// TestSnapshotEncodeCanonical pins the property replication byte-
+// equality rests on: two stores holding the same content — reached
+// through different insert/delete histories, so their in-memory row
+// order differs (swap-remove permutes storage) — encode to identical
+// bytes.
+func TestSnapshotEncodeCanonical(t *testing.T) {
+	mk := func() *DB {
+		db := NewDB()
+		db.MustCreateTable(Schema{Name: "R", Columns: []string{"a", "b"}, Key: []int{0}})
+		return db
+	}
+	a := mk()
+	for i := 0; i < 8; i++ {
+		a.MustInsert("R", tup(i, "v"))
+	}
+	// b: same final content, scrambled history (delete + reinsert
+	// triggers swap-remove reordering).
+	b := mk()
+	for i := 7; i >= 0; i-- {
+		b.MustInsert("R", tup(i, "v"))
+	}
+	for _, i := range []int{2, 5} {
+		if err := b.Delete("R", tup(i, "v")); err != nil {
+			t.Fatal(err)
+		}
+		b.MustInsert("R", tup(i, "v"))
+	}
+	var ba, bb bytes.Buffer
+	if err := a.EncodeSnapshot(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.EncodeSnapshot(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("equal content encoded to different bytes")
+	}
+}

@@ -1,0 +1,332 @@
+// Package replica implements WAL log shipping: a Shipper on the leader
+// hands out checkpoint images and sequence-bounded WAL suffixes, and a
+// Follower bootstraps from the image, replays shipped batches through
+// the engine's recovery apply path into its own copy-on-write store,
+// and serves lock-free snapshot reads at a monotone applied-sequence
+// watermark.
+//
+// The protocol is pull-based and stateless on the leader: every pull
+// carries the follower's applied watermark, the leader returns the
+// committed batches above it (or a resync flag if a checkpoint
+// truncated past the watermark), and the follower acks implicitly by
+// advancing the watermark it sends next. Crash recovery on either side
+// is therefore free — a follower that dies mid-replay simply re-pulls
+// from the last watermark it applied, and redelivered batches are
+// skipped idempotently.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/wal"
+)
+
+// PullResult is one pull's payload: the committed batches above the
+// requested watermark (sequence-ordered, possibly capped), the leader's
+// current WAL sequence for lag accounting, and the resync flag raised
+// when the leader has checkpointed past the watermark — the batches are
+// gone, the follower must re-bootstrap from a fresh image.
+type PullResult struct {
+	Batches   []wal.Batch
+	LeaderSeq uint64
+	Resync    bool
+}
+
+// Transport is the follower's view of a leader. Implementations:
+// Shipper (in-process), Pipe (in-process with fault hooks, for tests),
+// and the server package's network client.
+type Transport interface {
+	// Bootstrap returns a checkpoint image and its WAL sequence stamp.
+	Bootstrap() (image []byte, seq uint64, err error)
+	// Pull returns the committed batches with sequences above after.
+	Pull(after uint64) (PullResult, error)
+}
+
+// Shipper is the leader half: a Transport served straight off a live
+// *core.QDB. It is stateless per subscriber — the watermark arrives
+// with every pull — so any number of followers can share one Shipper.
+type Shipper struct {
+	DB *core.QDB
+	// MaxBatches caps one pull's payload (0 = unlimited), bounding
+	// memory and forcing incremental catch-up; the follower just pulls
+	// again from its new watermark.
+	MaxBatches int
+}
+
+// Bootstrap cuts a fuzzy checkpoint image (the engine stays live; the
+// leader's WAL is NOT truncated).
+func (s *Shipper) Bootstrap() ([]byte, uint64, error) {
+	return s.DB.CheckpointImage()
+}
+
+// Pull records the subscriber's ack, then reads the WAL tail above it.
+// A wal.ErrTruncated tail (the leader checkpointed past the watermark)
+// is not an error but a resync demand.
+func (s *Shipper) Pull(after uint64) (PullResult, error) {
+	s.DB.NoteReplicaAck(after)
+	batches, err := s.DB.WALBatchesFrom(after)
+	if err != nil {
+		if errors.Is(err, wal.ErrTruncated) {
+			return PullResult{LeaderSeq: s.DB.WALSeq(), Resync: true}, nil
+		}
+		return PullResult{}, err
+	}
+	if s.MaxBatches > 0 && len(batches) > s.MaxBatches {
+		batches = batches[:s.MaxBatches]
+	}
+	return PullResult{Batches: batches, LeaderSeq: s.DB.WALSeq()}, nil
+}
+
+// Pipe wraps a Transport with fault-injection hooks, the harness's
+// stand-in for an unreliable network: hooks can fail a call outright
+// (the shipper "dying" at a batch boundary) or mutate a pull's payload
+// (torn delivery). Nil hooks pass through.
+type Pipe struct {
+	T               Transport
+	BeforeBootstrap func() error
+	BeforePull      func(after uint64) error
+	AfterPull       func(res *PullResult) error
+}
+
+func (p *Pipe) Bootstrap() ([]byte, uint64, error) {
+	if p.BeforeBootstrap != nil {
+		if err := p.BeforeBootstrap(); err != nil {
+			return nil, 0, err
+		}
+	}
+	return p.T.Bootstrap()
+}
+
+func (p *Pipe) Pull(after uint64) (PullResult, error) {
+	if p.BeforePull != nil {
+		if err := p.BeforePull(after); err != nil {
+			return PullResult{}, err
+		}
+	}
+	res, err := p.T.Pull(after)
+	if err != nil {
+		return PullResult{}, err
+	}
+	if p.AfterPull != nil {
+		if err := p.AfterPull(&res); err != nil {
+			return PullResult{}, err
+		}
+	}
+	return res, nil
+}
+
+// Follower sync-span stages; order must match the Tracer's stage names.
+const (
+	stageSyncPull = iota
+	stageSyncApply
+)
+
+// Follower drives a replica: bootstrap once, then pull-and-apply
+// rounds, each one a traced span (pull / apply stages). It owns its own
+// telemetry registry — a follower process exposes qdb_replica_lag,
+// qdb_follower_applied_seq, and qdb_batches_replayed_total alongside
+// the leader-series names a shared dashboard expects.
+type Follower struct {
+	t Transport
+	// Logf, when set, receives transient sync errors from Run (which
+	// retries rather than exits); nil discards them.
+	Logf func(format string, args ...any)
+
+	state     atomic.Pointer[core.ReplicaState]
+	leaderSeq atomic.Uint64
+	pulls     atomic.Int64
+	resyncs   atomic.Int64
+	syncErrs  atomic.Int64
+	// replayed accumulates batches applied across resyncs (a resync
+	// swaps in a fresh state whose own counter restarts at zero; a
+	// monotonic series must not).
+	replayed atomic.Int64
+
+	reg      *telemetry.Registry
+	slow     *telemetry.SlowLog
+	syncSpan *telemetry.Tracer
+}
+
+// NewFollower wires a follower over a transport. Call Bootstrap before
+// Sync/Run; reads before bootstrap see an empty store via nil-state
+// guards.
+func NewFollower(t Transport) *Follower {
+	f := &Follower{t: t}
+	f.reg = telemetry.NewRegistry()
+	f.slow = telemetry.NewSlowLog(128)
+	f.reg.UptimeGauges("qdb_follower", time.Now())
+	f.reg.GaugeFunc("qdb_follower_applied_seq",
+		"Highest leader WAL sequence applied to the replica store.",
+		func() int64 { return int64(f.AppliedSeq()) })
+	f.reg.GaugeFunc("qdb_replica_lag",
+		"Leader WAL sequence (as of the last pull) minus the applied watermark.",
+		func() int64 { return int64(f.Lag()) })
+	f.reg.GaugeFunc("qdb_follower_pending",
+		"Leader pending transactions visible at the applied watermark.",
+		func() int64 {
+			if st := f.state.Load(); st != nil {
+				return int64(st.PendingCount())
+			}
+			return 0
+		})
+	f.reg.CounterFunc("qdb_batches_replayed_total",
+		"WAL batches replayed into the replica store (cumulative across resyncs).",
+		f.replayed.Load)
+	f.reg.CounterFunc("qdb_replica_redo_skips_total",
+		"Fact mutations skipped by the idempotent redo (redeliveries).",
+		func() int64 {
+			if st := f.state.Load(); st != nil {
+				return st.RedoSkips()
+			}
+			return 0
+		})
+	f.reg.CounterFunc("qdb_follower_pulls_total", "Pulls issued to the leader.", f.pulls.Load)
+	f.reg.CounterFunc("qdb_replica_resyncs_total",
+		"Re-bootstraps forced by leader truncation past the watermark.", f.resyncs.Load)
+	f.reg.CounterFunc("qdb_follower_sync_errors_total",
+		"Sync rounds that failed and were retried.", f.syncErrs.Load)
+	f.syncSpan = f.reg.Tracer("qdb_follower_sync_duration_seconds",
+		"qdb_follower_sync_stage_duration_seconds", "sync",
+		"One pull-and-apply replication round.", []string{"pull", "apply"}, f.slow)
+	return f
+}
+
+// Bootstrap fetches a checkpoint image and installs a fresh replica
+// state at its stamp. Also the resync path: a re-bootstrap replaces the
+// state wholesale, and the old one (possibly pinned by in-flight
+// snapshot reads) stays readable until released.
+func (f *Follower) Bootstrap() error {
+	image, seq, err := f.t.Bootstrap()
+	if err != nil {
+		return fmt.Errorf("replica: bootstrap: %w", err)
+	}
+	st, err := core.BootReplica(image)
+	if err != nil {
+		return err
+	}
+	if got := st.AppliedSeq(); got != seq {
+		return fmt.Errorf("replica: bootstrap image stamped %d, transport reported %d", got, seq)
+	}
+	f.state.Store(st)
+	if seq > f.leaderSeq.Load() {
+		f.leaderSeq.Store(seq)
+	}
+	return nil
+}
+
+// Sync runs one replication round: pull from the applied watermark,
+// apply the returned batches, note the leader's sequence. A resync
+// demand (leader truncated past us) and detected divergence both fall
+// back to a fresh Bootstrap — converge, never diverge silently. Returns
+// the number of batches applied.
+func (f *Follower) Sync() (int, error) {
+	st := f.state.Load()
+	if st == nil {
+		return 0, fmt.Errorf("replica: Sync before Bootstrap")
+	}
+	sp := f.syncSpan.Start()
+	defer sp.End()
+	sp.Mark()
+	f.pulls.Add(1)
+	res, err := f.t.Pull(st.AppliedSeq())
+	sp.Stage(stageSyncPull)
+	if err != nil {
+		return 0, fmt.Errorf("replica: pull: %w", err)
+	}
+	f.leaderSeq.Store(res.LeaderSeq)
+	if res.Resync {
+		f.resyncs.Add(1)
+		return 0, f.Bootstrap()
+	}
+	n, err := st.ApplyBatches(res.Batches)
+	sp.Stage(stageSyncApply)
+	f.replayed.Add(int64(n))
+	if err != nil {
+		if errors.Is(err, core.ErrReplicaDiverged) {
+			f.resyncs.Add(1)
+			if berr := f.Bootstrap(); berr != nil {
+				return n, berr
+			}
+			return n, nil
+		}
+		return n, err
+	}
+	return n, nil
+}
+
+// Run loops Sync every interval until stop closes. Transient errors are
+// counted, reported to Logf, and retried — a follower outlives leader
+// restarts and network blips; it converges or keeps trying.
+func (f *Follower) Run(interval time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			if _, err := f.Sync(); err != nil {
+				f.syncErrs.Add(1)
+				if f.Logf != nil {
+					f.Logf("replica: sync: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// State returns the live replica state (nil before Bootstrap). A
+// resync swaps the state; callers should re-fetch rather than cache.
+func (f *Follower) State() *core.ReplicaState { return f.state.Load() }
+
+// AppliedSeq is the replica's monotone applied watermark (0 before
+// bootstrap).
+func (f *Follower) AppliedSeq() uint64 {
+	if st := f.state.Load(); st != nil {
+		return st.AppliedSeq()
+	}
+	return 0
+}
+
+// LeaderSeq is the leader's WAL sequence as of the last pull or
+// bootstrap.
+func (f *Follower) LeaderSeq() uint64 { return f.leaderSeq.Load() }
+
+// Lag is LeaderSeq minus AppliedSeq — batches known shipped but not yet
+// applied here. 0 when caught up (and trivially 0 before bootstrap).
+func (f *Follower) Lag() uint64 {
+	ls, as := f.leaderSeq.Load(), f.AppliedSeq()
+	if ls > as {
+		return ls - as
+	}
+	return 0
+}
+
+// Resyncs counts re-bootstraps (leader truncation or divergence).
+func (f *Follower) Resyncs() int64 { return f.resyncs.Load() }
+
+// BatchesReplayed counts batches applied, cumulative across resyncs.
+func (f *Follower) BatchesReplayed() int64 { return f.replayed.Load() }
+
+// Metrics is the follower's own telemetry registry, for exposition by
+// a follower-mode server.
+func (f *Follower) Metrics() *telemetry.Registry { return f.reg }
+
+// SlowOps returns the follower's slow-span ring.
+func (f *Follower) SlowOps() *telemetry.SlowLog { return f.slow }
+
+// Stats adapts the follower's counters into the engine Stats shape a
+// stats client already understands: follower-side fields filled, the
+// rest zero.
+func (f *Follower) Stats() core.Stats {
+	return core.Stats{
+		FollowerAppliedSeq: int64(f.AppliedSeq()),
+		ReplicaLag:         int64(f.Lag()),
+		BatchesReplayed:    f.replayed.Load(),
+	}
+}

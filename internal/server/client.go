@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	quantumdb "repro"
 	"repro/internal/value"
 )
 
@@ -131,4 +132,31 @@ func (c *Client) GroundAll() error {
 func (c *Client) Pending() (int, error) {
 	resp, err := c.roundTrip(Request{Op: "pending"})
 	return resp.Pending, err
+}
+
+// SnapRead runs a collapse-free snapshot query and returns the wire's
+// quoted-string rows verbatim — handy for diffing a leader against a
+// follower, where byte-equal rows are the point.
+func (c *Client) SnapRead(query string) ([]map[string]string, error) {
+	resp, err := c.roundTrip(Request{Op: "snapread", Query: query})
+	return resp.Rows, err
+}
+
+// Lag reports replication positions: the server's WAL sequence (leader)
+// or last-seen leader sequence (follower), the applied watermark (best
+// subscriber ack on a leader, own applied seq on a follower), and the
+// difference.
+func (c *Client) Lag() (seq, applied, lag uint64, err error) {
+	resp, err := c.roundTrip(Request{Op: "lag"})
+	return resp.Seq, resp.Applied, resp.Lag, err
+}
+
+// Stats fetches the server's engine counters (follower-side fields
+// filled on a follower).
+func (c *Client) Stats() (quantumdb.Stats, error) {
+	resp, err := c.roundTrip(Request{Op: "stats"})
+	if err != nil {
+		return quantumdb.Stats{}, err
+	}
+	return *resp.Stats, nil
 }

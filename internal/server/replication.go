@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/logic"
+	"repro/internal/replica"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// This file is the network leg of WAL log shipping: the leader serves
+// repl.bootstrap / repl.pull over the ordinary JSON-lines protocol, a
+// follower-mode server answers reads from its replayed store, and
+// ReplicaClient adapts the wire back into a replica.Transport so the
+// follower loop is transport-agnostic (the replication harness drives
+// the same loop over an in-process Pipe).
+
+// ErrReadOnlyFollower is the refusal a follower sends for any mutating
+// verb: followers have no admission path — every change must flow
+// through the leader's WAL.
+var ErrReadOnlyFollower = fmt.Errorf("server: read-only follower; submit mutations to the leader")
+
+// dispatchFollower answers the read-only verb subset from the replica.
+func (s *Server) dispatchFollower(req Request) Response {
+	fail := func(err error) Response { return Response{Err: err.Error()} }
+	switch req.Op {
+	case "ping":
+		return Response{OK: true}
+	case "lag":
+		return Response{OK: true, Seq: s.fol.LeaderSeq(),
+			Applied: s.fol.AppliedSeq(), Lag: s.fol.Lag()}
+	case "snapread":
+		// The follower's only read path is by construction collapse-free:
+		// there is no pending superposition here to observe, only the
+		// committed state replayed from the leader's log.
+		st := s.fol.State()
+		if st == nil {
+			return fail(fmt.Errorf("follower not bootstrapped yet"))
+		}
+		atoms, err := txn.ParseQuery(req.Query)
+		if err != nil {
+			return fail(err)
+		}
+		sols, err := st.QuerySnapshot(atoms)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Rows: substRowsOut(atoms, sols)}
+	case "pending":
+		if st := s.fol.State(); st != nil {
+			return Response{OK: true, Pending: st.PendingCount()}
+		}
+		return Response{OK: true}
+	case "stats":
+		st := s.fol.Stats()
+		return Response{OK: true, Stats: &st}
+	default:
+		return fail(ErrReadOnlyFollower)
+	}
+}
+
+// substRowsOut materializes solver substitutions into the wire's
+// quoted-string rows (the follower-side twin of rowsOut, which works on
+// facade rows).
+func substRowsOut(atoms []logic.Atom, sols []logic.Subst) []map[string]string {
+	var vars []string
+	for _, a := range atoms {
+		vars = a.Vars(vars)
+	}
+	out := make([]map[string]string, 0, len(sols))
+	for _, sol := range sols {
+		m := make(map[string]string, len(vars))
+		for _, v := range vars {
+			if t := sol.Walk(logic.Var(v)); !t.IsVar() {
+				m[v] = t.Value().Quoted()
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func toWireBatches(batches []wal.Batch) []WireBatch {
+	out := make([]WireBatch, len(batches))
+	for i, b := range batches {
+		recs := make([]WireRecord, len(b.Records))
+		for j, r := range b.Records {
+			recs[j] = WireRecord{Type: r.Type, Payload: r.Payload}
+		}
+		out[i] = WireBatch{Seq: b.Seq, Records: recs}
+	}
+	return out
+}
+
+func fromWireBatches(batches []WireBatch) []wal.Batch {
+	out := make([]wal.Batch, len(batches))
+	for i, b := range batches {
+		recs := make([]wal.Record, len(b.Records))
+		for j, r := range b.Records {
+			recs[j] = wal.Record{Type: r.Type, Payload: r.Payload}
+		}
+		out[i] = wal.Batch{Seq: b.Seq, Records: recs}
+	}
+	return out
+}
+
+// ReplicaClient is a replica.Transport that speaks the JSON-lines
+// protocol to a leader qdbd. It dials per call: bootstraps are rare,
+// pulls ride a polling cadence, and a fresh connection per request
+// makes leader restarts and flaky networks a retry instead of a stuck
+// stream (the follower loop already retries transient errors).
+type ReplicaClient struct {
+	Addr string
+	// Timeout bounds one whole call, dial to decoded response
+	// (default 30s).
+	Timeout time.Duration
+}
+
+var _ replica.Transport = (*ReplicaClient)(nil)
+
+func (c *ReplicaClient) roundTrip(req Request) (Response, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", c.Addr, timeout)
+	if err != nil {
+		return Response{}, fmt.Errorf("server: dial leader %s: %w", c.Addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return Response{}, fmt.Errorf("server: send %s: %w", req.Op, err)
+	}
+	var resp Response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("server: read %s reply: %w", req.Op, err)
+	}
+	if !resp.OK {
+		return Response{}, fmt.Errorf("server: leader refused %s: %s", req.Op, resp.Err)
+	}
+	return resp, nil
+}
+
+// Bootstrap fetches a checkpoint image from the leader.
+func (c *ReplicaClient) Bootstrap() ([]byte, uint64, error) {
+	resp, err := c.roundTrip(Request{Op: "repl.bootstrap"})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Image, resp.Seq, nil
+}
+
+// Pull fetches the WAL suffix above after.
+func (c *ReplicaClient) Pull(after uint64) (replica.PullResult, error) {
+	resp, err := c.roundTrip(Request{Op: "repl.pull", After: after})
+	if err != nil {
+		return replica.PullResult{}, err
+	}
+	return replica.PullResult{
+		Batches:   fromWireBatches(resp.Batches),
+		LeaderSeq: resp.Seq,
+		Resync:    resp.Resync,
+	}, nil
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"net"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	quantumdb "repro"
+	"repro/internal/replica"
+)
+
+func listenTCP(t *testing.T) net.Listener {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func dialT(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// startWALLeader boots a WAL-backed database behind a TCP server — only
+// a logged leader can ship its log.
+func startWALLeader(t *testing.T) (*Client, *quantumdb.DB, string) {
+	t.Helper()
+	db, err := quantumdb.Open(quantumdb.Options{
+		WALPath:     filepath.Join(t.TempDir(), "leader.wal"),
+		WALSegments: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	l := listenTCP(t)
+	srv := New(db)
+	go srv.Serve(l)
+	c := dialT(t, l.Addr().String())
+	return c, db, l.Addr().String()
+}
+
+// TestReplicationOverTCP wires the whole network leg together: a
+// follower bootstraps from a live leader through ReplicaClient, replays
+// pulled batches, and a follower-mode server answers lag, snapread,
+// pending, and stats from the replayed store while refusing mutations.
+func TestReplicationOverTCP(t *testing.T) {
+	c, db, leaderAddr := startWALLeader(t)
+	seatSchema(t, c) // schema rides the bootstrap image, so create it first
+
+	if _, err := c.Submit("-Available(1, s), +Bookings('Mickey', 1, s) :-1 Available(1, s)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.GroundAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	f := replica.NewFollower(&ReplicaClient{Addr: leaderAddr, Timeout: 5 * time.Second})
+	if err := f.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-bootstrap churn, including one transaction left pending so the
+	// follower replays a live superposition, not just ground state.
+	if _, err := c.Submit("-Available(1, s), +Bookings('Goofy', 1, s) :-1 Available(1, s)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.GroundAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit("-Available(1, s), +Bookings('Donald', 1, s) :-1 Available(1, s)"); err != nil {
+		t.Fatal(err)
+	}
+
+	idle := 0
+	for rounds := 0; idle < 2; rounds++ {
+		if rounds > 1000 {
+			t.Fatalf("no convergence: applied %d, leader %d", f.AppliedSeq(), db.Engine().WALSeq())
+		}
+		n, err := f.Sync()
+		if err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		if n == 0 && f.AppliedSeq() >= db.Engine().WALSeq() {
+			idle++
+		}
+	}
+
+	fl := listenTCP(t)
+	fsrv := NewFollower(f)
+	go fsrv.Serve(fl)
+	fc := dialT(t, fl.Addr().String())
+
+	if err := fc.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	seq, applied, lag, err := fc.Lag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != 0 || applied != seq || applied != db.Engine().WALSeq() {
+		t.Fatalf("follower lag op: seq=%d applied=%d lag=%d (leader %d)",
+			seq, applied, lag, db.Engine().WALSeq())
+	}
+	if _, lapplied, llag, err := c.Lag(); err != nil || lapplied == 0 || llag != 0 {
+		t.Fatalf("leader lag op: applied=%d lag=%d err=%v", lapplied, llag, err)
+	}
+
+	// The follower's snapshot reads must match the leader's, byte for
+	// byte on the wire.
+	for _, q := range []string{"Bookings(n, 1, s)", "Available(1, s)"} {
+		want, err := c.SnapRead(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fc.SnapRead(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("snapread %q diverges:\nleader   %v\nfollower %v", q, want, got)
+		}
+	}
+
+	if n, err := fc.Pending(); err != nil || n != 1 {
+		t.Fatalf("follower pending = %d, err=%v; want the one unground txn", n, err)
+	}
+	if st, err := fc.Stats(); err != nil || st.FollowerAppliedSeq == 0 || st.BatchesReplayed == 0 {
+		t.Fatalf("follower stats unpopulated: %+v err=%v", st, err)
+	}
+
+	// Every mutating verb must be refused.
+	if _, err := fc.Submit("-Available(1, s), +Bookings('Daisy', 1, s) :-1 Available(1, s)"); err == nil ||
+		!strings.Contains(err.Error(), "read-only follower") {
+		t.Fatalf("follower accepted a txn: %v", err)
+	}
+	if err := fc.Exec("+Available(2, '9Z')"); err == nil ||
+		!strings.Contains(err.Error(), "read-only follower") {
+		t.Fatalf("follower accepted an exec: %v", err)
+	}
+	if err := fc.GroundAll(); err == nil ||
+		!strings.Contains(err.Error(), "read-only follower") {
+		t.Fatalf("follower accepted a groundall: %v", err)
+	}
+}
+
+// TestReplicaClientLeaderRestartProof documents the dial-per-call
+// contract: a pull against a dead address fails cleanly (no hung
+// stream), and the same client works again once a leader is back.
+func TestReplicaClientDeadLeader(t *testing.T) {
+	rc := &ReplicaClient{Addr: "127.0.0.1:1", Timeout: 500 * time.Millisecond}
+	if _, err := rc.Pull(0); err == nil {
+		t.Fatal("pull against a dead leader succeeded")
+	}
+	if _, _, err := rc.Bootstrap(); err == nil {
+		t.Fatal("bootstrap against a dead leader succeeded")
+	}
+}

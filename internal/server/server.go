@@ -32,6 +32,7 @@ import (
 	"time"
 
 	quantumdb "repro"
+	"repro/internal/replica"
 	"repro/internal/telemetry"
 )
 
@@ -54,6 +55,9 @@ type Request struct {
 	ID int64 `json:"id,omitempty"`
 	// Table describes the relation for create.
 	Table *TableSpec `json:"table,omitempty"`
+	// After is repl.pull's resume watermark: return batches with
+	// sequence numbers strictly above it.
+	After uint64 `json:"after,omitempty"`
 }
 
 // TableSpec mirrors quantumdb.Table for the wire.
@@ -73,6 +77,31 @@ type Response struct {
 	IDs     []int64             `json:"ids,omitempty"`
 	Pending int                 `json:"pending,omitempty"`
 	Stats   *quantumdb.Stats    `json:"stats,omitempty"`
+	// Replication fields. Image is repl.bootstrap's checkpoint payload
+	// (base64 on the wire); Seq is its WAL stamp, and on repl.pull/lag
+	// the leader's current WAL sequence. Batches carries repl.pull's
+	// shipped suffix; Resync demands a fresh bootstrap (the leader
+	// truncated past After). Applied and Lag serve the lag op on both
+	// leader (best subscriber ack) and follower (own watermark).
+	Image   []byte      `json:"image,omitempty"`
+	Seq     uint64      `json:"seq,omitempty"`
+	Batches []WireBatch `json:"batches,omitempty"`
+	Resync  bool        `json:"resync,omitempty"`
+	Applied uint64      `json:"applied,omitempty"`
+	Lag     uint64      `json:"lag,omitempty"`
+}
+
+// WireBatch mirrors wal.Batch for the JSON wire; record payloads ride
+// as base64.
+type WireBatch struct {
+	Seq     uint64       `json:"seq"`
+	Records []WireRecord `json:"records"`
+}
+
+// WireRecord mirrors wal.Record.
+type WireRecord struct {
+	Type    uint8  `json:"type"`
+	Payload []byte `json:"payload,omitempty"`
 }
 
 // ops enumerates the protocol verbs; each gets a request-latency series
@@ -80,7 +109,8 @@ type Response struct {
 // Unknown verbs land in "other".
 var ops = []string{
 	"create", "exec", "txn", "etxn", "sql", "read", "snapread",
-	"preview", "ground", "groundall", "pending", "stats", "ping", "other",
+	"preview", "ground", "groundall", "pending", "stats", "ping",
+	"lag", "repl.bootstrap", "repl.pull", "other",
 }
 
 // Server serves one quantum database to many connections. Engine calls
@@ -89,9 +119,11 @@ var ops = []string{
 // server's own mutex guards only lifecycle state (drain bookkeeping),
 // taken once per request, never across engine calls.
 type Server struct {
-	db     *quantumdb.DB
-	co     *quantumdb.Coordinator
-	opHist map[string]*telemetry.Histogram
+	db      *quantumdb.DB
+	co      *quantumdb.Coordinator
+	shipper *replica.Shipper  // leader-side log shipping (nil on followers)
+	fol     *replica.Follower // follower mode (nil on leaders)
+	opHist  map[string]*telemetry.Histogram
 
 	mu        sync.Mutex
 	draining  bool
@@ -104,13 +136,29 @@ type Server struct {
 // New wraps db. Register a Server at most once per database: it adds
 // the server-side request-latency series to the database's registry.
 func New(db *quantumdb.DB) *Server {
+	s := newServer(db.Metrics())
+	s.db, s.co = db, db.NewCoordinator()
+	s.shipper = &replica.Shipper{DB: db.Engine(), MaxBatches: shipChunk}
+	return s
+}
+
+// NewFollower wraps a replica follower as a read-only server: it
+// answers ping, snapread, peek-style reads, pending, stats, and lag
+// from the replayed store, and refuses every mutation with
+// ErrReadOnlyFollower. Request-latency series land in the follower's
+// own registry.
+func NewFollower(f *replica.Follower) *Server {
+	s := newServer(f.Metrics())
+	s.fol = f
+	return s
+}
+
+func newServer(reg *telemetry.Registry) *Server {
 	s := &Server{
-		db: db, co: db.NewCoordinator(),
 		opHist:    make(map[string]*telemetry.Histogram, len(ops)),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}
-	reg := db.Metrics()
 	for _, op := range ops {
 		s.opHist[op] = reg.Seconds("qdb_server_op_duration_seconds",
 			fmt.Sprintf("op=%q", op),
@@ -118,6 +166,10 @@ func New(db *quantumdb.DB) *Server {
 	}
 	return s
 }
+
+// shipChunk caps one repl.pull response, bounding response size and
+// follower apply chunks; followers just pull again.
+const shipChunk = 512
 
 // Serve accepts connections until the listener closes (or Shutdown
 // closes it). A Serve return caused by Shutdown reports ErrShuttingDown.
@@ -268,10 +320,30 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 }
 
 func (s *Server) dispatch(req Request) Response {
+	if s.fol != nil {
+		return s.dispatchFollower(req)
+	}
 	fail := func(err error) Response { return Response{Err: err.Error()} }
 	switch req.Op {
 	case "ping":
 		return Response{OK: true}
+	case "lag":
+		st := s.db.Stats()
+		return Response{OK: true, Seq: s.db.Engine().WALSeq(),
+			Applied: uint64(st.ReplicaAckSeq), Lag: uint64(st.ReplicaLag)}
+	case "repl.bootstrap":
+		image, seq, err := s.shipper.Bootstrap()
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Image: image, Seq: seq}
+	case "repl.pull":
+		res, err := s.shipper.Pull(req.After)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Batches: toWireBatches(res.Batches),
+			Seq: res.LeaderSeq, Resync: res.Resync}
 	case "create":
 		if req.Table == nil {
 			return fail(fmt.Errorf("create requires table"))

@@ -88,6 +88,14 @@ type SegmentedLog struct {
 	// seq.Add(1), so sequence numbers start at 1 and 0 never names a
 	// batch.
 	seq atomic.Uint64
+	// truncatedBelow is the highest sequence number any truncation may
+	// have removed from the files: raised to the cut at the START of
+	// TruncateBefore and to Seq() at the start of Truncate, before any
+	// file is touched. ReadFrom checks it before and after scanning, so a
+	// streaming reader whose resume point falls below it learns its tail
+	// is gone (ErrTruncated) instead of silently skipping batches a
+	// concurrent rewrite deleted mid-scan.
+	truncatedBelow atomic.Uint64
 	// SyncOnAppend makes AppendBatch acknowledge a batch only after an
 	// fsync covering it (group commit). Set once after Open, before use.
 	SyncOnAppend bool
@@ -458,6 +466,7 @@ func (l *SegmentedLog) Abandon() {
 // escape hatch — after an I/O failure the checkpoint captures the true
 // state and the emptied log is consistent with it by construction.
 func (l *SegmentedLog) Truncate() error {
+	raiseSeqWatermark(&l.truncatedBelow, l.seq.Load())
 	for _, s := range l.segs {
 		s.mu.Lock()
 		if s.f == nil {
@@ -500,6 +509,112 @@ func (l *SegmentedLog) Truncate() error {
 // batch will be stamped above it.
 func (l *SegmentedLog) Seq() uint64 { return l.seq.Load() }
 
+// ErrTruncated reports that a streaming read's resume point has fallen
+// below a truncation cut: batches the reader has not yet seen may have
+// been removed from the files, so tailing cannot continue losslessly.
+// Log-shipping subscribers handle it by re-bootstrapping from a
+// checkpoint image instead of the log.
+var ErrTruncated = errors.New("wal: tail truncated below the requested sequence number")
+
+// raiseSeqWatermark lifts an atomic watermark to at least v.
+func raiseSeqWatermark(m *atomic.Uint64, v uint64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ReadFrom returns every batch with sequence number strictly above
+// `after`, merged across segments in global sequence order — the
+// log-shipping tail read. It is safe to call concurrently with
+// appenders and with TruncateBefore:
+//
+//   - The read is a consistent cut at S = Seq() sampled on entry: only
+//     batches with seq <= S are returned, and every acknowledged batch
+//     with after < seq <= S IS returned. Any such sequence number was
+//     assigned under its segment's lock and buffered before that lock
+//     was released, so the per-segment flush ReadFrom performs before
+//     scanning makes it file-visible. Batches appended after entry
+//     (seq > S) are simply left for the next poll, whatever partial
+//     file state the scan observes of them.
+//   - A truncation whose cut is at or below `after` is invisible: it
+//     only removes batches the caller already consumed. A truncation
+//     racing past `after` returns ErrTruncated (checked before AND
+//     after the scan), telling the subscriber its resume point is gone
+//     and it must re-bootstrap from a checkpoint.
+//
+// Sequence numbers are not dense — a failed append burns its number —
+// so callers must advance their resume point to the highest sequence
+// returned, never by arithmetic. Each call rescans the segment files
+// from the start; that keeps the reader stateless against rewrites, and
+// stays cheap because checkpoints continually truncate the scanned
+// prefix.
+func (l *SegmentedLog) ReadFrom(after uint64) ([]Batch, error) {
+	if tb := l.truncatedBelow.Load(); tb > after {
+		return nil, fmt.Errorf("%w (resume %d, truncated through %d)", ErrTruncated, after, tb)
+	}
+	high := l.seq.Load()
+	if high <= after {
+		return nil, nil
+	}
+	// Flush every healthy segment so each batch with seq <= high is
+	// file-visible. Poisoned segments are skipped: their buffer may end
+	// in a torn frame, and every batch acknowledged before the poison
+	// was already flushed by its own append or group-commit round.
+	for _, s := range l.segs {
+		s.mu.Lock()
+		if s.f == nil {
+			s.mu.Unlock()
+			return nil, errors.New("wal: read from closed log")
+		}
+		if s.failed == nil && s.w.Buffered() > 0 {
+			if err := s.w.Flush(); err != nil {
+				s.failed = err
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return nil, fmt.Errorf("wal: read flush: %w", err)
+			}
+		}
+		s.mu.Unlock()
+	}
+	paths, err := segmentPaths(l.path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Batch
+	for _, p := range paths {
+		var ferr error
+		if err := scanSegment(p.path, func(body []byte) bool {
+			seq := binary.LittleEndian.Uint64(body)
+			if seq <= after || seq > high {
+				return true
+			}
+			b, err := decodeBatchBody(body)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			out = append(out, b)
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		if ferr != nil {
+			return nil, fmt.Errorf("wal: read segment %s: %w", p.path, ferr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if tb := l.truncatedBelow.Load(); tb > after {
+		// A truncation raced the scan and may have removed frames in
+		// (after, tb] before we reached them; the partial result cannot be
+		// trusted to be gap-free.
+		return nil, fmt.Errorf("%w (resume %d, truncated through %d)", ErrTruncated, after, tb)
+	}
+	return out, nil
+}
+
 // TruncateBefore discards every batch with sequence number <= cut and
 // keeps the tail above it. Unlike Truncate it is safe to call while
 // appenders are running: the engine's fuzzy checkpoint stamps its
@@ -518,6 +633,7 @@ func (l *SegmentedLog) Seq() uint64 { return l.seq.Load() }
 // cannot be acknowledged off a rewrite that may have dropped their
 // frames.
 func (l *SegmentedLog) TruncateBefore(cut uint64) error {
+	raiseSeqWatermark(&l.truncatedBelow, cut)
 	for _, s := range l.segs {
 		if err := s.truncateBefore(cut); err != nil {
 			return err
@@ -691,7 +807,11 @@ func decodeBatchBody(data []byte) (Batch, error) {
 	b := Batch{Seq: binary.LittleEndian.Uint64(data)}
 	data = data[8:]
 	n, w := binary.Uvarint(data)
-	if w <= 0 {
+	// Every record costs at least two bytes (type + length), so a count
+	// beyond the remaining bytes is corrupt. Checking BEFORE the
+	// make() below matters: the count is untrusted input, and a
+	// bit-flipped huge value must not size an allocation.
+	if w <= 0 || n > uint64(len(data)-w) {
 		return Batch{}, fmt.Errorf("%w: bad batch record count", ErrCorrupt)
 	}
 	data = data[w:]
@@ -842,6 +962,11 @@ func scanSegment(path string, fn func(body []byte) bool) error {
 		return fmt.Errorf("wal: read segment: %w", err)
 	}
 	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: read segment: %w", err)
+	}
+	size := st.Size()
 	r := bufio.NewReader(f)
 	magic := make([]byte, len(segMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
@@ -856,7 +981,10 @@ func scanSegment(path string, fn func(body []byte) bool) error {
 			return nil // clean EOF or torn header: end of segment
 		}
 		n := binary.LittleEndian.Uint32(hdr[:])
-		if n < 8 || n > 1<<30 {
+		// The length is untrusted: besides the hard cap, a frame longer
+		// than the file itself is necessarily torn, and rejecting it here
+		// keeps a corrupted length from sizing a giant doomed allocation.
+		if n < 8 || n > 1<<30 || int64(n) > size {
 			return nil // implausible length: torn tail
 		}
 		body := make([]byte, n)
