@@ -77,7 +77,7 @@ func runRemote(addr string, args []string) int {
 		return 1
 	}
 	if len(args) == 0 {
-		return fail(fmt.Errorf("usage: qdbcli -addr host:port <ping|lag|pending|stats|peek|read|create|txn|exec|ground> [args]"))
+		return fail(fmt.Errorf("usage: qdbcli -addr host:port <ping|lag|pending|stats|peek|read|create|txn|exec|ground|promote> [args]"))
 	}
 	c, err := server.Dial(addr)
 	if err != nil {
@@ -97,6 +97,18 @@ func runRemote(addr string, args []string) int {
 			return fail(err)
 		}
 		fmt.Printf("seq=%d applied=%d lag=%d\n", seq, applied, lag)
+	case "promote":
+		// Promote the follower at -addr to leader. "promote force" skips
+		// the fence exchange — only for a leader that is known dead.
+		force := rest == "force"
+		if rest != "" && !force {
+			return fail(fmt.Errorf("usage: promote [force]"))
+		}
+		term, seq, err := c.Promote(force)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("promoted %s: term=%d seq=%d\n", c.Addr(), term, seq)
 	case "pending":
 		n, err := c.Pending()
 		if err != nil {

@@ -27,12 +27,19 @@
 //	qdbd -follow 127.0.0.1:7683 -addr :7685 -pull-interval 100ms
 //
 // The follower bootstraps a checkpoint image from the leader (retrying
-// until the leader is up), replays its WAL by polling every
-// -pull-interval, and serves snapread/pending/stats/lag from the
-// replayed store; every mutating verb is refused. The leader needs no
+// until the leader is up), replays its WAL tail — long-polling by
+// default, so batches ship the moment they commit — and serves
+// snapread/pending/stats/lag from the replayed store; every mutating
+// verb is refused with a redirect to the leader. The leader needs no
 // flags — any WAL-backed qdbd ships its log on demand. Schema must
 // exist on the leader before the follower bootstraps (table creation is
-// not logged; it rides the checkpoint image).
+// not logged; it rides the checkpoint image). With -cache-dir the
+// follower spills its replayed image locally and a restart resumes from
+// it instead of re-bootstrapping over the network; with -promote-wal
+// the promote verb (qdbcli promote [force]) turns the process into the
+// leader in place: fence the old leader, drain its sealed tail, and
+// start admitting writes at the next term. Deposed leaders flip
+// read-only and redirect clients at the winner.
 //
 // See internal/server for the full request/response schema and a Go
 // client.
@@ -76,10 +83,30 @@ func main() {
 		"leader address to replicate from; runs qdbd as a read-only follower (most other flags are ignored)")
 	pullInterval := flag.Duration("pull-interval", 200*time.Millisecond,
 		"how often a follower pulls the leader's WAL tail")
+	longPoll := flag.Duration("long-poll", 10*time.Second,
+		"follower pulls park at the leader up to this long waiting for new batches — push-style shipping (0 = plain polling every -pull-interval)")
+	cacheDir := flag.String("cache-dir", "",
+		"follower-local directory for the persistent replica image; restarts resume from it instead of re-bootstrapping over the network")
+	promoteWAL := flag.String("promote-wal", "",
+		"WAL root path for this follower if it is promoted to leader; arms the promote verb (promotion refused when empty)")
+	promoteCheckpoint := flag.String("promote-checkpoint", "",
+		"checkpoint file cut right after a promotion, anchoring the promoted store durably (recommended with -promote-wal)")
+	advertise := flag.String("advertise", "",
+		"address peers and redirected clients should reach this server at (defaults to -addr)")
 	flag.Parse()
 
+	if *advertise == "" {
+		*advertise = *addr
+	}
 	if *follow != "" {
-		runFollower(*follow, *addr, *metricsAddr, *pullInterval, *drainTimeout)
+		runFollower(followerConfig{
+			leader: *follow, addr: *addr, metricsAddr: *metricsAddr,
+			advertise: *advertise, cacheDir: *cacheDir,
+			promoteWAL: *promoteWAL, promoteCheckpoint: *promoteCheckpoint,
+			walSegments: *walSegments, syncWAL: *syncWAL,
+			pullInterval: *pullInterval, longPoll: *longPoll,
+			drainTimeout: *drainTimeout,
+		})
 		return
 	}
 
@@ -148,41 +175,84 @@ func main() {
 	}
 }
 
-// runFollower is follower mode: bootstrap from the leader (retrying
-// until it is reachable — follower and leader may start in either
-// order), replay its WAL on a polling cadence, and serve the read-only
-// verb subset plus lag. The replayed store is in-memory only; a
-// follower restart just re-bootstraps, which is exactly the resync path
-// it already needs for leader truncation.
-func runFollower(leader, addr, metricsAddr string, pullInterval, drainTimeout time.Duration) {
-	f := replica.NewFollower(&server.ReplicaClient{Addr: leader})
-	f.Logf = log.Printf
+// followerConfig gathers follower-mode settings (too many for
+// positional arguments).
+type followerConfig struct {
+	leader, addr, metricsAddr     string
+	advertise, cacheDir           string
+	promoteWAL, promoteCheckpoint string
+	walSegments                   int
+	syncWAL                       bool
+	pullInterval, longPoll        time.Duration
+	drainTimeout                  time.Duration
+}
 
+// runFollower is follower mode: bootstrap from the leader — or resume
+// from the local cache when -cache-dir has a spilled image — replay its
+// WAL (long-polling by default, so batches ship the moment they
+// commit), and serve the read-only verb subset plus lag. Mutations are
+// refused with a redirect to the leader. With -promote-wal, the promote
+// verb (qdbcli promote) turns this process into the leader in place:
+// fence the old leader, drain its sealed tail, rebuild an admitting
+// engine over the replayed store, and start taking writes at the new
+// term.
+func runFollower(cfg followerConfig) {
+	rc := &server.ReplicaClient{Addr: cfg.leader, Wait: cfg.longPoll}
+	f := replica.NewFollower(rc)
+	f.Logf = log.Printf
+	f.LongPoll = cfg.longPoll > 0
+	f.CacheDir = cfg.cacheDir
+	f.SetLeaderAddr(cfg.leader)
+
+	// Bootstrap (or cache resume), retrying under a capped jittered
+	// backoff so follower and leader may start in either order — and
+	// aborting promptly on SIGINT/SIGTERM instead of sleeping through
+	// the shutdown.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	const bootstrapWindow = 30 * time.Second
 	deadline := time.Now().Add(bootstrapWindow)
+	bo := replica.NewBackoff(250*time.Millisecond, 5*time.Second)
 	for {
-		err := f.Bootstrap()
+		err := f.BootstrapOrResume()
 		if err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
-			log.Fatalf("bootstrap from %s: %v (gave up after %v)", leader, err, bootstrapWindow)
+			log.Fatalf("bootstrap from %s: %v (gave up after %v)", cfg.leader, err, bootstrapWindow)
 		}
-		log.Printf("bootstrap from %s: %v (retrying)", leader, err)
-		time.Sleep(time.Second)
+		log.Printf("bootstrap from %s: %v (retrying)", cfg.leader, err)
+		t := time.NewTimer(bo.Next())
+		select {
+		case s := <-sig:
+			t.Stop()
+			fmt.Printf("qdbd: %v during bootstrap, exiting\n", s)
+			return
+		case <-t.C:
+		}
 	}
 
 	stop := make(chan struct{})
-	go f.Run(pullInterval, stop)
+	go f.Run(cfg.pullInterval, stop)
 
-	l, err := net.Listen("tcp", addr)
+	l, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv := server.NewFollower(f)
+	if cfg.promoteWAL != "" {
+		srv.EnablePromotion(replica.PromoteConfig{
+			WAL: quantumdb.Options{
+				WALPath: cfg.promoteWAL, SyncWAL: cfg.syncWAL,
+				WALSegments: cfg.walSegments,
+			},
+			Addr:           cfg.advertise,
+			CheckpointPath: cfg.promoteCheckpoint,
+		})
+	}
 
-	if metricsAddr != "" {
-		ml, err := net.Listen("tcp", metricsAddr)
+	if cfg.metricsAddr != "" {
+		ml, err := net.Listen("tcp", cfg.metricsAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -194,19 +264,30 @@ func runFollower(leader, addr, metricsAddr string, pullInterval, drainTimeout ti
 		}()
 	}
 
-	fmt.Printf("qdbd following %s on %s (applied seq %d, pull every %v)\n",
-		leader, l.Addr(), f.AppliedSeq(), pullInterval)
+	promotable := "no"
+	if cfg.promoteWAL != "" {
+		promotable = "yes"
+	}
+	fmt.Printf("qdbd following %s on %s (applied seq %d, pull every %v, long-poll %v, cache %q, promotable %s)\n",
+		cfg.leader, l.Addr(), f.AppliedSeq(), cfg.pullInterval, cfg.longPoll, cfg.cacheDir, promotable)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()
 	select {
 	case s := <-sig:
-		fmt.Printf("qdbd: %v, draining (timeout %v)\n", s, drainTimeout)
+		fmt.Printf("qdbd: %v, draining (timeout %v)\n", s, cfg.drainTimeout)
 		close(stop)
-		if err := srv.Shutdown(drainTimeout); err != nil {
+		if err := srv.Shutdown(cfg.drainTimeout); err != nil {
 			log.Printf("drain: %v", err)
+		}
+		if db := srv.DB(); db != nil {
+			// Promoted mid-run: we are the leader now; flush and close
+			// the engine so the WAL tail is durable.
+			if err := db.Close(); err != nil {
+				log.Fatalf("close promoted engine: %v", err)
+			}
+		} else if err := f.SaveCache(); err != nil {
+			log.Printf("cache spill: %v", err)
 		}
 	case err := <-serveErr:
 		close(stop)

@@ -22,9 +22,9 @@ import (
 // post-checkpoint log suffix.
 //
 // Checkpoint layout: relstore snapshot, then uvarint nextID, then the
-// uvarint WAL sequence stamp of the cut, then a uvarint count of
-// pending transactions followed by their length-prefixed
-// serializations.
+// uvarint WAL sequence stamp of the cut, then the uvarint replication
+// term the cut was taken under, then a uvarint count of pending
+// transactions followed by their length-prefixed serializations.
 //
 // The checkpoint is FUZZY: the engine quiesces only for the cut itself
 // — the admission lock, every live partition's shard, and the store
@@ -79,6 +79,7 @@ type checkpointCut struct {
 	snap    *relstore.Snapshot
 	nextID  int64
 	stamp   uint64
+	term    uint64
 	pending []*txn.T
 }
 
@@ -105,12 +106,13 @@ func (q *QDB) checkpointCut() checkpointCut {
 	q.storeMu.Lock()
 	snap := q.db.Snapshot()
 	stamp := q.log.Seq()
+	term := q.log.Term()
 	q.rearmTrustLocked(locked)
 	q.storeMu.Unlock()
 	unlockPartitions(locked)
 	q.admitMu.Unlock()
 	q.stats.checkpointPauseNs.Add(time.Since(cutStart).Nanoseconds())
-	return checkpointCut{snap: snap, nextID: nextID, stamp: stamp, pending: pending}
+	return checkpointCut{snap: snap, nextID: nextID, stamp: stamp, term: term, pending: pending}
 }
 
 // rearmTrustLocked re-arms the trusted-store fast path at a checkpoint
@@ -142,9 +144,10 @@ func (q *QDB) rearmTrustLocked(locked []*partition) {
 }
 
 // writeCheckpointTo streams a cut in the checkpoint wire format:
-// relstore snapshot, uvarint nextID, uvarint WAL stamp, uvarint pending
-// count, length-prefixed pending transactions. Shared by the durable
-// file path and the in-memory replica-bootstrap image.
+// relstore snapshot, uvarint nextID, uvarint WAL stamp, uvarint
+// replication term, uvarint pending count, length-prefixed pending
+// transactions. Shared by the durable file path, the in-memory
+// replica-bootstrap image, and the follower's persistent cache spill.
 func writeCheckpointTo(w io.Writer, cut checkpointCut) error {
 	bw := bufio.NewWriter(w)
 	if err := cut.snap.Encode(bw); err != nil {
@@ -156,6 +159,10 @@ func writeCheckpointTo(w io.Writer, cut checkpointCut) error {
 		return err
 	}
 	n = binary.PutUvarint(buf[:], cut.stamp)
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(buf[:], cut.term)
 	if _, err := bw.Write(buf[:n]); err != nil {
 		return err
 	}
@@ -182,43 +189,47 @@ func writeCheckpointTo(w io.Writer, cut checkpointCut) error {
 // decodeCheckpoint reads a checkpoint stream written by
 // writeCheckpointTo back into its parts. Shared by RecoverCheckpoint
 // (from a file) and replica bootstrap (from a shipped image).
-func decodeCheckpoint(r io.Reader) (store *relstore.DB, nextID int64, walSeq uint64, pending []*txn.T, err error) {
+func decodeCheckpoint(r io.Reader) (store *relstore.DB, nextID int64, walSeq, term uint64, pending []*txn.T, err error) {
 	br := bufio.NewReader(r)
 	store, err = relstore.DecodeSnapshot(br)
 	if err != nil {
-		return nil, 0, 0, nil, fmt.Errorf("core: checkpoint snapshot: %w", err)
+		return nil, 0, 0, 0, nil, fmt.Errorf("core: checkpoint snapshot: %w", err)
 	}
 	id, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, 0, 0, nil, fmt.Errorf("core: checkpoint nextID: %w", err)
+		return nil, 0, 0, 0, nil, fmt.Errorf("core: checkpoint nextID: %w", err)
 	}
 	walSeq, err = binary.ReadUvarint(br)
 	if err != nil {
-		return nil, 0, 0, nil, fmt.Errorf("core: checkpoint WAL stamp: %w", err)
+		return nil, 0, 0, 0, nil, fmt.Errorf("core: checkpoint WAL stamp: %w", err)
+	}
+	term, err = binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, 0, 0, nil, fmt.Errorf("core: checkpoint term: %w", err)
 	}
 	nPending, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, 0, 0, nil, fmt.Errorf("core: checkpoint pending count: %w", err)
+		return nil, 0, 0, 0, nil, fmt.Errorf("core: checkpoint pending count: %w", err)
 	}
 	for i := uint64(0); i < nPending; i++ {
 		ln, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, 0, 0, nil, err
+			return nil, 0, 0, 0, nil, err
 		}
 		if ln > 1<<26 {
-			return nil, 0, 0, nil, fmt.Errorf("core: implausible pending txn length %d", ln)
+			return nil, 0, 0, 0, nil, fmt.Errorf("core: implausible pending txn length %d", ln)
 		}
 		data := make([]byte, ln)
 		if _, err := io.ReadFull(br, data); err != nil {
-			return nil, 0, 0, nil, err
+			return nil, 0, 0, 0, nil, err
 		}
 		t, err := txn.Unmarshal(data)
 		if err != nil {
-			return nil, 0, 0, nil, err
+			return nil, 0, 0, 0, nil, err
 		}
 		pending = append(pending, t)
 	}
-	return store, int64(id), walSeq, pending, nil
+	return store, int64(id), walSeq, term, pending, nil
 }
 
 // writeCheckpointFile serializes a checkpoint durably and atomically:
@@ -305,15 +316,17 @@ func RecoverCheckpoint(checkpointPath string, opt Options) (*QDB, error) {
 		return nil, fmt.Errorf("core: open checkpoint: %w", err)
 	}
 	defer f.Close()
-	store, nextID, walSeq, pending, err := decodeCheckpoint(f)
+	store, nextID, walSeq, term, pending, err := decodeCheckpoint(f)
 	if err != nil {
 		return nil, err
 	}
 
 	// Recover replays the post-stamp WAL suffix over the snapshot store
 	// and re-admits the suffix's still-pending transactions; the
-	// checkpoint's own pending set is re-admitted first.
-	q, err := recoverOnto(store, pending, walSeq, opt)
+	// checkpoint's own pending set is re-admitted first. The cut's
+	// replication term is restored too (the WAL suffix may raise it
+	// further — recoverOnto keeps the max).
+	q, err := recoverOnto(store, pending, walSeq, term, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -30,6 +30,9 @@ var ErrWriteRejected = errors.New("core: write rejected: it would empty the set 
 // partition is locked; groundings of independent partitions proceed in
 // parallel.
 func (q *QDB) Ground(id int64) error {
+	if err := q.checkWritable(); err != nil {
+		return err
+	}
 	p, idx, err := q.lockTxn(id)
 	if err != nil {
 		return err
@@ -48,6 +51,9 @@ func (q *QDB) Ground(id int64) error {
 // round, with a blocking single-partition fallback guaranteeing
 // progress.
 func (q *QDB) GroundAll() error {
+	if err := q.checkWritable(); err != nil {
+		return err
+	}
 	q.mu.Lock()
 	var maxID int64 = -1
 	for id := range q.byTxn {
@@ -529,6 +535,9 @@ func (q *QDB) trySolveAndApply(p *partition, order []int, solver []*txn.T, groun
 // arrival when the partner was already executed — deferral can no longer
 // improve coordination, it can only lose the adjacent resource.
 func (q *QDB) GroundCoordinated(id int64) (bool, error) {
+	if err := q.checkWritable(); err != nil {
+		return false, err
+	}
 	p, idx, err := q.lockTxn(id)
 	if err != nil {
 		return false, err
@@ -584,6 +593,12 @@ func (q *QDB) GroundCoordinated(id int64) (bool, error) {
 // while the read gate is held), so a sustained stream of overlapping
 // admissions cannot starve the read.
 func (q *QDB) Read(query []logic.Atom) ([]logic.Subst, error) {
+	// Collapsing reads mutate (they may force groundings), so a demoted
+	// leader refuses them too; snapshot reads (QueryAt/QuerySnapshot)
+	// remain available — the demoted engine is exactly a follower.
+	if err := q.checkWritable(); err != nil {
+		return nil, err
+	}
 	q.stats.reads.Add(1)
 	sp := q.met.read.Start()
 	defer sp.End()
@@ -705,6 +720,9 @@ func partitionAffected(p *partition, query []logic.Atom, maxID int64) int {
 // rejected (§3.2.2 "Writes"). Validation solves of independent affected
 // partitions run in parallel on the worker pool.
 func (q *QDB) Write(inserts, deletes []relstore.GroundFact) error {
+	if err := q.checkWritable(); err != nil {
+		return err
+	}
 	factAtoms := make([]logic.Atom, 0, len(inserts)+len(deletes))
 	for _, f := range inserts {
 		factAtoms = append(factAtoms, factAtom(f))
@@ -886,6 +904,9 @@ func factAtom(f relstore.GroundFact) logic.Atom {
 // earlier partner's grounding until coordination succeeds; only if no
 // coordinated grounding exists does the pair collapse uncoordinated.
 func (q *QDB) GroundPair(id1, id2 int64) error {
+	if err := q.checkWritable(); err != nil {
+		return err
+	}
 	pa, ia, pb, ib, err := q.lockPair(id1, id2)
 	if err != nil {
 		return err

@@ -22,6 +22,9 @@ import (
 // order and processed ascending by partition ID (deterministically — not
 // in Go map order).
 func (q *QDB) GroundGroup(ids []int64) error {
+	if err := q.checkWritable(); err != nil {
+		return err
+	}
 	ps, err := q.lockGroup(ids)
 	if err != nil {
 		return err

@@ -146,6 +146,17 @@ type QDB struct {
 	// tracers (telemetry.go). Both immutable after New.
 	start time.Time
 	met   *engineMetrics
+
+	// Failover state (failover.go). failoverMu orders fence exchanges
+	// and term observations; it nests inside nothing (never held across
+	// another engine lock). fencedTerm and leaderAddr are guarded by it;
+	// readOnly is the lock-free entry-guard latch the mutating paths
+	// load — the WAL fence is the authoritative backstop for appends
+	// that raced the flip.
+	failoverMu sync.Mutex
+	fencedTerm uint64
+	leaderAddr string
+	readOnly   atomic.Bool
 }
 
 // partition is one independent set of mutually-unifiable pending
@@ -254,6 +265,8 @@ func (q *QDB) Stats() Stats {
 			s.ReplicaLag = seq - s.ReplicaAckSeq
 		}
 	}
+	s.ReplicaTerm = int64(q.Term())
+	s.ReadOnlyMode = q.readOnly.Load()
 	s.StartUnixNano = q.start.UnixNano()
 	s.UptimeNs = time.Since(q.start).Nanoseconds()
 	s.StatsSeq = q.stats.statsSeq.Add(1)
@@ -337,6 +350,9 @@ func (q *QDB) isPending(id int64) bool {
 // proceed in parallel.
 func (q *QDB) Submit(t *txn.T) (int64, error) {
 	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if err := q.checkWritable(); err != nil {
 		return 0, err
 	}
 	q.stats.submitted.Add(1)

@@ -91,7 +91,7 @@ func (q *QDB) logPending(affinity int64, t *txn.T) error {
 		return err
 	}
 	_, err = q.log.AppendBatch(affinity, []wal.Record{{Type: recPending, Payload: data}})
-	return err
+	return q.noteStaleTerm(err)
 }
 
 // logGrounding appends one grounding's whole commit unit — fact records
@@ -108,7 +108,8 @@ func (q *QDB) logGrounding(affinity int64, g formula.Grounding) (uint64, error) 
 	defer batchEncPool.Put(e)
 	e.addFacts(g.Inserts, g.Deletes)
 	e.addID(recGrounded, uint64(g.Txn.ID))
-	return q.log.AppendBatch(affinity, e.recs)
+	seq, err := q.log.AppendBatch(affinity, e.recs)
+	return seq, q.noteStaleTerm(err)
 }
 
 // logWrite appends a blind write's facts as one batch, before they are
@@ -120,7 +121,8 @@ func (q *QDB) logWrite(inserts, deletes []relstore.GroundFact) (uint64, error) {
 	e := getBatchEnc()
 	defer batchEncPool.Put(e)
 	e.addFacts(inserts, deletes)
-	return q.log.AppendBatch(0, e.recs)
+	seq, err := q.log.AppendBatch(0, e.recs)
+	return seq, q.noteStaleTerm(err)
 }
 
 // logAbort compensates the batch with the given sequence number after
@@ -141,9 +143,19 @@ func (q *QDB) logAbort(affinity int64, seq uint64) error {
 	defer batchEncPool.Put(e)
 	e.addID(recAbort, seq)
 	if _, err := q.log.AppendBatch(affinity, e.recs); err != nil {
-		return fmt.Errorf("core: compensating aborted batch %d: %w", seq, err)
+		return fmt.Errorf("core: compensating aborted batch %d: %w", seq, q.noteStaleTerm(err))
 	}
 	return nil
+}
+
+// noteStaleTerm counts WAL appends refused because the engine's
+// replication term was fenced by a newer leader (the demoted-leader
+// poison path); passes err through either way.
+func (q *QDB) noteStaleTerm(err error) error {
+	if errors.Is(err, wal.ErrStaleTerm) {
+		q.stats.staleTermRefusals.Add(1)
+	}
+	return err
 }
 
 // crashApplyPoint is the durability test harness's fault injection point
@@ -205,7 +217,7 @@ func decodeFact(data []byte) (relstore.GroundFact, error) {
 // partitions and caches. For long-lived databases, pair with
 // QDB.Checkpoint and RecoverCheckpoint to bound replay length.
 func Recover(initial *relstore.DB, opt Options) (*QDB, error) {
-	return recoverOnto(initial, nil, 0, opt)
+	return recoverOnto(initial, nil, 0, 0, opt)
 }
 
 // recoverOnto replays the WAL over a store, seeding the pending set with
@@ -227,7 +239,7 @@ func Recover(initial *relstore.DB, opt Options) (*QDB, error) {
 // finds its tuple absent is detected and skipped rather than fatal —
 // set semantics make the skip exact (the mutation's effect is already
 // there or already gone).
-func recoverOnto(initial *relstore.DB, checkpointPending []*txn.T, minSeq uint64, opt Options) (*QDB, error) {
+func recoverOnto(initial *relstore.DB, checkpointPending []*txn.T, minSeq, minTerm uint64, opt Options) (*QDB, error) {
 	if opt.WALPath == "" {
 		return nil, fmt.Errorf("core: Recover requires Options.WALPath")
 	}
@@ -322,6 +334,11 @@ func recoverOnto(initial *relstore.DB, checkpointPending []*txn.T, minSeq uint64
 	if err != nil {
 		return nil, err
 	}
+	// OpenSegmented already restored the max term seen in surviving
+	// frames; the checkpoint's cut term covers the truncated prefix (an
+	// empty post-checkpoint suffix carries no frames at all). SetTerm
+	// keeps whichever is higher — a reopen is never a demotion.
+	q.log.SetTerm(minTerm)
 	q.mu.Lock()
 	q.nextID = maxID + 1
 	q.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -29,6 +30,12 @@ import (
 // below the applied watermark. The replica cannot un-apply (it holds no
 // undo), so the only safe continuation is a fresh bootstrap.
 var ErrReplicaDiverged = errors.New("core: replica diverged from leader; re-bootstrap required")
+
+// ErrReplicaSealed reports replay attempted after Seal: the replica has
+// been promoted (or is mid-promotion) and its store now belongs to a
+// live engine; applying shipped batches to it would corrupt the new
+// leader.
+var ErrReplicaSealed = errors.New("core: replica sealed by promotion; no further replay")
 
 // errNoWAL is returned by the shipping handoffs on an in-memory engine.
 var errNoWAL = errors.New("core: replication requires a WAL-backed database")
@@ -99,9 +106,19 @@ type ReplicaState struct {
 	applied atomic.Uint64 // highest applied (or checkpoint-covered) seq
 	nextID  int64
 	pending map[int64]*txn.T
-	// batchesReplayed and redoSkips feed the follower's own telemetry.
+	// term is the highest replication term this replica has observed —
+	// from its bootstrap image or from any replayed batch. Batches
+	// stamped with a LOWER term are refused (a deposed leader's late
+	// ships); a higher term is adopted (a promotion happened upstream).
+	term atomic.Uint64
+	// sealed (under mu) refuses all further replay: set by Seal when
+	// promotion hands the store to a live engine.
+	sealed bool
+	// batchesReplayed and redoSkips feed the follower's own telemetry;
+	// staleRefusals counts chunks refused for carrying a stale term.
 	batchesReplayed atomic.Int64
 	redoSkips       atomic.Int64
+	staleRefusals   atomic.Int64
 }
 
 // BootReplica constructs a follower store from a leader CheckpointImage
@@ -109,7 +126,7 @@ type ReplicaState struct {
 // stamp: every batch at or below it is covered by the cut and will be
 // skipped if redelivered.
 func BootReplica(image []byte) (*ReplicaState, error) {
-	store, nextID, walSeq, pending, err := decodeCheckpoint(bytes.NewReader(image))
+	store, nextID, walSeq, term, pending, err := decodeCheckpoint(bytes.NewReader(image))
 	if err != nil {
 		return nil, fmt.Errorf("core: replica bootstrap: %w", err)
 	}
@@ -121,6 +138,7 @@ func BootReplica(image []byte) (*ReplicaState, error) {
 		}
 	}
 	r.applied.Store(walSeq)
+	r.term.Store(term)
 	return r, nil
 }
 
@@ -138,6 +156,22 @@ func BootReplica(image []byte) (*ReplicaState, error) {
 func (r *ReplicaState) ApplyBatches(batches []wal.Batch) (int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.sealed {
+		return 0, ErrReplicaSealed
+	}
+	// Term gate: a batch stamped below the replica's observed term is a
+	// deposed leader's late ship — refuse the whole chunk before any of
+	// it applies. Higher terms are adopted: a promotion happened
+	// upstream and this follower now tails the new leader's log.
+	for _, b := range batches {
+		if cur := r.term.Load(); b.Term < cur {
+			r.staleRefusals.Add(1)
+			return 0, fmt.Errorf("%w (batch %d term %d, replica at term %d)",
+				wal.ErrStaleTerm, b.Seq, b.Term, cur)
+		} else if b.Term > cur {
+			r.term.Store(b.Term)
+		}
+	}
 	aborted := make(map[uint64]bool)
 	inChunk := make(map[uint64]bool)
 	for _, b := range batches {
@@ -238,6 +272,37 @@ func (r *ReplicaState) applyBatchLocked(b wal.Batch) error {
 // acks upstream.
 func (r *ReplicaState) AppliedSeq() uint64 { return r.applied.Load() }
 
+// Term reports the highest replication term the replica has observed
+// (bootstrap image, replayed batches, or AdoptTerm).
+func (r *ReplicaState) Term() uint64 { return r.term.Load() }
+
+// AdoptTerm raises the replica's observed term (never lowers it) — the
+// follower loop calls it when a pull response or fence exchange reveals
+// a newer leader, so late batches from the old one are refused even if
+// they arrive before any batch stamped with the new term.
+func (r *ReplicaState) AdoptTerm(t uint64) {
+	for {
+		cur := r.term.Load()
+		if t <= cur || r.term.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// Seal permanently stops replay: every later ApplyBatches returns
+// ErrReplicaSealed. Promotion seals first, then hands the store to a
+// live engine — after the handoff the ReplicaState is a dead husk and
+// only the engine may mutate the store.
+func (r *ReplicaState) Seal() {
+	r.mu.Lock()
+	r.sealed = true
+	r.mu.Unlock()
+}
+
+// StaleTermRefusals counts replay chunks refused for carrying a term
+// below the replica's observed one.
+func (r *ReplicaState) StaleTermRefusals() int64 { return r.staleRefusals.Load() }
+
 // BatchesReplayed reports the cumulative count of batches applied.
 func (r *ReplicaState) BatchesReplayed() int64 { return r.batchesReplayed.Load() }
 
@@ -275,4 +340,30 @@ func (r *ReplicaState) EncodeState(w io.Writer) error {
 	snap := r.db.Snapshot()
 	defer snap.Release()
 	return snap.Encode(w)
+}
+
+// EncodeImage writes the replica's CURRENT state in the checkpoint wire
+// format — the same layout a leader's CheckpointImage ships — stamped
+// with the applied watermark and observed term. It is the follower's
+// persistent-cache spill payload: a restarted follower boots from it
+// and tails the leader from the embedded stamp instead of re-pulling
+// the full image over the network.
+func (r *ReplicaState) EncodeImage(w io.Writer) error {
+	r.mu.Lock()
+	snap := r.db.Snapshot()
+	pending := make([]*txn.T, 0, len(r.pending))
+	for _, t := range r.pending {
+		pending = append(pending, t)
+	}
+	cut := checkpointCut{
+		snap:    snap,
+		nextID:  r.nextID,
+		stamp:   r.applied.Load(),
+		term:    r.term.Load(),
+		pending: pending,
+	}
+	r.mu.Unlock()
+	defer snap.Release()
+	sort.Slice(cut.pending, func(i, j int) bool { return cut.pending[i].ID < cut.pending[j].ID })
+	return writeCheckpointTo(w, cut)
 }

@@ -120,6 +120,20 @@ type Stats struct {
 	// on a leader; a follower server fills them from its ReplicaState.
 	FollowerAppliedSeq int64
 	BatchesReplayed    int64
+	// ReplicaTerm is the engine's effective replication term — the
+	// fencing token failover monotonically advances. ReadOnlyMode is
+	// true once a newer term demoted this engine to follower mode.
+	ReplicaTerm  int64
+	ReadOnlyMode bool
+	// Demotions counts read-only flips forced by observing a newer term
+	// (at most one per demotion edge). StaleTermRefusals counts WAL
+	// appends refused because the term was fenced — a deposed leader's
+	// in-flight work dying at the token, not at timing.
+	Demotions         int
+	StaleTermRefusals int64
+	// Promotions counts successful follower promotions (follower-side;
+	// a follower server fills it from its replica.Follower).
+	Promotions int
 	// SolverSteps accumulates grounding attempts across all
 	// satisfiability checks (the phase-transition experiment's effort
 	// metric).
@@ -157,6 +171,7 @@ type counters struct {
 	trustDemotions, trustRearms                  atomic.Int64
 	snapshotReads, checkpointPauseNs             atomic.Int64
 	replicaAckSeq, replicaPulls                  atomic.Int64
+	demotions, staleTermRefusals                 atomic.Int64
 	statsSeq                                     atomic.Int64
 	// solverSteps is a plain int64 because its address is handed to the
 	// chain solver (formula.ChainOptions.StepCounter), which adds to it
@@ -199,6 +214,8 @@ func (c *counters) snapshot() Stats {
 		CheckpointPauseNs:    c.checkpointPauseNs.Load(),
 		ReplicaAckSeq:        c.replicaAckSeq.Load(),
 		ReplicaPulls:         int(c.replicaPulls.Load()),
+		Demotions:            int(c.demotions.Load()),
+		StaleTermRefusals:    c.staleTermRefusals.Load(),
 		SolverSteps:          atomic.LoadInt64(&c.solverSteps),
 	}
 }

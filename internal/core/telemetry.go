@@ -169,6 +169,23 @@ func newEngineMetrics(q *QDB) *engineMetrics {
 			return 0
 		})
 
+	// Failover series. The term gauge resolves through q.Term (which
+	// tolerates a nil q.log — the WAL, like above, opens after this
+	// registry is built).
+	reg.GaugeFunc("qdb_replica_term", "Effective replication term (the failover fencing token).",
+		func() int64 { return int64(q.Term()) })
+	reg.GaugeFunc("qdb_read_only_mode", "1 once a newer term demoted this engine to follower mode.",
+		func() int64 {
+			if q.readOnly.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("qdb_demotions_total", "Read-only flips forced by observing a newer replication term.",
+		c.demotions.Load)
+	reg.CounterFunc("qdb_stale_term_refusals_total", "WAL appends refused because the replication term was fenced.",
+		c.staleTermRefusals.Load)
+
 	const opHelp = "End-to-end engine operation latency."
 	m.submit = reg.Tracer("qdb_op_duration_seconds", "qdb_op_stage_duration_seconds",
 		"submit", opHelp, []string{"snapshot", "solve", "validate", "wal"}, m.slow)

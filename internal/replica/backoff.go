@@ -1,0 +1,47 @@
+package replica
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff is a capped exponential backoff with full jitter: each Next
+// doubles the nominal delay up to Max and returns a uniform sample from
+// [nominal/2, nominal]. The jitter half-window keeps a fleet of
+// followers retrying a restarted leader from stampeding it in phase,
+// while the floor keeps retries from degenerating to busy-polling.
+// Not safe for concurrent use; each retry loop owns its own.
+type Backoff struct {
+	Base time.Duration
+	Max  time.Duration
+	cur  time.Duration
+}
+
+// NewBackoff builds a backoff starting at base and capped at max (both
+// floored to sane minimums).
+func NewBackoff(base, max time.Duration) *Backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{Base: base, Max: max}
+}
+
+// Next returns the next jittered delay and advances the schedule.
+func (b *Backoff) Next() time.Duration {
+	if b.cur == 0 {
+		b.cur = b.Base
+	} else {
+		b.cur *= 2
+		if b.cur > b.Max {
+			b.cur = b.Max
+		}
+	}
+	half := b.cur / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// Reset rewinds the schedule to Base after a success.
+func (b *Backoff) Reset() { b.cur = 0 }

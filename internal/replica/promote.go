@@ -1,0 +1,158 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Promotion: a caught-up follower already holds everything a leader
+// needs — store, pending set, applied watermark — so becoming one is a
+// fence exchange plus core.PromoteReplica. The fence is what makes
+// failover safe rather than hopeful: the candidate proposes term+1, the
+// old leader grants it to AT MOST one candidate (the check-and-fence is
+// atomic) and poisons its own WAL in the same step, so from the grant
+// onward no old-term append can commit anywhere. The winner then drains
+// the sealed tail (every batch the old leader ever acked), promotes,
+// and serves writes at the new term; losers learn the winner's address
+// and converge as its followers.
+
+// ErrLostElection reports a fence refusal: another candidate already
+// holds a term at least as high. The returned error wraps the winning
+// term and address via the Follower's LeaderAddr/Term accessors.
+var ErrLostElection = errors.New("replica: promotion lost: a newer term already holds the write lease")
+
+// ErrPromotionInProgress reports a concurrent local Promote call.
+var ErrPromotionInProgress = errors.New("replica: promotion already in progress")
+
+// PromoteConfig configures one promotion attempt.
+type PromoteConfig struct {
+	// WAL configures the promoted engine. WAL.WALPath must name a FRESH
+	// WAL location: the new log starts empty, positioned at the applied
+	// watermark and stamped with the won term.
+	WAL core.Options
+	// Addr is this follower's serving address, advertised in the fence
+	// exchange so the deposed leader (and through it, losing
+	// candidates and redirected clients) can find the new leader.
+	Addr string
+	// Force skips the fence exchange and drain — the leader is known
+	// dead (SIGKILL, machine gone) and unreachable. Forced promotion
+	// can lose leader-acked batches the follower never received; the
+	// term still advances, so a revived old leader is fenced on its
+	// first contact rather than split-braining.
+	Force bool
+	// CheckpointPath, when set, cuts a durable checkpoint immediately
+	// after promotion. Strongly recommended: the fresh WAL holds no
+	// base state, so until this checkpoint the promoted store's only
+	// durable ancestry is the OLD leader's disk.
+	CheckpointPath string
+	// DrainTimeout bounds the post-fence catch-up drain (default 10s).
+	DrainTimeout time.Duration
+}
+
+// Promote turns this follower into a leader engine. The sequence:
+//
+//  1. Fence: propose Term()+1 to the current leader. Grant means the
+//     leader is now read-only at the new term and its WAL refuses
+//     further appends (wal.ErrStaleTerm); refusal means someone else
+//     won — adopt their term and address, return ErrLostElection.
+//     Force skips this step for a dead leader.
+//  2. Drain: pull until lag is zero. Post-fence the leader's WAL
+//     sequence is frozen, so the drain terminates and afterwards the
+//     replica holds every batch the old leader ever acked.
+//  3. Promote: seal the replay state and run core.PromoteReplica —
+//     RecoverCheckpoint from memory onto a fresh WAL positioned at the
+//     watermark, pending set re-admitted, admitting at the new term.
+//  4. Checkpoint (when configured): anchor the promoted store durably.
+//
+// On success the returned engine is live and this Follower is spent:
+// Run exits, the replica state is sealed, and reads should move to the
+// engine. The caller owns wiring it into a server and announcing the
+// new address.
+func (f *Follower) Promote(cfg PromoteConfig) (*core.QDB, error) {
+	st := f.state.Load()
+	if st == nil {
+		return nil, fmt.Errorf("replica: Promote before Bootstrap")
+	}
+	if !f.promoting.CompareAndSwap(false, true) {
+		return nil, ErrPromotionInProgress
+	}
+	defer f.promoting.Store(false)
+	if f.promoted.Load() {
+		return nil, fmt.Errorf("replica: already promoted (term %d)", f.Term())
+	}
+	start := time.Now()
+
+	newTerm := f.Term() + 1
+	if !cfg.Force {
+		res, err := f.transport().Fence(newTerm, cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("replica: fence exchange: %w (retry, or Force if the leader is dead)", err)
+		}
+		if !res.Granted {
+			raiseTerm(&f.leaderTerm, res.Term)
+			if res.LeaderAddr != "" {
+				f.SetLeaderAddr(res.LeaderAddr)
+			}
+			return nil, fmt.Errorf("%w (term %d held%s)", ErrLostElection, res.Term, leaderSuffix(res.LeaderAddr))
+		}
+		raiseTerm(&f.leaderTerm, newTerm)
+		// The fence froze the leader's WAL: drain the finite tail so no
+		// acked batch is left behind.
+		if err := f.drain(cfg.DrainTimeout); err != nil {
+			return nil, err
+		}
+		st = f.state.Load() // a drain resync may have swapped the state
+	}
+
+	q, err := core.PromoteReplica(st, newTerm, cfg.WAL)
+	if err != nil {
+		return nil, err
+	}
+	// Forced promotions skip the fence exchange, so lift the observed
+	// term here too — f.Term() and qdb_replica_term must report the won
+	// term either way.
+	raiseTerm(&f.leaderTerm, newTerm)
+	if cfg.CheckpointPath != "" {
+		if err := q.Checkpoint(cfg.CheckpointPath); err != nil {
+			q.Close()
+			return nil, fmt.Errorf("replica: post-promotion checkpoint: %w", err)
+		}
+	}
+	f.promoted.Store(true)
+	f.promotions.Add(1)
+	f.promotionDur.Observe(time.Since(start))
+	return q, nil
+}
+
+// drain pulls until the replica has applied everything the (fenced)
+// leader ever committed. Terminates because the fence froze the
+// leader's sequence; the timeout guards against the leader dying
+// mid-drain (the caller can then retry with Force).
+func (f *Follower) drain(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		n, err := f.Sync()
+		if err != nil {
+			return fmt.Errorf("replica: pre-promotion drain: %w", err)
+		}
+		if n == 0 && f.Lag() == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica: pre-promotion drain timed out at lag %d", f.Lag())
+		}
+	}
+}
+
+func leaderSuffix(addr string) string {
+	if addr == "" {
+		return ""
+	}
+	return ", leader " + addr
+}

@@ -3,42 +3,189 @@ package server
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"syscall"
+	"time"
 
 	quantumdb "repro"
+	"repro/internal/replica"
 	"repro/internal/value"
 )
 
 // Client speaks the JSON-lines protocol to a quantum database server.
 // Safe for concurrent use; requests are serialized over one connection.
+//
+// The client is failover-aware: transient transport errors (dial
+// refused, reset, EOF from a dying server) are retried under a capped
+// jittered backoff, and a structured leader-moved refusal (Response.
+// Redirect — a demoted leader or read-only follower naming the current
+// leader) reconnects to the named address and retries there. One
+// caveat is inherent to retrying writes: a submit whose response was
+// lost may have committed before the connection died, so retried
+// mutations are at-least-once. Reads and idempotent verbs are safe;
+// callers that need exactly-once writes must dedupe at the application
+// layer.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
+	mu    sync.Mutex
+	addr  string
+	retry RetryPolicy
+	conn  net.Conn
+	dec   *json.Decoder
+	enc   *json.Encoder
 }
 
-// Dial connects to a server.
+// RetryPolicy bounds one logical call's persistence. Zero fields take
+// defaults: 8 attempts, 25ms base delay doubling to a 2s cap (full
+// jitter), 4 leader-moved hops.
+type RetryPolicy struct {
+	MaxAttempts  int
+	BaseDelay    time.Duration
+	MaxDelay     time.Duration
+	MaxRedirects int
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.MaxRedirects <= 0 {
+		p.MaxRedirects = 4
+	}
+	return p
+}
+
+// dialTimeout bounds one TCP connect inside a call attempt.
+const dialTimeout = 5 * time.Second
+
+// Dial connects to a server with the default retry policy. The initial
+// reachability check itself retries transient dial failures, so a
+// one-shot CLI invocation launched during a leader restart connects
+// once the server is back instead of failing on the first refusal.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+	return DialWithPolicy(addr, RetryPolicy{})
+}
+
+// DialWithPolicy connects with an explicit retry policy.
+func DialWithPolicy(addr string, p RetryPolicy) (*Client, error) {
+	c := &Client{addr: addr, retry: p}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
 		return nil, err
 	}
-	return &Client{
-		conn: conn,
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-		enc:  json.NewEncoder(conn),
-	}, nil
+	return c, nil
+}
+
+// connectLocked establishes the connection, retrying transient dial
+// failures within the policy's budget. No request is sent.
+func (c *Client) connectLocked() error {
+	p := c.retry.withDefaults()
+	bo := replica.NewBackoff(p.BaseDelay, p.MaxDelay)
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(bo.Next())
+		}
+		conn, err := net.DialTimeout("tcp", c.addr, dialTimeout)
+		if err == nil {
+			c.conn = conn
+			c.dec = json.NewDecoder(bufio.NewReader(conn))
+			c.enc = json.NewEncoder(conn)
+			return nil
+		}
+		if !isTransient(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("server: dial %s failed after %d attempts: %w",
+		c.addr, p.MaxAttempts, lastErr)
+}
+
+// Addr is the address the client currently targets; it moves when a
+// redirect is followed.
+func (c *Client) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr
 }
 
 // Close tears down the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn, c.dec, c.enc = nil, nil, nil
+	return err
+}
 
+// roundTrip runs one logical call: send, decode, and on transient
+// failure or leader-moved redirect, reconnect and try again within the
+// policy's budget. Redirects don't consume retry attempts (they are
+// progress), but are capped separately so two servers pointing at each
+// other can't loop forever.
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	p := c.retry.withDefaults()
+	bo := replica.NewBackoff(p.BaseDelay, p.MaxDelay)
+	redirects := 0
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(bo.Next())
+		}
+		resp, err := c.once(req)
+		if err != nil {
+			if !isTransient(err) {
+				return Response{}, err
+			}
+			lastErr = err
+			c.dropConnLocked()
+			continue
+		}
+		if resp.OK {
+			return resp, nil
+		}
+		if rd := resp.Redirect; rd != nil && rd.Addr != "" && rd.Addr != c.addr && redirects < p.MaxRedirects {
+			redirects++
+			c.dropConnLocked()
+			c.addr = rd.Addr
+			bo.Reset()
+			attempt--
+			continue
+		}
+		return resp, fmt.Errorf("server: %s", resp.Err)
+	}
+	return Response{}, fmt.Errorf("server: %s against %s failed after %d attempts: %w",
+		req.Op, c.addr, p.MaxAttempts, lastErr)
+}
+
+// once performs a single request over the current connection, dialing
+// if needed.
+func (c *Client) once(req Request) (Response, error) {
+	if c.conn == nil {
+		conn, err := net.DialTimeout("tcp", c.addr, dialTimeout)
+		if err != nil {
+			return Response{}, err
+		}
+		c.conn = conn
+		c.dec = json.NewDecoder(bufio.NewReader(conn))
+		c.enc = json.NewEncoder(conn)
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, err
 	}
@@ -46,10 +193,34 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 	if err := c.dec.Decode(&resp); err != nil {
 		return Response{}, err
 	}
-	if !resp.OK {
-		return resp, fmt.Errorf("server: %s", resp.Err)
-	}
 	return resp, nil
+}
+
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn, c.dec, c.enc = nil, nil, nil
+}
+
+// isTransient classifies transport-level failures worth retrying:
+// refused/reset/closed connections, EOF from a server dying mid-reply,
+// and timeouts. Anything else (a well-formed server refusal travels as
+// a Response, not an error) is surfaced immediately.
+func isTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
 }
 
 // Ping checks liveness.
@@ -149,6 +320,22 @@ func (c *Client) SnapRead(query string) ([]map[string]string, error) {
 func (c *Client) Lag() (seq, applied, lag uint64, err error) {
 	resp, err := c.roundTrip(Request{Op: "lag"})
 	return resp.Seq, resp.Applied, resp.Lag, err
+}
+
+// Term reports the server's current replication term (via the lag
+// verb, which both roles answer).
+func (c *Client) Term() (uint64, error) {
+	resp, err := c.roundTrip(Request{Op: "lag"})
+	return resp.Term, err
+}
+
+// Promote asks a follower server to promote itself to leader; force
+// skips the fence exchange (use when the leader is known dead).
+// Returns the new leader's term and WAL position. Promoting a server
+// that is already the leader succeeds and reports its current term.
+func (c *Client) Promote(force bool) (term, seq uint64, err error) {
+	resp, err := c.roundTrip(Request{Op: "promote", Force: force})
+	return resp.Term, resp.Seq, err
 }
 
 // Stats fetches the server's engine counters (follower-side fields

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	quantumdb "repro"
+	"repro/internal/replica"
+)
+
+// TestFailoverCutoverOverTCP runs the whole availability story over
+// real sockets: a client that mistakenly talks to the follower is
+// redirected to the leader; an admin promotes the follower over the
+// wire (fence exchange, drain, in-place role swap); clients still
+// pointed at the deposed leader are redirected to the new one; and
+// every write the old leader ever acked survives the cutover
+// byte-for-byte.
+func TestFailoverCutoverOverTCP(t *testing.T) {
+	c, db, leaderAddr := startWALLeader(t)
+	seatSchema(t, c)
+
+	// Acked traffic on the old leader, including one live pending txn.
+	if _, err := c.Submit("-Available(1, s), +Bookings('Mickey', 1, s) :-1 Available(1, s)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.GroundAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit("-Available(1, s), +Bookings('Donald', 1, s) :-1 Available(1, s)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A promotable follower server, replicating over TCP.
+	f := replica.NewFollower(&ReplicaClient{Addr: leaderAddr, Timeout: 5 * time.Second})
+	f.SetLeaderAddr(leaderAddr)
+	if err := f.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	fl := listenTCP(t)
+	followerAddr := fl.Addr().String()
+	fsrv := NewFollower(f)
+	fsrv.EnablePromotion(replica.PromoteConfig{
+		WAL: quantumdb.Options{
+			WALPath:     filepath.Join(t.TempDir(), "promoted.wal"),
+			WALSegments: 2,
+		},
+		Addr: followerAddr,
+	})
+	go fsrv.Serve(fl)
+
+	// Pre-promotion cutover: a client pointed at the follower issues a
+	// mutation, gets the structured leader-moved redirect, and lands it
+	// on the leader — transparently, inside one roundTrip.
+	rc := dialT(t, followerAddr)
+	if _, err := rc.Submit("-Available(1, s), +Bookings('Goofy', 1, s) :-1 Available(1, s)"); err != nil {
+		t.Fatalf("redirected submit: %v", err)
+	}
+	if got := rc.Addr(); got != leaderAddr {
+		t.Fatalf("client followed redirect to %q, want leader %q", got, leaderAddr)
+	}
+	if err := rc.GroundAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh inventory, then one txn left pending so the failover carries
+	// a live superposition (and Daisy has a seat after the cutover).
+	if err := c.Exec("+Available(1, '2A'), +Available(1, '2B'), +Available(1, '2C')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit("-Available(1, s), +Bookings('Pluto', 1, s) :-1 Available(1, s)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// What the old leader acked, as the clients saw it.
+	want, err := c.SnapRead("Bookings(n, 1, s)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pendingBefore, err := c.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pendingBefore == 0 {
+		t.Fatal("no pending txn to carry across the failover")
+	}
+
+	// Promote over the wire: admin client against the follower. The
+	// fence exchange runs follower→leader over TCP; the drain collects
+	// the sealed tail; the server swaps roles in place.
+	fc := dialT(t, followerAddr)
+	term, seq, err := fc.Promote(false)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if term != 1 || seq == 0 {
+		t.Fatalf("promoted at term=%d seq=%d, want term 1 and a nonzero seq", term, seq)
+	}
+	// The verb is idempotent on an already-promoted server.
+	if term2, _, err := fc.Promote(false); err != nil || term2 != 1 {
+		t.Fatalf("second promote: term=%d err=%v", term2, err)
+	}
+
+	// Post-promotion cutover: the client still pointed at the DEPOSED
+	// leader mutates, gets ErrDemoted plus the winner's address, and the
+	// write lands on the new leader.
+	if _, err := c.Submit("-Available(1, s), +Bookings('Daisy', 1, s) :-1 Available(1, s)"); err != nil {
+		t.Fatalf("post-failover submit via old leader: %v", err)
+	}
+	if got := c.Addr(); got != followerAddr {
+		t.Fatalf("client cut over to %q, want new leader %q", got, followerAddr)
+	}
+	if err := c.GroundAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero acked-write loss: everything the old leader acked is visible
+	// on the new one (Daisy's post-failover booking rides on top).
+	got, err := fc.SnapRead("Bookings(n, 1, s)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range want {
+		found := false
+		for _, g := range got {
+			if reflect.DeepEqual(row, g) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("acked row %v lost in failover; new leader has %v", row, got)
+		}
+	}
+	if nt, err := fc.Term(); err != nil || nt != 1 {
+		t.Fatalf("new leader term = %d, err=%v; want 1", nt, err)
+	}
+	if ot, err := c.Term(); err != nil || ot != 1 {
+		t.Fatalf("old leader term = %d, err=%v; want fenced at 1", ot, err)
+	}
+	if db.Engine().Term() != 1 {
+		t.Fatalf("deposed engine term %d, want 1", db.Engine().Term())
+	}
+
+	// The new leader serves stats merged from both lives: replication
+	// counters from its follower past, engine counters from its present.
+	st, err := fc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Promotions != 1 || st.BatchesReplayed == 0 {
+		t.Fatalf("promoted stats: promotions=%d replayed=%d", st.Promotions, st.BatchesReplayed)
+	}
+}
+
+// TestFollowerLongPollOverTCP pins push-style shipping end to end: a
+// pull with a wait budget parks at the leader until a batch commits,
+// then returns it — no polling interval in the latency path.
+func TestFollowerLongPollOverTCP(t *testing.T) {
+	c, db, leaderAddr := startWALLeader(t)
+	seatSchema(t, c)
+	if err := c.GroundAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	rc := &ReplicaClient{Addr: leaderAddr, Timeout: 5 * time.Second, Wait: 10 * time.Second}
+	f := replica.NewFollower(rc)
+	f.LongPoll = true
+	if err := f.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park a pull, then commit a batch ~50ms later; the parked pull must
+	// return it well before the 10s wait budget.
+	start := time.Now()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		c.Exec("+Available(2, '9Z')")
+	}()
+	done := make(chan error, 1)
+	go func() {
+		for {
+			n, err := f.Sync()
+			if err != nil || n > 0 {
+				done <- err
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("long-poll sync: %v", err)
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("parked pull never woke for the new batch")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("long-poll took %v; the park is not waking on commit", elapsed)
+	}
+	if f.AppliedSeq() != db.Engine().WALSeq() {
+		t.Fatalf("applied %d, leader %d", f.AppliedSeq(), db.Engine().WALSeq())
+	}
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"errors"
+	"time"
+
+	quantumdb "repro"
+	"repro/internal/replica"
+)
+
+// Server-side failover: the promote verb turns a follower-mode server
+// into a leader in place (role swap), repl.pull long-polls so shipping
+// is push-shaped, and refused mutations carry a structured Redirect so
+// clients cut over to the new leader without operator help.
+
+// maxLongPoll caps how long one repl.pull may park server-side,
+// whatever the follower asked for.
+const maxLongPoll = 30 * time.Second
+
+// longPollSlice is the park granularity: each wakeup rechecks draining
+// so a shutdown never waits out a whole long-poll budget.
+const longPollSlice = 250 * time.Millisecond
+
+// parkPull implements push-style shipping over the pull wire: when the
+// follower asked to long-poll (WaitMS) and nothing is committed above
+// its watermark, park on the WAL's sequence broadcast so batches ship
+// the moment they commit instead of on the next poll tick. Parking in
+// slices keeps drains prompt.
+func (s *Server) parkPull(r *serverRole, req Request) {
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait <= 0 {
+		return
+	}
+	if wait > maxLongPoll {
+		wait = maxLongPoll
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		if r.db.Engine().WALSeq() > req.After {
+			return
+		}
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			return
+		}
+		left := time.Until(deadline)
+		if left <= 0 {
+			return
+		}
+		if left > longPollSlice {
+			left = longPollSlice
+		}
+		r.db.Engine().WaitForWALSeq(req.After, left)
+	}
+}
+
+// EnablePromotion arms the promote verb on a follower-mode server: when
+// an operator (qdbcli promote) asks, the follower runs Promote with
+// this config and the server swaps itself into leader mode in place.
+// cfg.Addr should be the address clients and peers reach this server
+// at — it is what the deposed leader's redirects will advertise.
+func (s *Server) EnablePromotion(cfg replica.PromoteConfig) {
+	s.mu.Lock()
+	s.promoteCfg = &cfg
+	s.mu.Unlock()
+}
+
+// promoteFollower handles the promote verb on a follower: fence, drain,
+// core.PromoteReplica, then swap the server role so the very next
+// request admits writes at the new term. The sealed Follower rides
+// along in the new role for stats continuity (promotions, cache
+// counters); its Run loop has exited.
+func (s *Server) promoteFollower(r *serverRole, req Request) Response {
+	s.mu.Lock()
+	cfgp := s.promoteCfg
+	s.mu.Unlock()
+	if cfgp == nil {
+		return Response{Err: "server: promotion not enabled on this follower (start it with a promotion WAL path)"}
+	}
+	cfg := *cfgp
+	if req.Force {
+		cfg.Force = true
+	}
+	q, err := r.fol.Promote(cfg)
+	if err != nil {
+		resp := Response{Err: err.Error()}
+		if errors.Is(err, replica.ErrLostElection) {
+			if addr := r.fol.LeaderAddr(); addr != "" {
+				resp.Redirect = &Redirect{Addr: addr, Term: r.fol.Term()}
+				s.redirects.Add(1)
+			}
+		}
+		return resp
+	}
+	db := quantumdb.FromEngine(q)
+	s.role.Store(&serverRole{
+		db: db, co: db.NewCoordinator(),
+		shipper: &replica.Shipper{DB: q, MaxBatches: shipChunk},
+		fol:     r.fol,
+	})
+	return Response{OK: true, Term: q.Term(), Seq: q.WALSeq()}
+}

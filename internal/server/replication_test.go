@@ -160,7 +160,7 @@ func TestReplicationOverTCP(t *testing.T) {
 // stream), and the same client works again once a leader is back.
 func TestReplicaClientDeadLeader(t *testing.T) {
 	rc := &ReplicaClient{Addr: "127.0.0.1:1", Timeout: 500 * time.Millisecond}
-	if _, err := rc.Pull(0); err == nil {
+	if _, err := rc.Pull(0, 0); err == nil {
 		t.Fatal("pull against a dead leader succeeded")
 	}
 	if _, _, err := rc.Bootstrap(); err == nil {

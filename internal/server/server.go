@@ -26,12 +26,15 @@ package server
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	quantumdb "repro"
+	"repro/internal/core"
 	"repro/internal/replica"
 	"repro/internal/telemetry"
 )
@@ -58,6 +61,19 @@ type Request struct {
 	// After is repl.pull's resume watermark: return batches with
 	// sequence numbers strictly above it.
 	After uint64 `json:"after,omitempty"`
+	// Term carries the caller's replication term: on repl.pull the
+	// follower's observed term (a leader seeing a higher one demotes
+	// itself), on repl.fence the proposed new term.
+	Term uint64 `json:"term,omitempty"`
+	// Addr is the caller's serving address, advertised on repl.fence so
+	// the deposed leader can redirect clients to the winner.
+	Addr string `json:"addr,omitempty"`
+	// WaitMS asks repl.pull to long-poll: park up to this many
+	// milliseconds for new batches instead of returning empty.
+	WaitMS int64 `json:"wait_ms,omitempty"`
+	// Force marks a promote that skips the fence exchange (the leader
+	// is known dead and unreachable).
+	Force bool `json:"force,omitempty"`
 }
 
 // TableSpec mirrors quantumdb.Table for the wire.
@@ -89,12 +105,28 @@ type Response struct {
 	Resync  bool        `json:"resync,omitempty"`
 	Applied uint64      `json:"applied,omitempty"`
 	Lag     uint64      `json:"lag,omitempty"`
+	// Failover fields. Term is the responder's replication term (on
+	// repl.pull, repl.fence, promote, lag). Granted reports a fence
+	// exchange's outcome. Redirect rides on refused mutations: the
+	// structured leader-moved hint retrying clients follow.
+	Term     uint64    `json:"term,omitempty"`
+	Granted  bool      `json:"granted,omitempty"`
+	Redirect *Redirect `json:"redirect,omitempty"`
+}
+
+// Redirect is the structured leader-moved payload: where the current
+// leader serves and at what term. Clients (server.Client) follow it
+// automatically; scripted callers can read it off the error response.
+type Redirect struct {
+	Addr string `json:"addr"`
+	Term uint64 `json:"term"`
 }
 
 // WireBatch mirrors wal.Batch for the JSON wire; record payloads ride
-// as base64.
+// as base64. Term is the fencing token the batch was appended under.
 type WireBatch struct {
 	Seq     uint64       `json:"seq"`
+	Term    uint64       `json:"term,omitempty"`
 	Records []WireRecord `json:"records"`
 }
 
@@ -110,7 +142,8 @@ type WireRecord struct {
 var ops = []string{
 	"create", "exec", "txn", "etxn", "sql", "read", "snapread",
 	"preview", "ground", "groundall", "pending", "stats", "ping",
-	"lag", "repl.bootstrap", "repl.pull", "other",
+	"lag", "repl.bootstrap", "repl.pull", "repl.fence", "promote",
+	"other",
 }
 
 // Server serves one quantum database to many connections. Engine calls
@@ -119,37 +152,58 @@ var ops = []string{
 // server's own mutex guards only lifecycle state (drain bookkeeping),
 // taken once per request, never across engine calls.
 type Server struct {
+	// role is what this server currently is — leader (db/co/shipper
+	// set) or follower (fol set). It is swapped atomically by a
+	// successful promote verb: in-flight dispatches finish against the
+	// role they loaded, new requests see the new one. A promoted role
+	// keeps its fol pointer (sealed, read side only) for promotion and
+	// term bookkeeping in stats.
+	role   atomic.Pointer[serverRole]
+	opHist map[string]*telemetry.Histogram
+	// redirects counts leader-moved hints attached to refused
+	// mutations (qdb_server_redirects_total).
+	redirects atomic.Int64
+
+	mu         sync.Mutex
+	promoteCfg *replica.PromoteConfig // armed by EnablePromotion
+	draining   bool
+	active     int           // dispatches currently executing
+	drained    chan struct{} // closed when active hits 0 while draining
+	listeners  map[net.Listener]struct{}
+	conns      map[net.Conn]struct{}
+}
+
+// serverRole is one immutable snapshot of what the server fronts.
+type serverRole struct {
 	db      *quantumdb.DB
 	co      *quantumdb.Coordinator
 	shipper *replica.Shipper  // leader-side log shipping (nil on followers)
-	fol     *replica.Follower // follower mode (nil on leaders)
-	opHist  map[string]*telemetry.Histogram
-
-	mu        sync.Mutex
-	draining  bool
-	active    int           // dispatches currently executing
-	drained   chan struct{} // closed when active hits 0 while draining
-	listeners map[net.Listener]struct{}
-	conns     map[net.Conn]struct{}
+	fol     *replica.Follower // follower mode; retained after promotion for stats
 }
+
+func (r *serverRole) leader() bool { return r.db != nil }
 
 // New wraps db. Register a Server at most once per database: it adds
 // the server-side request-latency series to the database's registry.
 func New(db *quantumdb.DB) *Server {
 	s := newServer(db.Metrics())
-	s.db, s.co = db, db.NewCoordinator()
-	s.shipper = &replica.Shipper{DB: db.Engine(), MaxBatches: shipChunk}
+	s.role.Store(&serverRole{
+		db: db, co: db.NewCoordinator(),
+		shipper: &replica.Shipper{DB: db.Engine(), MaxBatches: shipChunk},
+	})
 	return s
 }
 
 // NewFollower wraps a replica follower as a read-only server: it
 // answers ping, snapread, peek-style reads, pending, stats, and lag
 // from the replayed store, and refuses every mutation with
-// ErrReadOnlyFollower. Request-latency series land in the follower's
-// own registry.
+// ErrReadOnlyFollower (plus a Redirect when the leader is known).
+// Request-latency series land in the follower's own registry. If
+// promotion is armed (EnablePromotion), the promote verb turns this
+// server into a leader in place.
 func NewFollower(f *replica.Follower) *Server {
 	s := newServer(f.Metrics())
-	s.fol = f
+	s.role.Store(&serverRole{fol: f})
 	return s
 }
 
@@ -164,7 +218,18 @@ func newServer(reg *telemetry.Registry) *Server {
 			fmt.Sprintf("op=%q", op),
 			"Whole server request latency, decode to response write.")
 	}
+	reg.CounterFunc("qdb_server_redirects_total",
+		"Leader-moved redirects attached to refused mutations.",
+		s.redirects.Load)
 	return s
+}
+
+// DB returns the database this server currently fronts — nil in
+// follower mode. After an in-place promotion it returns the promoted
+// engine, which the process owner must Close on shutdown (the follower
+// path has no engine to close).
+func (s *Server) DB() *quantumdb.DB {
+	return s.role.Load().db
 }
 
 // shipChunk caps one repl.pull response, bounding response size and
@@ -320,66 +385,95 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 }
 
 func (s *Server) dispatch(req Request) Response {
-	if s.fol != nil {
-		return s.dispatchFollower(req)
+	r := s.role.Load()
+	if !r.leader() {
+		return s.dispatchFollower(r, req)
 	}
-	fail := func(err error) Response { return Response{Err: err.Error()} }
+	// fail wraps leader-side refusals; a demotion (this node lost a
+	// fence exchange and is now read-only) rides out as a structured
+	// redirect to wherever the write lease went.
+	fail := func(err error) Response {
+		resp := Response{Err: err.Error()}
+		if errors.Is(err, core.ErrDemoted) {
+			addr, term := r.db.Engine().LeaderHint()
+			resp.Redirect = &Redirect{Addr: addr, Term: term}
+			s.redirects.Add(1)
+		}
+		return resp
+	}
 	switch req.Op {
 	case "ping":
 		return Response{OK: true}
 	case "lag":
-		st := s.db.Stats()
-		return Response{OK: true, Seq: s.db.Engine().WALSeq(),
-			Applied: uint64(st.ReplicaAckSeq), Lag: uint64(st.ReplicaLag)}
+		st := r.db.Stats()
+		return Response{OK: true, Seq: r.db.Engine().WALSeq(),
+			Applied: uint64(st.ReplicaAckSeq), Lag: uint64(st.ReplicaLag),
+			Term: r.db.Engine().Term()}
 	case "repl.bootstrap":
-		image, seq, err := s.shipper.Bootstrap()
+		image, seq, err := r.shipper.Bootstrap()
 		if err != nil {
 			return fail(err)
 		}
 		return Response{OK: true, Image: image, Seq: seq}
 	case "repl.pull":
-		res, err := s.shipper.Pull(req.After)
+		s.parkPull(r, req)
+		res, err := r.shipper.Pull(req.After, req.Term)
 		if err != nil {
 			return fail(err)
 		}
 		return Response{OK: true, Batches: toWireBatches(res.Batches),
-			Seq: res.LeaderSeq, Resync: res.Resync}
+			Seq: res.LeaderSeq, Resync: res.Resync, Term: res.LeaderTerm}
+	case "repl.fence":
+		res, err := r.shipper.Fence(req.Term, req.Addr)
+		if err != nil {
+			return fail(err)
+		}
+		resp := Response{OK: true, Granted: res.Granted, Term: res.Term}
+		if res.LeaderAddr != "" {
+			resp.Redirect = &Redirect{Addr: res.LeaderAddr, Term: res.Term}
+		}
+		return resp
+	case "promote":
+		// Already the leader. Answering OK makes scripted failover
+		// idempotent: a candidate that lost the race follows the
+		// redirect here and learns the term instead of erroring out.
+		return Response{OK: true, Term: r.db.Engine().Term(), Seq: r.db.Engine().WALSeq()}
 	case "create":
 		if req.Table == nil {
 			return fail(fmt.Errorf("create requires table"))
 		}
 		t := req.Table
-		if err := s.db.CreateTable(quantumdb.Table{
+		if err := r.db.CreateTable(quantumdb.Table{
 			Name: t.Name, Columns: t.Columns, Key: t.Key, Indexes: t.Indexes,
 		}); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true}
 	case "exec":
-		if err := s.db.Exec(req.Facts); err != nil {
+		if err := r.db.Exec(req.Facts); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true}
 	case "txn":
-		id, err := s.db.Submit(req.Txn)
+		id, err := r.db.Submit(req.Txn)
 		if err != nil {
 			return fail(err)
 		}
-		return Response{OK: true, ID: id, Pending: s.db.Pending()}
+		return Response{OK: true, ID: id, Pending: r.db.Pending()}
 	case "etxn":
-		id, err := s.co.Submit(req.Txn, req.Tag, req.Partner)
+		id, err := r.co.Submit(req.Txn, req.Tag, req.Partner)
 		if err != nil {
 			return fail(err)
 		}
-		return Response{OK: true, ID: id, Pending: s.db.Pending()}
+		return Response{OK: true, ID: id, Pending: r.db.Pending()}
 	case "sql":
-		id, err := s.db.SubmitSQL(req.Txn)
+		id, err := r.db.SubmitSQL(req.Txn)
 		if err != nil {
 			return fail(err)
 		}
-		return Response{OK: true, ID: id, Pending: s.db.Pending()}
+		return Response{OK: true, ID: id, Pending: r.db.Pending()}
 	case "read":
-		rows, err := s.db.Query(req.Query)
+		rows, err := r.db.Query(req.Query)
 		if err != nil {
 			return fail(err)
 		}
@@ -388,7 +482,7 @@ func (s *Server) dispatch(req Request) Response {
 		// Collapse-free read: evaluated against a one-shot snapshot, so it
 		// observes committed state only (pending transactions stay
 		// superposed) and never contends with appliers.
-		snap := s.db.Snapshot()
+		snap := r.db.Snapshot()
 		rows, err := snap.Query(req.Query)
 		snap.Release()
 		if err != nil {
@@ -396,25 +490,31 @@ func (s *Server) dispatch(req Request) Response {
 		}
 		return Response{OK: true, Rows: rowsOut(rows)}
 	case "preview":
-		ids, err := s.db.Preview(req.Query)
+		ids, err := r.db.Preview(req.Query)
 		if err != nil {
 			return fail(err)
 		}
 		return Response{OK: true, IDs: ids}
 	case "ground":
-		if err := s.db.Ground(req.ID); err != nil {
+		if err := r.db.Ground(req.ID); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true}
 	case "groundall":
-		if err := s.db.GroundAll(); err != nil {
+		if err := r.db.GroundAll(); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true}
 	case "pending":
-		return Response{OK: true, Pending: s.db.Pending()}
+		return Response{OK: true, Pending: r.db.Pending()}
 	case "stats":
-		st := s.db.Stats()
+		st := r.db.Stats()
+		if r.fol != nil {
+			// Promoted leader: fold in the follower-era counters so the
+			// promotion itself stays visible in stats.
+			st.Promotions = int(r.fol.Promotions())
+			st.BatchesReplayed = r.fol.BatchesReplayed()
+		}
 		return Response{OK: true, Stats: &st}
 	default:
 		return fail(fmt.Errorf("unknown op %q", req.Op))

@@ -14,7 +14,7 @@ import (
 // tombstone, an abort) for the fuzz corpus.
 func seedFrames() [][]byte {
 	mk := func(seq uint64, recs []Record) []byte {
-		return appendBatchFrame(nil, seq, recs)
+		return appendBatchFrame(nil, seq, seq%3, recs)
 	}
 	return [][]byte{
 		mk(1, []Record{{Type: 1, Payload: []byte("pending txn payload")}}),
@@ -54,14 +54,14 @@ func FuzzBatchDecode(f *testing.F) {
 		// The body decoder alone must tolerate arbitrary bytes; anything
 		// it accepts must survive an encode/decode round trip unchanged
 		// (byte equality is too strict: uvarints admit non-minimal forms).
-		if len(data) >= 8 {
+		if len(data) >= 16 {
 			if b, err := decodeBatchBody(data); err == nil {
-				reencoded := appendBatchFrame(nil, b.Seq, b.Records)
+				reencoded := appendBatchFrame(nil, b.Seq, b.Term, b.Records)
 				b2, err := decodeBatchBody(reencoded[4 : len(reencoded)-4])
 				if err != nil {
 					t.Fatalf("re-encoded accepted batch fails to decode: %v", err)
 				}
-				if b2.Seq != b.Seq || len(b2.Records) != len(b.Records) {
+				if b2.Seq != b.Seq || b2.Term != b.Term || len(b2.Records) != len(b.Records) {
 					t.Fatalf("round trip changed batch shape: %+v vs %+v", b, b2)
 				}
 				for i := range b.Records {

@@ -38,14 +38,20 @@ import (
 
 // segMagic identifies a segment file; it doubles as a format version so
 // a legacy single-file log (package-level Log) is never misparsed as a
-// segment.
-const segMagic = "QDBWSEG1"
+// segment. Version 2 added the replication term to every frame body;
+// version-1 files are refused (bad magic) rather than misread, because a
+// v1 body's record count would be parsed as the low bytes of a term.
+const segMagic = "QDBWSEG2"
 
 // Batch is one replayed commit unit: the records appended together by a
-// single AppendBatch call, with the global sequence number they were
-// stamped with.
+// single AppendBatch call, with the global sequence number and the
+// replication term they were stamped with. The term is the fencing
+// token of leader failover: a batch logged under term T was appended by
+// the leader of term T, and replicas refuse batches from terms below
+// the highest they have observed (ErrStaleTerm).
 type Batch struct {
 	Seq     uint64
+	Term    uint64
 	Records []Record
 }
 
@@ -96,6 +102,21 @@ type SegmentedLog struct {
 	// is gone (ErrTruncated) instead of silently skipping batches a
 	// concurrent rewrite deleted mid-scan.
 	truncatedBelow atomic.Uint64
+	// term stamps every appended batch; fence is the minimum term still
+	// allowed to append. They advance together through SetTerm/Position
+	// (a legitimate term adoption), but Fence raises only the fence: the
+	// whole log is then poisoned for appends — the deposed leader's own
+	// stamp stays below the fence, so every in-flight mutation that
+	// reaches AppendBatch after demotion is refused with ErrStaleTerm
+	// instead of committing behind the new leader's back.
+	term  atomic.Uint64
+	fence atomic.Uint64
+	// waitMu/waitCh implement WaitForSeq's append notification; hasWaiter
+	// keeps the append fast path at one atomic load when nobody is
+	// long-polling.
+	waitMu    sync.Mutex
+	waitCh    chan struct{}
+	hasWaiter atomic.Bool
 	// SyncOnAppend makes AppendBatch acknowledge a batch only after an
 	// fsync covering it (group commit). Set once after Open, before use.
 	SyncOnAppend bool
@@ -154,11 +175,15 @@ func OpenSegmented(path string, n int) (*SegmentedLog, error) {
 		return nil, err
 	}
 	l := &SegmentedLog{path: path}
-	maxSeq, err := maxSegmentSeq(path)
+	maxSeq, maxTerm, err := maxSegmentSeq(path)
 	if err != nil {
 		return nil, err
 	}
 	l.seq.Store(maxSeq)
+	// Resume at the highest term on disk: a recovered leader keeps its
+	// term (the fence rises with it — a reopen is not a demotion).
+	l.term.Store(maxTerm)
+	l.fence.Store(maxTerm)
 	for i := 0; i < n; i++ {
 		s, err := openSegment(segmentPath(path, i))
 		if err != nil {
@@ -267,8 +292,13 @@ func (l *SegmentedLog) AppendBatch(affinity int64, recs []Record) (uint64, error
 		s.mu.Unlock()
 		return 0, fmt.Errorf("wal: segment failed by earlier error: %w", err)
 	}
+	term := l.term.Load()
+	if f := l.fence.Load(); f > term {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w (term %d, fenced at %d)", ErrStaleTerm, term, f)
+	}
 	seq := l.seq.Add(1)
-	s.scratch = appendBatchFrame(s.scratch[:0], seq, recs)
+	s.scratch = appendBatchFrame(s.scratch[:0], seq, term, recs)
 	l.BatchBytes.Record(int64(len(s.scratch)))
 	if _, err := s.w.Write(s.scratch); err != nil {
 		s.failed = err
@@ -292,6 +322,7 @@ func (l *SegmentedLog) AppendBatch(affinity int64, recs []Record) (uint64, error
 			return 0, fmt.Errorf("wal: flush: %w", err)
 		}
 		s.mu.Unlock()
+		l.wakeWaiters()
 		l.AppendHist.Observe(time.Since(start))
 		return seq, nil
 	}
@@ -306,8 +337,109 @@ func (l *SegmentedLog) AppendBatch(affinity int64, recs []Record) (uint64, error
 		}
 	}
 	s.mu.Unlock()
+	l.wakeWaiters()
 	l.AppendHist.Observe(time.Since(start))
 	return seq, nil
+}
+
+// ErrStaleTerm reports an append refused by the fence: the log's stamp
+// term has been overtaken by a newer leader's term, so this instance
+// must not commit anything further — its acknowledged history up to the
+// fence point is exactly what the new leader replicated.
+var ErrStaleTerm = errors.New("wal: append refused: replication term superseded by a newer leader")
+
+// Term reports the term new appends are stamped with.
+func (l *SegmentedLog) Term() uint64 { return l.term.Load() }
+
+// FencedTerm reports the highest term this log has been fenced at (equal
+// to Term unless a Fence demoted the log's owner).
+func (l *SegmentedLog) FencedTerm() uint64 { return l.fence.Load() }
+
+// SetTerm adopts a higher replication term as this log's own: the stamp
+// and the fence rise together, so appends continue under the new term.
+// Terms are monotone; a lower t is a no-op.
+func (l *SegmentedLog) SetTerm(t uint64) {
+	raiseSeqWatermark(&l.term, t)
+	raiseSeqWatermark(&l.fence, t)
+}
+
+// Fence raises only the fence: if t exceeds the log's own term, every
+// subsequent AppendBatch fails with ErrStaleTerm until SetTerm adopts a
+// term at or above the fence. This is the demotion primitive — fencing a
+// deposed leader's log refuses its in-flight mutations at the last
+// possible moment before durability, with no cooperation needed from
+// the code paths above it.
+func (l *SegmentedLog) Fence(t uint64) {
+	raiseSeqWatermark(&l.fence, t)
+}
+
+// Position initializes an empty log at a promotion point: the sequence
+// counter resumes at seq (the promoted replica's applied watermark), the
+// truncation watermark is raised to match — a subscriber resuming below
+// it is told its tail is gone (ErrTruncated) and re-bootstraps from the
+// new leader's image, which is the only place pre-promotion history
+// lives — and the log adopts term. It refuses a log that already holds
+// batches: positioning is for the fresh WAL a promotion opens, never for
+// rewriting history.
+func (l *SegmentedLog) Position(seq, term uint64) error {
+	if got := l.seq.Load(); got != 0 {
+		return fmt.Errorf("wal: Position on a non-empty log (seq %d)", got)
+	}
+	l.seq.Store(seq)
+	raiseSeqWatermark(&l.truncatedBelow, seq)
+	l.SetTerm(term)
+	return nil
+}
+
+// WaitForSeq blocks until the log's sequence counter exceeds `above` or
+// timeout elapses, returning the current sequence either way — the
+// long-poll primitive behind push-style log shipping: a pull request
+// parks here instead of making the follower poll, so replication lag
+// loses its poll-interval floor. Waiters cost appenders one atomic load
+// until one actually parks.
+func (l *SegmentedLog) WaitForSeq(above uint64, timeout time.Duration) uint64 {
+	deadline := time.Now().Add(timeout)
+	for {
+		if s := l.seq.Load(); s > above {
+			return s
+		}
+		l.waitMu.Lock()
+		if l.waitCh == nil {
+			l.waitCh = make(chan struct{})
+		}
+		ch := l.waitCh
+		l.hasWaiter.Store(true)
+		l.waitMu.Unlock()
+		// Recheck after registering: an append between the first check and
+		// registration would have found hasWaiter unset and not signaled.
+		if s := l.seq.Load(); s > above {
+			return s
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return l.seq.Load()
+		}
+		t := time.NewTimer(remaining)
+		select {
+		case <-ch:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+}
+
+// wakeWaiters releases every WaitForSeq parked on the current channel.
+func (l *SegmentedLog) wakeWaiters() {
+	if !l.hasWaiter.Load() {
+		return
+	}
+	l.waitMu.Lock()
+	if l.waitCh != nil {
+		close(l.waitCh)
+		l.waitCh = nil
+	}
+	l.hasWaiter.Store(false)
+	l.waitMu.Unlock()
 }
 
 // groupSync blocks until a successful fsync covers ticket, leading the
@@ -780,13 +912,14 @@ func (l *SegmentedLog) Stats() SegStats {
 // appendBatchFrame encodes one batch frame into buf:
 //
 //	4-byte LE body length | body | 4-byte CRC32C(body)
-//	body = 8-byte LE seq | uvarint record count | records
+//	body = 8-byte LE seq | 8-byte LE term | uvarint record count | records
 //	record = 1-byte type | uvarint payload length | payload
-func appendBatchFrame(buf []byte, seq uint64, recs []Record) []byte {
+func appendBatchFrame(buf []byte, seq, term uint64, recs []Record) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // length, patched below
 	bodyStart := len(buf)
 	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, term)
 	buf = binary.AppendUvarint(buf, uint64(len(recs)))
 	for _, r := range recs {
 		buf = append(buf, r.Type)
@@ -801,11 +934,14 @@ func appendBatchFrame(buf []byte, seq uint64, recs []Record) []byte {
 // decodeBatchBody parses a CRC-verified batch body. The returned record
 // payloads alias data.
 func decodeBatchBody(data []byte) (Batch, error) {
-	if len(data) < 8 {
+	if len(data) < 16 {
 		return Batch{}, fmt.Errorf("%w: short batch body", ErrCorrupt)
 	}
-	b := Batch{Seq: binary.LittleEndian.Uint64(data)}
-	data = data[8:]
+	b := Batch{
+		Seq:  binary.LittleEndian.Uint64(data),
+		Term: binary.LittleEndian.Uint64(data[8:]),
+	}
+	data = data[16:]
 	n, w := binary.Uvarint(data)
 	// Every record costs at least two bytes (type + length), so a count
 	// beyond the remaining bytes is corrupt. Checking BEFORE the
@@ -911,27 +1047,30 @@ func ReadAll(path string) ([]Batch, error) {
 }
 
 // maxSegmentSeq scans every existing segment for the highest batch
-// sequence number, so a reopened log resumes numbering after everything
-// on disk. Only frame headers and CRCs are verified; record payloads are
-// not materialized (recovery, which needs them, does its own ReadAll —
-// this keeps a plain reopen at half the decode cost of a recovery).
-func maxSegmentSeq(path string) (uint64, error) {
+// sequence number and the highest replication term, so a reopened log
+// resumes numbering after everything on disk and keeps its term. Only
+// frame headers and CRCs are verified; record payloads are not
+// materialized (recovery, which needs them, does its own ReadAll — this
+// keeps a plain reopen at half the decode cost of a recovery).
+func maxSegmentSeq(path string) (maxSeq, maxTerm uint64, err error) {
 	paths, err := segmentPaths(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	var max uint64
 	for _, p := range paths {
 		if err := scanSegment(p.path, func(body []byte) bool {
-			if seq := binary.LittleEndian.Uint64(body); seq > max {
-				max = seq
+			if seq := binary.LittleEndian.Uint64(body); seq > maxSeq {
+				maxSeq = seq
+			}
+			if term := binary.LittleEndian.Uint64(body[8:]); term > maxTerm {
+				maxTerm = term
 			}
 			return true
 		}); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
-	return max, nil
+	return maxSeq, maxTerm, nil
 }
 
 // readSegment reads one segment's intact batches in file order, stopping
@@ -951,8 +1090,8 @@ func readSegment(path string) ([]Batch, error) {
 
 // scanSegment walks one segment's CRC-intact frame bodies in file order,
 // stopping silently at the first torn or corrupt frame; fn returning
-// false also stops the walk. Every delivered body is at least 8 bytes
-// (the sequence number).
+// false also stops the walk. Every delivered body is at least 16 bytes
+// (the sequence number and the term).
 func scanSegment(path string, fn func(body []byte) bool) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -984,7 +1123,7 @@ func scanSegment(path string, fn func(body []byte) bool) error {
 		// The length is untrusted: besides the hard cap, a frame longer
 		// than the file itself is necessarily torn, and rejecting it here
 		// keeps a corrupted length from sizing a giant doomed allocation.
-		if n < 8 || n > 1<<30 || int64(n) > size {
+		if n < 16 || n > 1<<30 || int64(n) > size {
 			return nil // implausible length: torn tail
 		}
 		body := make([]byte, n)

@@ -264,6 +264,15 @@ func Recover(opt Options, setup func(*DB) error) (*DB, error) {
 	return &DB{q: q, store: store}, nil
 }
 
+// FromEngine wraps an already-constructed engine in the facade. This is
+// the promotion path: replica.Follower.Promote returns a live
+// *core.QDB built over the replica's replayed store, and FromEngine
+// turns it into the DB a server can host. Ownership transfers — Close
+// on the returned DB closes the engine.
+func FromEngine(q *core.QDB) *DB {
+	return &DB{q: q, store: q.Store()}
+}
+
 // Close releases the WAL, if any.
 func (db *DB) Close() error { return db.q.Close() }
 
