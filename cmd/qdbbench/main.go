@@ -17,13 +17,26 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/bench/serverload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|table2|fig8|fig9|walsync|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|table2|fig8|fig9|walsync|server|all")
 	quick := flag.Bool("quick", false, "run at reduced scale (seconds instead of minutes)")
 	seed := flag.Int64("seed", 1, "workload shuffle seed")
-	jsonDir := flag.String("json", "", "emit the benchmark trajectory (BENCH_fig7.json, BENCH_submit.json, BENCH_read.json, BENCH_wal.json) into this directory and exit")
+	jsonDir := flag.String("json", "", "emit the benchmark trajectory (BENCH_fig7.json, BENCH_submit.json, BENCH_read.json, BENCH_wal.json, BENCH_server.json) into this directory and exit")
+
+	// -exp server external mode: drive an already-running qdbd instead
+	// of an in-process sweep, optionally gating on its metrics.
+	addr := flag.String("addr", "", "server experiment: drive this qdbd address instead of booting in-process")
+	conns := flag.Int("conns", 8, "server experiment: connection count")
+	window := flag.Int("window", 4, "server experiment: pipelined requests in flight per connection")
+	batch := flag.Int("batch", 1, "server experiment: transactions per wire request (batch verb when > 1)")
+	rate := flag.Float64("rate", 0, "server experiment: open-loop requests/second across all connections (0 = closed loop)")
+	duration := flag.Duration("duration", 5*time.Second, "server experiment: open-loop run length")
+	metricsURL := flag.String("metrics-url", "", "server experiment: qdbd /debug/vars URL for server-side gates")
+	p99Max := flag.Duration("p99-max", 0, "server experiment: fail if server op p99 exceeds this (0 = no gate)")
+	maxSheds := flag.Int64("max-sheds", -1, "server experiment: fail if qdb_server_shed_total exceeds this (-1 = no gate)")
 	flag.Parse()
 
 	if *jsonDir != "" {
@@ -114,6 +127,18 @@ func main() {
 		rs, err := bench.RunWALSyncSweep(cfg, []int{1, 2, 4, 8})
 		fail(err)
 		bench.RenderWALSync(os.Stdout, rs)
+		fmt.Println()
+	}
+
+	if *exp == "server" || (want("server") && *exp != "all") {
+		cfg := serverload.ServerConfig{
+			Binary: true, Conns: *conns, Window: *window, Batch: *batch,
+			Rate: *rate, Duration: *duration,
+		}
+		fail(runServerExp(cfg, *addr, *metricsURL, *p99Max, *maxSheds))
+		fmt.Println()
+	} else if want("server") { // -exp all: in-process sweep only
+		fail(renderServerSweep())
 		fmt.Println()
 	}
 

@@ -9,14 +9,15 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/bench/serverload"
 )
 
 // Benchmark-trajectory emission: `qdbbench -json DIR` writes
-// BENCH_fig7.json, BENCH_submit.json, BENCH_read.json, and
-// BENCH_wal.json — machine-readable ns/op, allocs/op, and domain
+// BENCH_fig7.json, BENCH_submit.json, BENCH_read.json, BENCH_wal.json,
+// and BENCH_server.json — machine-readable ns/op, allocs/op, and domain
 // throughput for the headline workloads (grounding-heavy Fig7, the
-// parallel-admission submit storm, the snapshot read storm, and durable
-// grounding). CI
+// parallel-admission submit storm, the snapshot read storm, durable
+// grounding, and the server data plane). CI
 // uploads them as artifacts on every run, so the performance trajectory
 // of the repository is a downloadable series instead of numbers buried
 // in logs. The shapes match the in-repo benchmarks (bench_test.go), not
@@ -45,7 +46,7 @@ type benchFile struct {
 	Points    []benchPoint `json:"points"`
 }
 
-// emitTrajectory writes both trajectory files into dir.
+// emitTrajectory writes every trajectory file into dir.
 func emitTrajectory(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -59,7 +60,10 @@ func emitTrajectory(dir string) error {
 	if err := emitRead(dir); err != nil {
 		return err
 	}
-	return emitWALSync(dir)
+	if err := emitWALSync(dir); err != nil {
+		return err
+	}
+	return emitServer(dir)
 }
 
 func emitFig7(dir string) error {
@@ -244,6 +248,61 @@ func emitWALSync(dir string) error {
 		doc.Points = append(doc.Points, pt)
 	}
 	return writeBenchFile(filepath.Join(dir, "BENCH_wal.json"), doc)
+}
+
+func emitServer(dir string) error {
+	doc := benchFile{
+		Workload:  "server-data-plane",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+	// Shapes shared with BenchmarkServerSubmit (serverload.ServerShapes):
+	// the JSON-lines sync baseline, the pipelined binary protocol, and
+	// pipelined binary with batched admission, all over the same
+	// many-connection submit storm. The latencies here are
+	// CLIENT-observed request round trips — the number a caller feels —
+	// complementing the server-side histograms the metrics endpoint
+	// exports.
+	for _, s := range serverload.ServerShapes() {
+		var (
+			elapsed time.Duration
+			txns    int
+			last    *serverload.ServerResult
+		)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := serverload.RunServerLoad(s.Cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed += r.Elapsed
+				txns += r.Txns
+				last = r
+			}
+		})
+		pt := benchPoint{
+			Name:        s.Name,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Runs:        res.N,
+		}
+		if elapsed > 0 {
+			pt.Throughput = float64(txns) / elapsed.Seconds()
+		}
+		if last != nil {
+			pt.Counters = map[string]int{
+				"conns":    last.Config.Conns,
+				"window":   last.Config.Window,
+				"batch":    last.Config.Batch,
+				"requests": last.Requests,
+				"sheds":    last.Sheds,
+			}
+			pt.Latencies = map[string]bench.Quantiles{"client_request": last.Lat}
+		}
+		doc.Points = append(doc.Points, pt)
+	}
+	return writeBenchFile(filepath.Join(dir, "BENCH_server.json"), doc)
 }
 
 func writeBenchFile(path string, doc benchFile) error {

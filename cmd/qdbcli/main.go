@@ -39,9 +39,11 @@ import (
 func main() {
 	addr := flag.String("addr", "",
 		"remote qdbd address; runs the single command in the remaining args and exits")
+	proto := flag.String("proto", "binary",
+		"wire protocol for -addr: binary (framed, pipelined) or json (JSON lines)")
 	flag.Parse()
 	if *addr != "" {
-		os.Exit(runRemote(*addr, flag.Args()))
+		os.Exit(runRemote(*addr, *proto, flag.Args()))
 	}
 
 	db, err := quantumdb.Open(quantumdb.Options{})
@@ -67,19 +69,29 @@ func main() {
 	}
 }
 
-// runRemote executes one command against a remote qdbd over the
-// JSON-lines protocol and returns the process exit code. The verb set
-// is the read-side subset plus txn/exec/ground — enough for scripting
-// and for health checks against followers (`lag` is the one to poll).
-func runRemote(addr string, args []string) int {
+// runRemote executes one command against a remote qdbd — framed binary
+// by default, JSON lines with -proto json — and returns the process
+// exit code. The verb set is the read-side subset plus
+// txn/batch/exec/ground — enough for scripting and for health checks
+// against followers (`lag` is the one to poll).
+func runRemote(addr, proto string, args []string) int {
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return 1
 	}
 	if len(args) == 0 {
-		return fail(fmt.Errorf("usage: qdbcli -addr host:port <ping|lag|pending|stats|peek|read|create|txn|exec|ground|promote> [args]"))
+		return fail(fmt.Errorf("usage: qdbcli -addr host:port <ping|lag|pending|stats|peek|read|create|txn|batch|exec|ground|promote> [args]"))
 	}
-	c, err := server.Dial(addr)
+	var p server.Proto
+	switch proto {
+	case "binary":
+		p = server.ProtoBinary
+	case "json":
+		p = server.ProtoJSON
+	default:
+		return fail(fmt.Errorf("unknown -proto %q (binary or json)", proto))
+	}
+	c, err := server.DialProto(addr, p, server.RetryPolicy{})
 	if err != nil {
 		return fail(err)
 	}
@@ -155,6 +167,32 @@ func runRemote(addr string, args []string) int {
 			return fail(err)
 		}
 		fmt.Printf("committed txn %d\n", id)
+	case "batch":
+		// One amortized admission cycle server-side; transactions are
+		// separated by ';' so each may contain commas.
+		var txns []string
+		for _, t := range strings.Split(rest, ";") {
+			if t = strings.TrimSpace(t); t != "" {
+				txns = append(txns, t)
+			}
+		}
+		if len(txns) == 0 {
+			return fail(fmt.Errorf("usage: batch <txn> [; <txn> ...]"))
+		}
+		ids, errs, err := c.SubmitBatch(txns)
+		if err != nil {
+			return fail(err)
+		}
+		code := 0
+		for i := range txns {
+			if errs[i] != nil {
+				fmt.Printf("txn %d/%d: error: %v\n", i+1, len(txns), errs[i])
+				code = 1
+			} else {
+				fmt.Printf("txn %d/%d: committed %d\n", i+1, len(txns), ids[i])
+			}
+		}
+		return code
 	case "exec":
 		if err := c.Exec(rest); err != nil {
 			return fail(err)

@@ -1,9 +1,14 @@
 // Command qdbd runs a quantum database as a network service (the
-// middle-tier of Figure 4), speaking a JSON-lines protocol over TCP.
+// middle-tier of Figure 4). It speaks two protocols on one port: a
+// length-prefixed, CRC-framed binary protocol with per-connection
+// request pipelining (what the Go client dials by default), and a
+// JSON-lines protocol for anything that can write a JSON object to a
+// socket. A connection opts into binary by leading with a 4-byte magic
+// preamble; everything else is served as JSON lines.
 //
 //	qdbd -addr :7683 -wal /var/lib/qdb/qdb.wal -metrics-addr :7684
 //
-// Each request is one JSON object per line, e.g.:
+// Each JSON request is one object per line, e.g.:
 //
 //	{"op":"create","table":{"name":"Available","columns":["fno","sno"]}}
 //	{"op":"exec","facts":"+Available(1, '1A')"}
@@ -69,6 +74,12 @@ func main() {
 		"record any engine operation slower than this into the slow-op ring at /debug/slowops (0 = off)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"how long a SIGINT/SIGTERM shutdown waits for in-flight requests before closing their connections")
+	maxInflight := flag.Int("max-inflight", 0,
+		"per-connection pipelining window: requests a binary connection may have dispatched at once (0 = default 64)")
+	maxConns := flag.Int("max-conns", 0,
+		"connection cap; connections beyond it are refused at accept (0 = unlimited)")
+	shedWait := flag.Duration("shed-wait", 0,
+		"queue-wait shed threshold: a request that cannot enter its connection's window within this long is refused with a retryable overloaded error (0 = default 50ms)")
 	wal := flag.String("wal", "", "write-ahead log root path, segments at <path>.0.. (durability off when empty)")
 	walSegments := flag.Int("wal-segments", 1,
 		"number of partition-affine WAL segment files; groundings of partitions on different segments append and fsync independently")
@@ -106,6 +117,7 @@ func main() {
 			walSegments: *walSegments, syncWAL: *syncWAL,
 			pullInterval: *pullInterval, longPoll: *longPoll,
 			drainTimeout: *drainTimeout,
+			maxInflight:  *maxInflight, maxConns: *maxConns, shedWait: *shedWait,
 		})
 		return
 	}
@@ -128,6 +140,7 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := server.New(db)
+	srv.SetLimits(*maxInflight, *maxConns, *shedWait)
 
 	if *metricsAddr != "" {
 		ml, err := net.Listen("tcp", *metricsAddr)
@@ -185,6 +198,8 @@ type followerConfig struct {
 	syncWAL                       bool
 	pullInterval, longPoll        time.Duration
 	drainTimeout                  time.Duration
+	maxInflight, maxConns         int
+	shedWait                      time.Duration
 }
 
 // runFollower is follower mode: bootstrap from the leader — or resume
@@ -240,6 +255,7 @@ func runFollower(cfg followerConfig) {
 		log.Fatal(err)
 	}
 	srv := server.NewFollower(f)
+	srv.SetLimits(cfg.maxInflight, cfg.maxConns, cfg.shedWait)
 	if cfg.promoteWAL != "" {
 		srv.EnablePromotion(replica.PromoteConfig{
 			WAL: quantumdb.Options{

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/relstore"
+	"repro/internal/txn"
+)
+
+// TestSubmitBatchMixedOutcomes drives one batch through every outcome
+// class at once — accepts, a validated rejection, a Validate error —
+// and checks each slot decides exactly as a sequential Submit would:
+// independent outcomes, aligned results, correct pending state.
+func TestSubmitBatchMixedOutcomes(t *testing.T) {
+	q, err := New(worldDB([]int{1, 2}, 6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	batch := []*txn.T{
+		book("A", 1),
+		book("B", 2),
+		bookSeat("X", 1, "9Z"), // seat does not exist: no possible world
+		&txn.T{},               // no update portion: Validate refuses
+		book("C", 1),
+	}
+	ids, errs := q.SubmitBatch(batch)
+	if len(ids) != len(batch) || len(errs) != len(batch) {
+		t.Fatalf("result lengths = %d/%d, want %d", len(ids), len(errs), len(batch))
+	}
+	for _, i := range []int{0, 1, 4} {
+		if errs[i] != nil {
+			t.Fatalf("slot %d: unexpected error %v", i, errs[i])
+		}
+		if ids[i] == 0 {
+			t.Fatalf("slot %d: no ID assigned", i)
+		}
+	}
+	if !errors.Is(errs[2], ErrRejected) {
+		t.Fatalf("slot 2: err = %v, want ErrRejected", errs[2])
+	}
+	if errs[3] == nil || ids[3] != 0 {
+		t.Fatalf("slot 3: err=%v id=%d, want validation error and no ID", errs[3], ids[3])
+	}
+	if n := q.PendingCount(); n != 3 {
+		t.Fatalf("pending = %d, want 3", n)
+	}
+	st := q.Stats()
+	if st.BatchedSubmits != 4 { // the Validate failure never enters the cycle
+		t.Errorf("BatchedSubmits = %d, want 4", st.BatchedSubmits)
+	}
+	if st.Accepted != 3 || st.Rejected != 1 {
+		t.Errorf("accepted/rejected = %d/%d, want 3/1", st.Accepted, st.Rejected)
+	}
+	if err := q.GroundAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n := q.Store().Len("Bookings"); n != 3 {
+		t.Fatalf("bookings after grounding = %d, want 3", n)
+	}
+}
+
+// TestSubmitBatchSerialAblation re-runs the mixed batch under
+// SerialAdmission: the amortized cycle must degrade to per-item serial
+// admissions with identical outcomes.
+func TestSubmitBatchSerialAblation(t *testing.T) {
+	q, err := New(worldDB([]int{1}, 6), Options{SerialAdmission: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	ids, errs := q.SubmitBatch([]*txn.T{
+		book("A", 1),
+		bookSeat("X", 1, "9Z"),
+		book("B", 1),
+	})
+	if errs[0] != nil || errs[2] != nil || ids[0] == 0 || ids[2] == 0 {
+		t.Fatalf("accepts failed: ids=%v errs=%v", ids, errs)
+	}
+	if !errors.Is(errs[1], ErrRejected) {
+		t.Fatalf("slot 1: err = %v, want ErrRejected", errs[1])
+	}
+	if n := q.PendingCount(); n != 2 {
+		t.Fatalf("pending = %d, want 2", n)
+	}
+}
+
+// TestSubmitBatchIntraBatchConflict batches transactions that contend
+// for the SAME single seat: exactly one member can admit, the rest must
+// reject — the later members' decisions must see the earlier accept in
+// their chain, as sequential Submits would.
+func TestSubmitBatchIntraBatchConflict(t *testing.T) {
+	db := relstore.NewDB()
+	db.MustCreateTable(relstore.Schema{Name: "Available", Columns: []string{"fno", "sno"}})
+	db.MustCreateTable(relstore.Schema{Name: "Bookings", Columns: []string{"name", "fno", "sno"}, Key: []int{1, 2}})
+	db.MustInsert("Available", tup(1, "1A"))
+	q, err := New(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	ids, errs := q.SubmitBatch([]*txn.T{
+		bookSeat("A", 1, "1A"),
+		bookSeat("B", 1, "1A"),
+		bookSeat("C", 1, "1A"),
+	})
+	if errs[0] != nil || ids[0] == 0 {
+		t.Fatalf("first member should admit: id=%d err=%v", ids[0], errs[0])
+	}
+	for _, i := range []int{1, 2} {
+		if !errors.Is(errs[i], ErrRejected) {
+			t.Fatalf("slot %d: err = %v, want ErrRejected (seat already claimed in-batch)", i, errs[i])
+		}
+	}
+	if n := q.PendingCount(); n != 1 {
+		t.Fatalf("pending = %d, want 1", n)
+	}
+}
+
+// TestSubmitBatchWALRecovery proves the single WAL batch of pending
+// records replays like individual appends: accepted members survive a
+// crash with their IDs, rejected and grounded ones don't.
+func TestSubmitBatchWALRecovery(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "qdb.wal")
+	mk := func() *relstore.DB { return worldDB([]int{1, 2}, 6) }
+
+	q, err := New(mk(), Options{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, errs := q.SubmitBatch([]*txn.T{
+		book("A", 1),
+		book("B", 2),
+		bookSeat("X", 1, "9Z"),
+		book("C", 1),
+	})
+	for i, e := range errs {
+		if i != 2 && e != nil {
+			t.Fatalf("slot %d: %v", i, e)
+		}
+	}
+	if err := q.Ground(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	wantPending := q.PendingIDs()
+	if err := q.Close(); err != nil { // crash point
+		t.Fatal(err)
+	}
+
+	r, err := Recover(mk(), Options{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := r.PendingIDs()
+	if len(got) != len(wantPending) {
+		t.Fatalf("pending after recovery = %v, want %v", got, wantPending)
+	}
+	for i := range got {
+		if got[i] != wantPending[i] {
+			t.Fatalf("pending after recovery = %v, want %v", got, wantPending)
+		}
+	}
+	// Fresh IDs must not collide with batch-assigned ones.
+	newID, err := r.Submit(book("D", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range ids {
+		if newID == old {
+			t.Fatalf("recovered QDB reissued batch ID %d", newID)
+		}
+	}
+	if err := r.GroundAll(); err != nil {
+		t.Fatal(err)
+	}
+}

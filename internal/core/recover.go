@@ -94,6 +94,33 @@ func (q *QDB) logPending(affinity int64, t *txn.T) error {
 	return q.noteStaleTerm(err)
 }
 
+// logPendingBatch durably records a whole batch of admitted
+// transactions as ONE WAL batch — one append, one group-commit fsync —
+// BEFORE any of them is installed. Recovery and follower replay iterate
+// every record of a batch, so a multi-record pending batch replays
+// exactly like the equivalent sequence of single appends.
+func (q *QDB) logPendingBatch(affinity int64, ts []*txn.T) error {
+	if q.log == nil {
+		return nil
+	}
+	if len(ts) == 1 {
+		return q.logPending(affinity, ts[0])
+	}
+	e := getBatchEnc()
+	defer batchEncPool.Put(e)
+	for _, t := range ts {
+		data, err := t.Marshal()
+		if err != nil {
+			return err
+		}
+		start := len(e.buf)
+		e.buf = append(e.buf, data...)
+		e.recs = append(e.recs, wal.Record{Type: recPending, Payload: e.buf[start:]})
+	}
+	_, err := q.log.AppendBatch(affinity, e.recs)
+	return q.noteStaleTerm(err)
+}
+
 // logGrounding appends one grounding's whole commit unit — fact records
 // plus the tombstone — as a single batch, returning its sequence number
 // (0 with no log). Called BEFORE the grounding is applied to the store;

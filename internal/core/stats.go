@@ -74,6 +74,11 @@ type Stats struct {
 	AdmissionConflicts   int
 	AdmissionRetries     int
 	SerialFallbacks      int
+	// BatchedSubmits counts transactions that entered through
+	// SubmitBatch's amortized snapshot/speculate/validate/log cycle
+	// (whatever their outcome) — the server's pipelined data plane is
+	// the expected feeder.
+	BatchedSubmits int
 	// TrustDemotions counts trusted-store demotion episodes: an
 	// out-of-band store write makes the engine fall back from "my own
 	// cache maintenance is authoritative" to per-solve epoch-fingerprint
@@ -168,6 +173,7 @@ type counters struct {
 	partitionMerges, parallelSolves, lockWaits   atomic.Int64
 	optimisticAdmissions, admissionConflicts     atomic.Int64
 	admissionRetries, serialFallbacks            atomic.Int64
+	batchedSubmits                               atomic.Int64
 	trustDemotions, trustRearms                  atomic.Int64
 	snapshotReads, checkpointPauseNs             atomic.Int64
 	replicaAckSeq, replicaPulls                  atomic.Int64
@@ -206,6 +212,7 @@ func (c *counters) snapshot() Stats {
 		AdmissionConflicts:   int(c.admissionConflicts.Load()),
 		AdmissionRetries:     int(c.admissionRetries.Load()),
 		SerialFallbacks:      int(c.serialFallbacks.Load()),
+		BatchedSubmits:       int(c.batchedSubmits.Load()),
 		TrustDemotions:       int(c.trustDemotions.Load()),
 		TrustRearms:          int(c.trustRearms.Load()),
 		ParallelSolves:       int(c.parallelSolves.Load()),

@@ -16,26 +16,53 @@ import (
 	"repro/internal/value"
 )
 
-// Client speaks the JSON-lines protocol to a quantum database server.
-// Safe for concurrent use; requests are serialized over one connection.
+// Proto selects the wire protocol a Client speaks.
+type Proto int
+
+const (
+	// ProtoBinary is the framed binary protocol (frame.go): the client
+	// opens with the magic preamble and encodes requests into pooled
+	// frame buffers. The default.
+	ProtoBinary Proto = iota
+	// ProtoJSON is the legacy one-JSON-object-per-line protocol; servers
+	// serve it forever (it is also the debugging protocol: a shell
+	// heredoc over /dev/tcp speaks it).
+	ProtoJSON
+)
+
+// Client speaks to a quantum database server — the framed binary
+// protocol by default, JSON lines via DialJSON. Safe for concurrent
+// use; requests are serialized over one connection (PipeClient is the
+// pipelined form).
 //
 // The client is failover-aware: transient transport errors (dial
 // refused, reset, EOF from a dying server) are retried under a capped
-// jittered backoff, and a structured leader-moved refusal (Response.
+// jittered backoff, a structured leader-moved refusal (Response.
 // Redirect — a demoted leader or read-only follower naming the current
-// leader) reconnects to the named address and retries there. One
-// caveat is inherent to retrying writes: a submit whose response was
-// lost may have committed before the connection died, so retried
-// mutations are at-least-once. Reads and idempotent verbs are safe;
-// callers that need exactly-once writes must dedupe at the application
-// layer.
+// leader) reconnects to the named address and retries there, and a
+// retryable refusal (Response.Retry — the server shedding load with
+// its inflight window full) backs off and retries on the same
+// connection. One caveat is inherent to retrying writes: a submit
+// whose response was lost may have committed before the connection
+// died, so retried mutations are at-least-once. Reads and idempotent
+// verbs are safe; callers that need exactly-once writes must dedupe at
+// the application layer.
 type Client struct {
 	mu    sync.Mutex
 	addr  string
+	proto Proto
 	retry RetryPolicy
 	conn  net.Conn
-	dec   *json.Decoder
-	enc   *json.Encoder
+	// JSON protocol state.
+	dec *json.Decoder
+	enc *json.Encoder
+	// Binary protocol state: the buffered frame reader and the reused
+	// encode/decode buffers (the pooled-buffer discipline — one logical
+	// call in flight under mu, so one buffer each way suffices).
+	br     *bufio.Reader
+	wbuf   []byte
+	rbuf   []byte
+	nextID uint64
 }
 
 // RetryPolicy bounds one logical call's persistence. Zero fields take
@@ -67,17 +94,30 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // dialTimeout bounds one TCP connect inside a call attempt.
 const dialTimeout = 5 * time.Second
 
-// Dial connects to a server with the default retry policy. The initial
-// reachability check itself retries transient dial failures, so a
-// one-shot CLI invocation launched during a leader restart connects
-// once the server is back instead of failing on the first refusal.
+// Dial connects to a server over the binary protocol with the default
+// retry policy. The initial reachability check itself retries transient
+// dial failures, so a one-shot CLI invocation launched during a leader
+// restart connects once the server is back instead of failing on the
+// first refusal.
 func Dial(addr string) (*Client, error) {
-	return DialWithPolicy(addr, RetryPolicy{})
+	return DialProto(addr, ProtoBinary, RetryPolicy{})
 }
 
-// DialWithPolicy connects with an explicit retry policy.
+// DialWithPolicy connects over the binary protocol with an explicit
+// retry policy.
 func DialWithPolicy(addr string, p RetryPolicy) (*Client, error) {
-	c := &Client{addr: addr, retry: p}
+	return DialProto(addr, ProtoBinary, p)
+}
+
+// DialJSON connects over the legacy JSON-lines protocol (the server
+// serves both on one port; this exercises its fallback path).
+func DialJSON(addr string) (*Client, error) {
+	return DialProto(addr, ProtoJSON, RetryPolicy{})
+}
+
+// DialProto connects with an explicit protocol and retry policy.
+func DialProto(addr string, proto Proto, p RetryPolicy) (*Client, error) {
+	c := &Client{addr: addr, proto: proto, retry: p}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.connectLocked(); err != nil {
@@ -87,7 +127,8 @@ func DialWithPolicy(addr string, p RetryPolicy) (*Client, error) {
 }
 
 // connectLocked establishes the connection, retrying transient dial
-// failures within the policy's budget. No request is sent.
+// (and, on the binary protocol, handshake) failures within the
+// policy's budget. No request is sent beyond the preamble.
 func (c *Client) connectLocked() error {
 	p := c.retry.withDefaults()
 	bo := replica.NewBackoff(p.BaseDelay, p.MaxDelay)
@@ -96,11 +137,8 @@ func (c *Client) connectLocked() error {
 		if attempt > 0 {
 			time.Sleep(bo.Next())
 		}
-		conn, err := net.DialTimeout("tcp", c.addr, dialTimeout)
+		err := c.dialLocked()
 		if err == nil {
-			c.conn = conn
-			c.dec = json.NewDecoder(bufio.NewReader(conn))
-			c.enc = json.NewEncoder(conn)
 			return nil
 		}
 		if !isTransient(err) {
@@ -110,6 +148,43 @@ func (c *Client) connectLocked() error {
 	}
 	return fmt.Errorf("server: dial %s failed after %d attempts: %w",
 		c.addr, p.MaxAttempts, lastErr)
+}
+
+// dialLocked performs one connect attempt, including the binary
+// protocol's magic exchange: send the preamble, require its echo. A
+// server that answers anything else is not speaking this protocol —
+// surfaced as an error rather than silently downgrading, since every
+// server version that frames also still serves JSON on request.
+func (c *Client) dialLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, dialTimeout)
+	if err != nil {
+		return err
+	}
+	if c.proto == ProtoJSON {
+		c.conn = conn
+		c.dec = json.NewDecoder(bufio.NewReader(conn))
+		c.enc = json.NewEncoder(conn)
+		return nil
+	}
+	br := bufio.NewReader(conn)
+	conn.SetDeadline(time.Now().Add(dialTimeout))
+	if _, err := conn.Write([]byte(frameMagic)); err != nil {
+		conn.Close()
+		return err
+	}
+	var echo [len(frameMagic)]byte
+	if _, err := io.ReadFull(br, echo[:]); err != nil {
+		conn.Close()
+		return err
+	}
+	conn.SetDeadline(time.Time{})
+	if string(echo[:]) != frameMagic {
+		conn.Close()
+		return fmt.Errorf("server: %s did not ack the binary protocol", c.addr)
+	}
+	c.conn = conn
+	c.br = br
+	return nil
 }
 
 // Addr is the address the client currently targets; it moves when a
@@ -128,7 +203,7 @@ func (c *Client) Close() error {
 		return nil
 	}
 	err := c.conn.Close()
-	c.conn, c.dec, c.enc = nil, nil, nil
+	c.conn, c.dec, c.enc, c.br = nil, nil, nil, nil
 	return err
 }
 
@@ -160,6 +235,13 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		if resp.OK {
 			return resp, nil
 		}
+		if resp.Retry {
+			// Structured shed: the server's inflight window stayed full
+			// past its queue-wait threshold. The connection is healthy —
+			// back off and retry on it.
+			lastErr = fmt.Errorf("server: %s", resp.Err)
+			continue
+		}
 		if rd := resp.Redirect; rd != nil && rd.Addr != "" && rd.Addr != c.addr && redirects < p.MaxRedirects {
 			redirects++
 			c.dropConnLocked()
@@ -178,13 +260,12 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 // if needed.
 func (c *Client) once(req Request) (Response, error) {
 	if c.conn == nil {
-		conn, err := net.DialTimeout("tcp", c.addr, dialTimeout)
-		if err != nil {
+		if err := c.dialLocked(); err != nil {
 			return Response{}, err
 		}
-		c.conn = conn
-		c.dec = json.NewDecoder(bufio.NewReader(conn))
-		c.enc = json.NewEncoder(conn)
+	}
+	if c.proto == ProtoBinary {
+		return c.onceBinary(&req)
 	}
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, err
@@ -196,11 +277,50 @@ func (c *Client) once(req Request) (Response, error) {
 	return resp, nil
 }
 
+// onceBinary frames one request into the reused write buffer, sends it
+// as a single write, and reads response frames until the echoed ID
+// matches (stale replies from an abandoned earlier call on the same
+// connection are skipped, defensively — the synchronous client never
+// leaves one behind on a healthy exchange).
+func (c *Client) onceBinary(req *Request) (Response, error) {
+	op, ok := opCodes[req.Op]
+	if !ok {
+		return Response{}, fmt.Errorf("server: unknown op %q", req.Op)
+	}
+	c.nextID++
+	id := c.nextID
+	c.wbuf = beginFrame(c.wbuf[:0], id, op)
+	c.wbuf = appendRequest(c.wbuf, req)
+	c.wbuf = finishFrame(c.wbuf)
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		return Response{}, err
+	}
+	for {
+		rid, _, payload, nbuf, err := readFrame(c.br, c.rbuf)
+		c.rbuf = nbuf
+		if err != nil {
+			return Response{}, err
+		}
+		if rid != id {
+			continue
+		}
+		resp, err := decodeResponse(payload)
+		if err != nil {
+			// The frame was intact but its payload didn't parse: the
+			// stream is suspect. Drop the connection so the next attempt
+			// starts clean, and retry as a transport failure.
+			c.dropConnLocked()
+			return Response{}, fmt.Errorf("%w: %v", io.ErrUnexpectedEOF, err)
+		}
+		return resp, nil
+	}
+}
+
 func (c *Client) dropConnLocked() {
 	if c.conn != nil {
 		c.conn.Close()
 	}
-	c.conn, c.dec, c.enc = nil, nil, nil
+	c.conn, c.dec, c.enc, c.br = nil, nil, nil, nil
 }
 
 // isTransient classifies transport-level failures worth retrying:
@@ -245,6 +365,25 @@ func (c *Client) Exec(facts string) error {
 func (c *Client) Submit(txn string) (int64, error) {
 	resp, err := c.roundTrip(Request{Op: "txn", Txn: txn})
 	return resp.ID, err
+}
+
+// SubmitBatch admits a batch of resource transactions in one round
+// trip and one amortized server-side admission cycle. Results align
+// with txns: ids[i] is valid where errs[i] is nil. The returned error
+// covers transport-level failure of the whole call; per-member
+// rejections ride in errs.
+func (c *Client) SubmitBatch(txns []string) (ids []int64, errs []error, err error) {
+	resp, err := c.roundTrip(Request{Op: "batch", Txns: txns})
+	if err != nil {
+		return nil, nil, err
+	}
+	errs = make([]error, len(txns))
+	for i, e := range resp.Errs {
+		if e != "" && i < len(errs) {
+			errs[i] = fmt.Errorf("server: %s", e)
+		}
+	}
+	return resp.IDs, errs, nil
 }
 
 // SubmitSQL admits a resource transaction in SQL syntax.

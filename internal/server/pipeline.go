@@ -1,0 +1,182 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file is the pipelined binary connection loop: the server-side
+// half of the binary protocol negotiated in handle. One connection gets
+// three kinds of goroutines —
+//
+//   - the reader (handleBinary itself): reads frames, decodes requests,
+//     admits them into the bounded inflight window (shedding with the
+//     retryable overloaded error when the window stays full past the
+//     queue-wait threshold), and spawns a dispatcher per admitted
+//     request;
+//   - dispatchers: run s.dispatch on the engine concurrently — the
+//     whole point: the admission layer is parallel, so one connection's
+//     requests should feed it in parallel too;
+//   - the writer (writeResponses): the ONLY goroutine writing to the
+//     connection. Dispatchers hand it completed responses over a
+//     channel and it frames them in completion order — out of order
+//     with respect to arrival — batching socket writes by flushing
+//     only when its queue runs dry.
+//
+// Drain discipline: a dispatched request holds a beginOp slot until its
+// response frame is FLUSHED to the socket (the writer releases slots
+// after each flush), so Shutdown's "in-flight dispatches finish writing
+// their responses" promise holds on the binary path exactly as on the
+// JSON path.
+
+// binResp is one completed response travelling dispatcher → writer.
+type binResp struct {
+	id   uint64
+	resp Response
+	// counted marks responses holding a beginOp slot, released by the
+	// writer once the frame reaches the socket. Sheds and decode-error
+	// replies are uncounted — they never dispatched.
+	counted bool
+}
+
+func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
+	bw := bufio.NewWriter(conn)
+	// Ack the negotiation by echoing the magic: the client knows the
+	// server speaks binary before it sends its first frame.
+	if _, err := bw.WriteString(frameMagic); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	window := s.maxInflight
+	// Writer queue: window dispatchers plus the reader (shed/decode
+	// replies) can be blocked sending at once; one extra slot keeps the
+	// reader from waiting on a full window's completions.
+	out := make(chan binResp, window+1)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		s.writeResponses(bw, out)
+	}()
+	sem := make(chan struct{}, window)
+	var wg sync.WaitGroup
+	var rbuf []byte
+	var shedTimer *time.Timer
+	for {
+		id, op, payload, nbuf, err := readFrame(br, rbuf)
+		rbuf = nbuf
+		if err != nil {
+			break // disconnect or corrupt framing: drop the connection
+		}
+		start := time.Now()
+		req, derr := decodeRequest(op, payload)
+		s.frameHist.Observe(time.Since(start))
+		if derr != nil {
+			// The frame itself was sound (length and CRC checked), so
+			// the stream is still in sync: answer the bad payload
+			// in-band and keep serving.
+			out <- binResp{id: id, resp: Response{Err: derr.Error()}}
+			continue
+		}
+		// Window admission: take a slot immediately if one is free,
+		// otherwise queue for at most shedWait, then shed. The reader
+		// never blocks unboundedly, so a slow op can delay — but not
+		// wedge — the whole connection.
+		select {
+		case sem <- struct{}{}:
+		default:
+			if shedTimer == nil {
+				shedTimer = time.NewTimer(s.shedWait)
+			} else {
+				shedTimer.Reset(s.shedWait)
+			}
+			select {
+			case sem <- struct{}{}:
+				if !shedTimer.Stop() {
+					<-shedTimer.C
+				}
+			case <-shedTimer.C:
+				s.sheds.Add(1)
+				out <- binResp{id: id, resp: Response{Err: ErrOverloaded.Error(), Retry: true}}
+				continue
+			}
+		}
+		if !s.beginOp() {
+			// Draining: refuse and stop reading, mirroring the JSON
+			// loop; in-flight dispatchers below still complete and
+			// their responses still flush.
+			<-sem
+			out <- binResp{id: id, resp: Response{Err: ErrShuttingDown.Error()}}
+			break
+		}
+		s.inflight.Add(1)
+		wg.Add(1)
+		go func(id uint64, req Request) {
+			defer wg.Done()
+			start := time.Now()
+			resp := s.dispatch(req)
+			s.observeOp(req.Op, start)
+			s.inflight.Add(-1)
+			<-sem
+			out <- binResp{id: id, resp: resp, counted: true}
+		}(id, req)
+	}
+	wg.Wait()
+	close(out)
+	writerWG.Wait()
+}
+
+// writeResponses is the single writer goroutine of one binary
+// connection: it frames responses in completion order into a reused
+// buffer and flushes only when its queue is empty, so bursts of
+// completions coalesce into few socket writes. beginOp slots held by
+// counted responses are released only after the flush that made their
+// frames visible — or immediately once the connection is known broken,
+// so a dead peer cannot wedge a drain.
+func (s *Server) writeResponses(bw *bufio.Writer, out chan binResp) {
+	var buf []byte
+	unflushed := 0
+	release := func() {
+		for ; unflushed > 0; unflushed-- {
+			s.endOp()
+		}
+	}
+	broken := false
+	for m := range out {
+		if m.counted {
+			unflushed++
+		}
+		if broken {
+			release()
+			continue
+		}
+		buf = beginFrame(buf[:0], m.id, 0)
+		var err error
+		if buf, err = appendResponse(buf, &m.resp); err != nil {
+			// Response encoding failed (stats marshal): the stream is
+			// still in sync, so frame the error instead.
+			buf = beginFrame(buf[:0], m.id, 0)
+			buf, _ = appendResponse(buf, &Response{Err: err.Error()})
+		}
+		buf = finishFrame(buf)
+		if _, err := bw.Write(buf); err != nil {
+			broken = true
+			release()
+			continue
+		}
+		if len(out) == 0 {
+			if err := bw.Flush(); err != nil {
+				broken = true
+			}
+			release()
+		}
+	}
+	if !broken {
+		bw.Flush()
+	}
+	release()
+}

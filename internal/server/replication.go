@@ -7,6 +7,7 @@ import (
 	"net"
 	"time"
 
+	quantumdb "repro"
 	"repro/internal/logic"
 	"repro/internal/replica"
 	"repro/internal/txn"
@@ -53,7 +54,7 @@ func (s *Server) dispatchFollower(r *serverRole, req Request) Response {
 		if err != nil {
 			return fail(err)
 		}
-		return Response{OK: true, Rows: substRowsOut(atoms, sols)}
+		return Response{OK: true, vrows: substRows(atoms, sols)}
 	case "pending":
 		if st := r.fol.State(); st != nil {
 			return Response{OK: true, Pending: st.PendingCount()}
@@ -92,20 +93,23 @@ func (s *Server) dispatchFollower(r *serverRole, req Request) Response {
 	}
 }
 
-// substRowsOut materializes solver substitutions into the wire's
-// quoted-string rows (the follower-side twin of rowsOut, which works on
-// facade rows).
-func substRowsOut(atoms []logic.Atom, sols []logic.Subst) []map[string]string {
+// substRows materializes solver substitutions into typed rows (the
+// follower-side twin of the facade's rowsFromSols); the transport layer
+// decides the wire form — binary frames ship the values directly, the
+// JSON path quotes them via rowsOut. Keeping the conversion late is
+// what makes leader and follower snapread responses byte-exact on
+// either protocol.
+func substRows(atoms []logic.Atom, sols []logic.Subst) []quantumdb.Row {
 	var vars []string
 	for _, a := range atoms {
 		vars = a.Vars(vars)
 	}
-	out := make([]map[string]string, 0, len(sols))
+	out := make([]quantumdb.Row, 0, len(sols))
 	for _, sol := range sols {
-		m := make(map[string]string, len(vars))
+		m := make(quantumdb.Row, len(vars))
 		for _, v := range vars {
 			if t := sol.Walk(logic.Var(v)); !t.IsVar() {
-				m[v] = t.Value().Quoted()
+				m[v] = t.Value()
 			}
 		}
 		out = append(out, m)

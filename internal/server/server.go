@@ -1,26 +1,37 @@
-// Package server exposes a quantum database over TCP with a JSON-lines
-// protocol, making the middle-tier architecture of §4 (Figure 4) an
-// actual network service: application clients submit resource and
-// non-resource transactions; reads collapse server-side state exactly
-// as in-process calls do, and snapread serves collapse-free reads from
-// a copy-on-write snapshot — the read-scale path, which never blocks on
-// (or stalls) concurrent grounding and writes.
+// Package server exposes a quantum database over TCP, making the
+// middle-tier architecture of §4 (Figure 4) an actual network service:
+// application clients submit resource and non-resource transactions;
+// reads collapse server-side state exactly as in-process calls do, and
+// snapread serves collapse-free reads from a copy-on-write snapshot —
+// the read-scale path, which never blocks on (or stalls) concurrent
+// grounding and writes.
 //
-// Protocol: one JSON request object per line, one JSON response per
-// line. See Request and Response for the schema. The protocol is
-// deliberately plain so that non-Go clients can speak it with any JSON
-// library.
+// Two protocols share every port, negotiated per connection. A client
+// that opens with the binary magic preamble (frame.go) gets the
+// length-prefixed CRC-framed binary protocol with request pipelining:
+// frames carry client-chosen request IDs, a bounded per-connection
+// inflight window dispatches ops concurrently onto the engine, and
+// responses return in completion order — out of order — matched back
+// by ID (pipeline.go). Anything else is served the original JSON-lines
+// protocol unchanged: one JSON request object per line, one JSON
+// response per line, strictly in order (no request IDs). See Request
+// and Response for the schema; the JSON protocol is deliberately plain
+// so that non-Go clients can speak it with any JSON library.
 //
-// Requests from different connections dispatch concurrently: the engine
-// is sharded by partition (each Submit/Ground/Read/Write acquires only
-// the partitions it touches), admissions are optimistic (each Submit's
+// Requests from different connections — and, on the binary protocol,
+// within one connection — dispatch concurrently: the engine is sharded
+// by partition (each Submit/Ground/Read/Write acquires only the
+// partitions it touches), admissions are optimistic (each Submit's
 // chain solve runs outside the admission lock, so submits from many
 // connections overlap end to end unless qdbd runs -serial-admission),
 // the coordinator's registry has its own lock, and GroundAll and read
 // collapse fan out over the engine's worker pool
-// (quantumdb.Options.Workers, the -workers flag on qdbd). Within one
-// connection, requests are processed in order — the JSON-lines protocol
-// has no request IDs, so responses must match request order.
+// (quantumdb.Options.Workers, the -workers flag on qdbd). The batch
+// verb admits several transactions in one amortized admission cycle
+// (core.SubmitBatch). Backpressure: SetLimits bounds the per-connection
+// window and the connection count, and a request that waits longer than
+// the shed threshold for a window slot is refused with a structured
+// retryable overloaded error instead of stalling the read loop.
 package server
 
 import (
@@ -74,6 +85,10 @@ type Request struct {
 	// Force marks a promote that skips the fence exchange (the leader
 	// is known dead and unreachable).
 	Force bool `json:"force,omitempty"`
+	// Txns carries the transaction texts of a batch submission; the
+	// server admits them through one amortized admission cycle and
+	// answers per-transaction IDs/Errs aligned with this slice.
+	Txns []string `json:"txns,omitempty"`
 }
 
 // TableSpec mirrors quantumdb.Table for the wire.
@@ -112,6 +127,18 @@ type Response struct {
 	Term     uint64    `json:"term,omitempty"`
 	Granted  bool      `json:"granted,omitempty"`
 	Redirect *Redirect `json:"redirect,omitempty"`
+	// Errs carries batch per-transaction outcomes, aligned with the
+	// request's Txns ("" = admitted, IDs[i] valid). Retry marks a
+	// structured retryable refusal (the server shed the request under
+	// load); clients back off and retry without dropping the
+	// connection.
+	Errs  []string `json:"errs,omitempty"`
+	Retry bool     `json:"retry,omitempty"`
+	// vrows carries read results as typed values for the binary
+	// encoder, which ships them through the WAL's value encoding; the
+	// JSON write path materializes Rows from it (rowsOut) so the
+	// quoted-string conversion is paid only on the JSON wire.
+	vrows []quantumdb.Row
 }
 
 // Redirect is the structured leader-moved payload: where the current
@@ -143,7 +170,7 @@ var ops = []string{
 	"create", "exec", "txn", "etxn", "sql", "read", "snapread",
 	"preview", "ground", "groundall", "pending", "stats", "ping",
 	"lag", "repl.bootstrap", "repl.pull", "repl.fence", "promote",
-	"other",
+	"batch", "other",
 }
 
 // Server serves one quantum database to many connections. Engine calls
@@ -160,9 +187,26 @@ type Server struct {
 	// term bookkeeping in stats.
 	role   atomic.Pointer[serverRole]
 	opHist map[string]*telemetry.Histogram
+	// frameHist times binary frame reception+decode, first length byte
+	// to decoded Request (qdb_server_frame_decode_seconds).
+	frameHist *telemetry.Histogram
 	// redirects counts leader-moved hints attached to refused
 	// mutations (qdb_server_redirects_total).
 	redirects atomic.Int64
+	// inflight gauges dispatches currently executing across all binary
+	// connections (qdb_server_inflight); sheds counts requests refused
+	// with the retryable overloaded error (qdb_server_shed_total);
+	// connsRefused counts connections dropped at the maxConns cap.
+	inflight     atomic.Int64
+	sheds        atomic.Int64
+	connsRefused atomic.Int64
+	// Backpressure knobs (SetLimits; fixed before Serve). maxInflight
+	// bounds one binary connection's pipelined window, maxConns bounds
+	// concurrent connections (0 = unlimited), shedWait is how long a
+	// request queues for a window slot before being shed.
+	maxInflight int
+	maxConns    int
+	shedWait    time.Duration
 
 	mu         sync.Mutex
 	promoteCfg *replica.PromoteConfig // armed by EnablePromotion
@@ -207,22 +251,73 @@ func NewFollower(f *replica.Follower) *Server {
 	return s
 }
 
+// Default backpressure knobs: a 64-deep pipelined window per binary
+// connection, unlimited connections, and a 50ms queue wait before a
+// request is shed with the retryable overloaded error.
+const (
+	defaultMaxInflight = 64
+	defaultShedWait    = 50 * time.Millisecond
+)
+
 func newServer(reg *telemetry.Registry) *Server {
 	s := &Server{
-		opHist:    make(map[string]*telemetry.Histogram, len(ops)),
-		listeners: make(map[net.Listener]struct{}),
-		conns:     make(map[net.Conn]struct{}),
+		opHist:      make(map[string]*telemetry.Histogram, len(ops)),
+		listeners:   make(map[net.Listener]struct{}),
+		conns:       make(map[net.Conn]struct{}),
+		maxInflight: defaultMaxInflight,
+		shedWait:    defaultShedWait,
 	}
 	for _, op := range ops {
 		s.opHist[op] = reg.Seconds("qdb_server_op_duration_seconds",
 			fmt.Sprintf("op=%q", op),
 			"Whole server request latency, decode to response write.")
 	}
+	s.frameHist = reg.Seconds("qdb_server_frame_decode_seconds", "",
+		"Binary frame reception and decode latency, length prefix to Request.")
 	reg.CounterFunc("qdb_server_redirects_total",
 		"Leader-moved redirects attached to refused mutations.",
 		s.redirects.Load)
+	reg.GaugeFunc("qdb_server_inflight",
+		"Dispatches currently executing across pipelined connections.",
+		s.inflight.Load)
+	reg.CounterFunc("qdb_server_shed_total",
+		"Requests refused with the retryable overloaded error.",
+		s.sheds.Load)
+	reg.CounterFunc("qdb_server_conns_refused_total",
+		"Connections dropped at the -max-conns cap.",
+		s.connsRefused.Load)
+	reg.GaugeFunc("qdb_server_conns",
+		"Client connections currently registered.",
+		func() int64 {
+			s.mu.Lock()
+			n := len(s.conns)
+			s.mu.Unlock()
+			return int64(n)
+		})
 	return s
 }
+
+// SetLimits tunes the data-plane backpressure knobs: the per-connection
+// pipelined inflight window (binary protocol), the concurrent
+// connection cap (0 = unlimited), and how long a request may queue for
+// a window slot before being shed with ErrOverloaded. Zero or negative
+// maxInflight/shedWait keep the defaults. Call before Serve — the
+// values are read lock-free by connection loops.
+func (s *Server) SetLimits(maxInflight, maxConns int, shedWait time.Duration) {
+	if maxInflight > 0 {
+		s.maxInflight = maxInflight
+	}
+	if maxConns > 0 {
+		s.maxConns = maxConns
+	}
+	if shedWait > 0 {
+		s.shedWait = shedWait
+	}
+}
+
+// Sheds reports how many requests were refused with the retryable
+// overloaded error (the qdb_server_shed_total counter).
+func (s *Server) Sheds() int64 { return s.sheds.Load() }
 
 // DB returns the database this server currently fronts — nil in
 // follower mode. After an in-place promotion it returns the promoted
@@ -270,11 +365,21 @@ func (s *Server) Serve(l net.Listener) error {
 // listener, and recorded in responses refused during the drain.
 var ErrShuttingDown = fmt.Errorf("server: shutting down")
 
+// ErrOverloaded is the structured retryable refusal a request receives
+// when it queued longer than the shed threshold for an inflight-window
+// slot. It travels with Response.Retry set, so clients back off and
+// retry on the same connection instead of treating it as a hard error.
+var ErrOverloaded = fmt.Errorf("server: overloaded: inflight window full")
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	s.mu.Lock()
-	if s.draining {
+	if s.draining || (s.maxConns > 0 && len(s.conns) >= s.maxConns) {
+		refused := !s.draining
 		s.mu.Unlock()
+		if refused {
+			s.connsRefused.Add(1)
+		}
 		return
 	}
 	s.conns[conn] = struct{}{}
@@ -284,10 +389,32 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
+	// Protocol negotiation: a binary client's very first bytes are the
+	// magic preamble; a JSON-lines client's first byte is '{' (or
+	// whitespace) and its first request is longer than the magic, so
+	// peeking never stalls either kind. On a match the connection runs
+	// the pipelined binary loop; otherwise the peeked bytes stay
+	// buffered and the JSON loop reads them as request text.
+	br := bufio.NewReader(conn)
+	if peek, err := br.Peek(len(frameMagic)); err == nil && string(peek) == frameMagic {
+		br.Discard(len(frameMagic))
+		s.handleBinary(conn, br)
+		return
+	}
+	s.handleJSON(conn, br)
+}
+
+// handleJSON serves the JSON-lines protocol: strictly in-order, one
+// dispatch at a time. Decoder, encoder, response buffer, and the
+// Request are all per-connection, reset per request — the per-op
+// allocation cost is the engine call, not the transport.
+func (s *Server) handleJSON(conn net.Conn, br *bufio.Reader) {
+	dec := json.NewDecoder(br)
+	bw := bufio.NewWriter(conn)
+	enc := json.NewEncoder(bw)
+	var req Request
 	for {
-		var req Request
+		req = Request{}
 		if err := dec.Decode(&req); err != nil {
 			return // disconnect or garbage: drop the connection
 		}
@@ -295,20 +422,33 @@ func (s *Server) handle(conn net.Conn) {
 			// Draining: refuse new work; in-flight dispatches on other
 			// connections still complete and respond.
 			enc.Encode(Response{Err: ErrShuttingDown.Error()})
+			bw.Flush()
 			return
 		}
 		start := time.Now()
 		resp := s.dispatch(req)
-		if h, ok := s.opHist[req.Op]; ok {
-			h.Observe(time.Since(start))
-		} else {
-			s.opHist["other"].Observe(time.Since(start))
+		s.observeOp(req.Op, start)
+		if resp.vrows != nil {
+			resp.Rows = rowsOut(resp.vrows)
 		}
 		err := enc.Encode(resp)
+		if err == nil {
+			err = bw.Flush()
+		}
 		s.endOp()
 		if err != nil {
 			return
 		}
+	}
+}
+
+// observeOp records one dispatch's latency under its verb's series
+// (unknown verbs land in "other").
+func (s *Server) observeOp(op string, start time.Time) {
+	if h, ok := s.opHist[op]; ok {
+		h.Observe(time.Since(start))
+	} else {
+		s.opHist["other"].Observe(time.Since(start))
 	}
 }
 
@@ -460,6 +600,27 @@ func (s *Server) dispatch(req Request) Response {
 			return fail(err)
 		}
 		return Response{OK: true, ID: id, Pending: r.db.Pending()}
+	case "batch":
+		if len(req.Txns) == 0 {
+			return fail(fmt.Errorf("batch requires txns"))
+		}
+		ids, errs := r.db.SubmitBatch(req.Txns)
+		for _, e := range errs {
+			// A demoted leader refuses the whole batch with the usual
+			// structured redirect — per-item errors are for admission
+			// outcomes, not for cutover.
+			if e != nil && errors.Is(e, core.ErrDemoted) {
+				return fail(e)
+			}
+		}
+		out := Response{OK: true, IDs: ids, Errs: make([]string, len(errs)),
+			Pending: r.db.Pending()}
+		for i, e := range errs {
+			if e != nil {
+				out.Errs[i] = e.Error()
+			}
+		}
+		return out
 	case "etxn":
 		id, err := r.co.Submit(req.Txn, req.Tag, req.Partner)
 		if err != nil {
@@ -477,7 +638,7 @@ func (s *Server) dispatch(req Request) Response {
 		if err != nil {
 			return fail(err)
 		}
-		return Response{OK: true, Rows: rowsOut(rows)}
+		return Response{OK: true, vrows: rows}
 	case "snapread":
 		// Collapse-free read: evaluated against a one-shot snapshot, so it
 		// observes committed state only (pending transactions stay
@@ -488,7 +649,7 @@ func (s *Server) dispatch(req Request) Response {
 		if err != nil {
 			return fail(err)
 		}
-		return Response{OK: true, Rows: rowsOut(rows)}
+		return Response{OK: true, vrows: rows}
 	case "preview":
 		ids, err := r.db.Preview(req.Query)
 		if err != nil {

@@ -306,6 +306,35 @@ func (db *DB) Submit(src string) (int64, error) {
 	return db.q.Submit(t)
 }
 
+// SubmitBatch admits a batch of resource transactions in one amortized
+// admission cycle (one overlap snapshot, one speculative solve pass,
+// one validate-and-install critical section, one WAL group commit —
+// see core.SubmitBatch). Results align with srcs: ids[i] is the
+// assigned ID when errs[i] is nil. Members are decided independently —
+// a parse error or rejection in one slot never poisons the others —
+// with the same outcomes sequential Submits in slice order would
+// produce.
+func (db *DB) SubmitBatch(srcs []string) ([]int64, []error) {
+	ids := make([]int64, len(srcs))
+	errs := make([]error, len(srcs))
+	ts := make([]*txn.T, 0, len(srcs))
+	idx := make([]int, 0, len(srcs))
+	for i, src := range srcs {
+		t, err := txn.Parse(src)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		ts = append(ts, t)
+		idx = append(idx, i)
+	}
+	bids, berrs := db.q.SubmitBatch(ts)
+	for j, i := range idx {
+		ids[i], errs[i] = bids[j], berrs[j]
+	}
+	return ids, errs
+}
+
 // SubmitSQL is Submit for the paper's SQL-flavoured syntax (Figure 1):
 //
 //	SELECT A.fno AS @f, A.sno AS @s
